@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Datacenter co-location: priority power delivery vs plain RAPL.
+
+The motivating scenario from the paper's introduction: a power-capped
+server runs a mix of high-priority and low-priority batch jobs.  Under
+RAPL everyone is throttled alike; under the priority policy the HP jobs
+keep (or even exceed) their full-power performance while LP jobs soak up
+only the residual power — starving entirely when there is none.
+
+The script sweeps the power limit from the TDP down to 40 W for the
+paper's 3H7L mix and prints both policies side by side.
+
+Run:  python examples/datacenter_colocation.py
+"""
+
+from repro import AppSpec, ExperimentConfig, Priority, build_stack
+from repro.experiments.runner import standalone_reference_ips
+
+MIX = (
+    [AppSpec("cactusBSSN", priority=Priority.HIGH)] * 2
+    + [AppSpec("leela", priority=Priority.HIGH)]
+    + [AppSpec("cactusBSSN", priority=Priority.LOW)] * 3
+    + [AppSpec("leela", priority=Priority.LOW)] * 4
+)
+
+
+def run_policy(policy: str, limit_w: float) -> dict:
+    config = ExperimentConfig(
+        platform="skylake", policy=policy, limit_w=limit_w,
+        apps=tuple(MIX), tick_s=5e-3,
+    )
+    stack = build_stack(config)
+    stack.engine.run(45.0)
+    window = [s for s in stack.daemon.history if s.time_s >= 20.0]
+    n = len(window)
+
+    def class_perf(priority):
+        labels = [
+            label
+            for label, spec in zip(stack.labels, MIX)
+            if spec.priority is priority
+        ]
+        total = 0.0
+        for label in labels:
+            base = standalone_reference_ips(
+                stack.platform, label.split("#")[0]
+            )
+            total += sum(s.app_ips[label] for s in window) / n / base
+        return total / len(labels)
+
+    lp_labels = [
+        label
+        for label, spec in zip(stack.labels, MIX)
+        if spec.priority is Priority.LOW
+    ]
+    starved = all(window[-1].app_parked[label] for label in lp_labels)
+    return {
+        "hp": class_perf(Priority.HIGH),
+        "lp": class_perf(Priority.LOW),
+        "power": sum(s.package_power_w for s in window) / n,
+        "lp_starved": starved,
+    }
+
+
+def main() -> None:
+    print("3 high-priority + 7 low-priority jobs on a 10-core Skylake")
+    print(f"{'limit':>6s}  {'policy':>9s}  {'HP perf':>8s}  "
+          f"{'LP perf':>8s}  {'pkg W':>6s}  LP starved?")
+    for limit in (85.0, 50.0, 40.0):
+        for policy in ("rapl", "priority"):
+            result = run_policy(policy, limit)
+            print(
+                f"{limit:6.0f}  {policy:>9s}  {result['hp']:8.2f}  "
+                f"{result['lp']:8.2f}  {result['power']:6.1f}  "
+                f"{'yes' if result['lp_starved'] else 'no'}"
+            )
+    print(
+        "\nAt 40 W the priority policy parks the LP jobs and the freed\n"
+        "turbo headroom pushes HP performance above its 85 W level —\n"
+        "the opportunistic-scaling effect of paper Fig 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

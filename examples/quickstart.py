@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: deliver 90/10 frequency shares to two co-located apps.
+
+Builds the simulated Skylake platform, pins *leela* (90 shares) and
+*cactusBSSN* (10 shares) to separate cores, runs the paper's userspace
+daemon with the frequency-shares policy under a 24 W limit (low enough
+that two cores actually contend for power), and prints what each app
+received.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AppSpec, ExperimentConfig, build_stack
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        platform="skylake",
+        policy="frequency-shares",
+        limit_w=24.0,
+        apps=(
+            AppSpec("leela", shares=90),
+            AppSpec("cactusBSSN", shares=10),
+        ),
+        tick_s=5e-3,
+    )
+    stack = build_stack(config)
+
+    print(f"platform : {stack.platform.name}")
+    print(f"policy   : {stack.daemon.policy.name} @ {config.limit_w:.0f} W")
+    print("running 30 simulated seconds...")
+    stack.engine.run(30.0)
+
+    record = stack.daemon.history[-1]
+    print(f"\npackage power: {record.package_power_w:.1f} W")
+    print(f"{'app':15s} {'shares':>6s} {'freq MHz':>9s} {'GIPS':>7s}")
+    for spec, label in zip(config.apps, stack.labels):
+        freq = record.app_frequency_mhz[label]
+        gips = record.app_ips[label] / 1e9
+        print(f"{label:15s} {spec.shares:6.0f} {freq:9.0f} {gips:7.2f}")
+
+    ld = record.app_frequency_mhz["leela#0"]
+    hd = record.app_frequency_mhz["cactusBSSN#0"]
+    print(
+        f"\nfrequency split: {100 * ld / (ld + hd):.0f}% / "
+        f"{100 * hd / (ld + hd):.0f}%  "
+        "(note the floor: 90/10 is not reachable — paper Fig 9)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Thermal capping: thermald vs a per-application policy.
+
+Paper section 2.2 points out that thermal limits can be enforced with
+*global* mechanisms (RAPL) or per-core ones (DVFS), "and depending on
+the mechanisms enabled ... it can have differing effects on application
+performance".  This example runs a hot 10-core mix in a warm enclosure
+until the 80 C trip point engages, then enforces the thermal power
+target two ways:
+
+* **thermald → RAPL**: the classic path — a global cap, so the
+  high-priority apps get throttled along with everyone else;
+* **thermald → frequency shares**: the same power target delivered as
+  the limit of a 90/10 share policy, preserving the important apps.
+
+Run:  python examples/thermal_capping.py
+"""
+
+from repro.core.daemon import PowerDaemon
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.thermal_daemon import ThermalDaemon, ThermalDaemonConfig
+from repro.core.types import ManagedApp
+from repro.hw.platform import get_platform
+from repro.sched.pinning import pin_apps
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.sim.thermal import ThermalConfig, ThermalModel
+from repro.experiments.runner import standalone_reference_ips
+
+HOT_ENCLOSURE = ThermalConfig(ambient_c=48.0, tau_s=3.0)
+
+
+def run(mode: str) -> dict:
+    platform = get_platform("skylake")
+    chip = Chip(platform, tick_s=5e-3)
+    engine = SimEngine(chip)
+    apps = (
+        ["leela"] * 5       # the important, low-demand class
+        + ["cactusBSSN"] * 5  # the bulk heat producers
+    )
+    from repro.workloads.spec import spec_app
+
+    placements = pin_apps(chip, [spec_app(a, steady=True) for a in apps])
+    thermal = ThermalDaemon(
+        chip, ThermalModel(HOT_ENCLOSURE),
+        ThermalDaemonConfig(trip_c=80.0, gain_w_per_c=6.0),
+    )
+    thermal.attach(engine)
+
+    if mode == "rapl":
+        for p in placements:
+            chip.set_requested_frequency(p.core_id, 2200.0)
+        engine.every(1.0, lambda _t: thermal.enforce_with_rapl())
+    else:
+        managed = [
+            ManagedApp(label=p.label, core_id=p.core_id,
+                       shares=90.0 if i < 5 else 10.0)
+            for i, p in enumerate(placements)
+        ]
+        policy = FrequencySharesPolicy(
+            platform, managed, thermal.power_target_w
+        )
+        daemon = PowerDaemon(chip, policy)
+        daemon.attach(engine)
+        # thermald's moving target becomes the policy's limit
+        engine.every(1.0, lambda _t: setattr(
+            policy, "limit_w", thermal.power_target_w
+        ))
+
+    engine.run(60.0)
+    important = [p for i, p in enumerate(placements) if i < 5]
+    bulk = [p for i, p in enumerate(placements) if i >= 5]
+
+    def class_perf(group):
+        total = 0.0
+        for p in group:
+            base = standalone_reference_ips(platform, p.app.model.name)
+            total += (
+                chip.cores[p.core_id].total_instructions / chip.time_s
+            ) / base
+        return total / len(group)
+
+    return {
+        "mode": mode,
+        "temp_c": round(thermal.temperature_c, 1),
+        "target_w": round(thermal.power_target_w, 1),
+        "pkg_w": round(chip.last_package_power_w, 1),
+        "important_perf": round(class_perf(important), 2),
+        "bulk_perf": round(class_perf(bulk), 2),
+    }
+
+
+def main() -> None:
+    print("hot enclosure (48 C ambient), 80 C trip point\n")
+    print(f"{'mode':16s} {'temp C':>7s} {'target W':>9s} {'pkg W':>6s} "
+          f"{'important':>10s} {'bulk':>6s}")
+    for mode in ("rapl", "frequency-shares"):
+        r = run(mode)
+        print(f"{r['mode']:16s} {r['temp_c']:7.1f} {r['target_w']:9.1f} "
+              f"{r['pkg_w']:6.1f} {r['important_perf']:10.2f} "
+              f"{r['bulk_perf']:6.2f}")
+    print(
+        "\nSame thermal envelope, different victims: RAPL throttles\n"
+        "everyone, the share policy concentrates the cuts on the\n"
+        "low-share bulk class."
+    )
+
+
+if __name__ == "__main__":
+    main()

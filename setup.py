@@ -1,0 +1,5 @@
+"""Thin shim so editable installs work in offline environments that lack
+the `wheel` package (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

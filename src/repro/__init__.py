@@ -1,0 +1,55 @@
+"""repro — reproduction of "Per-Application Power Delivery" (EuroSys 2019).
+
+The library has three layers:
+
+* **Substrate** (:mod:`repro.hw`, :mod:`repro.sim`, :mod:`repro.workloads`,
+  :mod:`repro.sched`, :mod:`repro.telemetry`) — an emulated pair of the
+  paper's evaluation platforms (Skylake Xeon 4114 and Ryzen 1700X) with
+  MSRs, per-core DVFS, RAPL, turbo, C-states, SPEC-like workloads, the
+  websearch latency service and a turbostat-like sampler.
+* **Policies** (:mod:`repro.core`) — the paper's contribution: the
+  priority policy, power/frequency/performance proportional shares,
+  min-funding revocation, the Ryzen three-P-state selector, and the
+  userspace daemon that runs them at 1 Hz.
+* **Experiments** (:mod:`repro.experiments`) — one module per figure or
+  table in the paper's evaluation, regenerating the same rows/series.
+
+Quickstart::
+
+    from repro import ExperimentConfig, AppSpec, build_stack, Priority
+
+    config = ExperimentConfig(
+        platform="skylake", policy="frequency-shares", limit_w=50.0,
+        apps=(AppSpec("leela", shares=90), AppSpec("cactusBSSN", shares=10)),
+    )
+    stack = build_stack(config)
+    stack.engine.run(30.0)          # 30 simulated seconds
+    print(stack.daemon.history[-1])
+"""
+
+from repro.config import (
+    AppSpec,
+    ExperimentConfig,
+    ExperimentStack,
+    POLICY_REGISTRY,
+    build_stack,
+)
+from repro.core.types import ManagedApp, Priority
+from repro.errors import ReproError
+from repro.hw.platform import PLATFORM_REGISTRY, get_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppSpec",
+    "ExperimentConfig",
+    "ExperimentStack",
+    "POLICY_REGISTRY",
+    "PLATFORM_REGISTRY",
+    "build_stack",
+    "get_platform",
+    "ManagedApp",
+    "Priority",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,346 @@
+"""Command-line entry point: regenerate any of the paper's experiments.
+
+Usage::
+
+    repro-power list
+    repro-power table1 [--platform skylake]
+    repro-power fig1 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 \
+                | fig11 | fig12
+    repro-power run --platform skylake --policy frequency-shares \
+                --limit 50 --apps leela:90,cactusBSSN:10 --duration 40
+
+``--quick`` shortens runs for smoke testing; results keep their shape
+but are noisier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import AppSpec, ExperimentConfig
+from repro.core.types import Priority
+from repro.errors import ReproError
+from repro.experiments.report import render_kv, render_table
+from repro.experiments.runner import BATCH_TICK_S, run_steady
+from repro.experiments import tables as tables_mod
+
+
+def _duration_args(args) -> dict:
+    if args.quick:
+        return {"duration_s": 30.0, "warmup_s": 12.0}
+    return {}
+
+
+def _cmd_table1(args) -> int:
+    print(render_kv(tables_mod.table1_features(args.platform),
+                    title=f"Table 1 — {args.platform}"))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    print(render_table(tables_mod.table2_rows(), title="Table 2"))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    print(render_table(tables_mod.table3_rows(), title="Table 3"))
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from repro.experiments.rapl_interference import run_fig1_rapl_interference
+
+    result = run_fig1_rapl_interference(**_duration_args(args))
+    print(render_table(result.to_rows(), title="Fig 1 — RAPL interference"))
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from repro.experiments.dvfs_sweep import run_dvfs_sweep
+
+    result = run_dvfs_sweep("skylake")
+    print(render_table(result.to_rows(), title="Fig 2 — DVFS sweep (Skylake)"))
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from repro.experiments.dvfs_sweep import run_dvfs_sweep
+
+    result = run_dvfs_sweep("ryzen")
+    print(render_table(result.to_rows(), title="Fig 3 — DVFS sweep (Ryzen)"))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.experiments.rapl_interference import run_fig4_percore_dvfs
+
+    result = run_fig4_percore_dvfs(**_duration_args(args))
+    print(render_table(result.to_rows(), title="Fig 4 — RAPL + per-core DVFS"))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.experiments.latency_exp import run_fig5_unfair_throttling
+
+    result = run_fig5_unfair_throttling(**_duration_args(args))
+    print(render_table(result.to_rows(), title="Fig 5 — unfair throttling"))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.experiments.timeshare_exp import run_fig6_timeshare
+
+    result = run_fig6_timeshare()
+    print(render_table(result.to_rows(), title="Fig 6 — time-shared power"))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.experiments.priority_exp import run_fig7_priority_skylake
+
+    result = run_fig7_priority_skylake(**_duration_args(args))
+    print(render_table(result.to_rows(), title="Fig 7 — priority (Skylake)"))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from repro.experiments.priority_exp import run_fig8_priority_ryzen
+
+    result = run_fig8_priority_ryzen(**_duration_args(args))
+    print(render_table(result.to_rows(), title="Fig 8 — priority (Ryzen)"))
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from repro.experiments.shares_exp import run_fig9_shares_skylake
+
+    result = run_fig9_shares_skylake(**_duration_args(args))
+    print(render_table(result.to_rows(), title="Fig 9 — shares (Skylake)"))
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    from repro.experiments.shares_exp import run_fig10_shares_ryzen
+
+    result = run_fig10_shares_ryzen(**_duration_args(args))
+    print(render_table(result.to_rows(), title="Fig 10 — shares (Ryzen)"))
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    from repro.experiments.random_exp import run_fig11_random_skylake
+
+    result = run_fig11_random_skylake(**_duration_args(args))
+    print(render_table(result.to_rows(), title="Fig 11 — random mixes"))
+    return 0
+
+
+def _cmd_fig12(args) -> int:
+    from repro.experiments.latency_exp import (
+        normalized_latency,
+        run_fig12_policies,
+    )
+
+    result = run_fig12_policies(**_duration_args(args))
+    print(render_table(result.to_rows(), title="Figs 12/13 — latency policies"))
+    rows = []
+    for limit in sorted({r.limit_w for r in result.runs}):
+        for policy in ("rapl", "frequency-shares", "performance-shares"):
+            try:
+                rows.append(
+                    {
+                        "policy": policy,
+                        "limit_w": limit,
+                        "latency_vs_alone": normalized_latency(
+                            result, policy, limit
+                        ),
+                    }
+                )
+            except ReproError:
+                continue
+    print(render_table(rows, title="Fig 12 normalized"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.full_report import generate_report
+
+    generate_report(quick=args.quick, stream=sys.stdout)
+    return 0
+
+
+def _cmd_gaming(args) -> int:
+    from repro.experiments.gaming_exp import run_gaming_experiment
+
+    result = run_gaming_experiment()
+    print(render_table(result.to_rows(), title=(
+        f"Gaming ablation — {result.benchmark}, performance shares @ "
+        f"{result.limit_w:.0f} W"
+    )))
+    print(f"gaming payoff: {result.gaming_payoff:.2f} "
+          "(<1: padding with NOPs backfired)")
+    return 0
+
+
+def _cmd_consolidation(args) -> int:
+    from repro.experiments.consolidation_exp import (
+        run_consolidation_experiment,
+    )
+
+    rows = [
+        run_consolidation_experiment(consolidate=mode).to_row()
+        for mode in (False, True)
+    ]
+    print(render_table(rows, title=(
+        "LP starvation vs consolidation (3H7L @ 40 W)"
+    )))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.config import build_stack
+    from repro.experiments.sparkline import sparkline, strip_chart
+
+    config = ExperimentConfig(
+        platform=args.platform,
+        policy=args.policy,
+        limit_w=args.limit,
+        apps=_parse_apps(args.apps),
+        tick_s=BATCH_TICK_S,
+    )
+    stack = build_stack(config)
+    stack.engine.run(args.duration)
+    history = stack.daemon.history
+    power = [s.package_power_w for s in history]
+    print(strip_chart(
+        power,
+        label=(
+            f"package power, {args.policy} @ {args.limit:.0f} W "
+            f"(dashes mark the limit)"
+        ),
+        reference=args.limit,
+    ))
+    print()
+    width = max(len(label) for label in stack.labels)
+    for label in stack.labels:
+        series = [s.app_frequency_mhz[label] for s in history]
+        print(f"{label.ljust(width)}  {sparkline(series, width=60)} "
+              f"{series[-1]:6.0f} MHz")
+    return 0
+
+
+def _parse_apps(spec: str) -> tuple[AppSpec, ...]:
+    apps = []
+    for part in spec.split(","):
+        fields = part.strip().split(":")
+        name = fields[0]
+        shares = float(fields[1]) if len(fields) > 1 else 1.0
+        priority = Priority.LOW if (
+            len(fields) > 2 and fields[2].lower().startswith("l")
+        ) else Priority.HIGH
+        apps.append(AppSpec(name, shares=shares, priority=priority))
+    return tuple(apps)
+
+
+def _cmd_run(args) -> int:
+    config = ExperimentConfig(
+        platform=args.platform,
+        policy=args.policy,
+        limit_w=args.limit,
+        apps=_parse_apps(args.apps),
+        tick_s=BATCH_TICK_S,
+    )
+    result = run_steady(
+        config,
+        duration_s=args.duration,
+        warmup_s=min(args.duration / 2, 20.0),
+    )
+    rows = [
+        {
+            "app": a.label,
+            "freq_mhz": a.mean_frequency_mhz,
+            "norm_perf": a.normalized_performance,
+            "core_w": a.mean_power_w,
+            "parked": a.parked_fraction,
+        }
+        for a in result.apps
+    ]
+    print(render_table(rows, title=(
+        f"{args.policy} @ {args.limit} W on {args.platform} "
+        f"(pkg {result.mean_package_power_w:.1f} W)"
+    )))
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "fig13": _cmd_fig12,  # Fig 13 data comes out of the Fig 12 runs
+    "gaming": _cmd_gaming,
+    "consolidation": _cmd_consolidation,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-power",
+        description=(
+            "Reproduce experiments from 'Per-Application Power Delivery' "
+            "(EuroSys 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    list_parser = sub.add_parser("list", help="list available experiments")
+    for name in _COMMANDS:
+        exp_parser = sub.add_parser(name, help=f"regenerate {name}")
+        exp_parser.add_argument("--platform", default="skylake")
+        exp_parser.add_argument(
+            "--quick", action="store_true", help="shorter, noisier runs"
+        )
+    for name, helptext in (
+        ("run", "run a custom configuration"),
+        ("watch", "run a custom configuration and chart its dynamics"),
+    ):
+        custom = sub.add_parser(name, help=helptext)
+        custom.add_argument("--platform", default="skylake")
+        custom.add_argument("--policy", default="frequency-shares")
+        custom.add_argument("--limit", type=float, default=50.0)
+        custom.add_argument(
+            "--apps",
+            default="leela:90,cactusBSSN:10",
+            help="comma list of name[:shares[:high|low]]",
+        )
+        custom.add_argument("--duration", type=float, default=40.0)
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(_COMMANDS) + ["run", "watch"]:
+            print(name)
+        return 0
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

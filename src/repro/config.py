@@ -1,0 +1,133 @@
+"""Experiment configuration helpers.
+
+Small declarative layer the CLI and the benchmark harness share: build a
+ready-to-run (chip, engine, daemon) stack from names — platform, policy,
+workload labels, shares/priorities, and a power limit — with the same
+validation everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.core.daemon import PowerDaemon
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.hwp_hints import HwpHintsPolicy
+from repro.core.performance_shares import PerformanceSharesPolicy
+from repro.core.policy import Policy
+from repro.core.power_shares import PowerSharesPolicy
+from repro.core.priority import PriorityPolicy
+from repro.core.rapl_baseline import RaplBaselinePolicy
+from repro.core.types import ManagedApp, Priority
+from repro.hw.platform import PlatformSpec, get_platform
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.sim.perf_model import highest_useful_frequency, max_standalone_ips
+from repro.sched.pinning import pin_apps
+from repro.workloads.spec import spec_app
+
+POLICY_REGISTRY: dict[str, type[Policy]] = {
+    "priority": PriorityPolicy,
+    "frequency-shares": FrequencySharesPolicy,
+    "performance-shares": PerformanceSharesPolicy,
+    "power-shares": PowerSharesPolicy,
+    "rapl": RaplBaselinePolicy,
+    "hwp-hints": HwpHintsPolicy,
+}
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One app in an experiment config: name, shares, priority."""
+
+    benchmark: str
+    shares: float = 1.0
+    priority: Priority = Priority.HIGH
+    steady: bool = True
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Declarative experiment: platform + policy + apps + limit."""
+
+    platform: str
+    policy: str
+    limit_w: float
+    apps: tuple[AppSpec, ...]
+    interval_s: float = 1.0
+    tick_s: float = 1e-3
+    #: cap each app at its highest *useful* frequency (paper section
+    #: 4.4): memory-bound apps stop paying for clock they cannot use.
+    useful_frequency_mode: bool = False
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_REGISTRY:
+            known = ", ".join(sorted(POLICY_REGISTRY))
+            raise ConfigError(
+                f"unknown policy {self.policy!r}; known: {known}"
+            )
+        if not self.apps:
+            raise ConfigError("experiment needs at least one app")
+
+
+@dataclass
+class ExperimentStack:
+    """Everything a built experiment needs to run."""
+
+    platform: PlatformSpec
+    chip: Chip
+    engine: SimEngine
+    daemon: PowerDaemon
+    labels: list[str] = field(default_factory=list)
+
+
+def build_stack(config: ExperimentConfig) -> ExperimentStack:
+    """Construct chip + engine + policy + daemon from a config."""
+    platform = get_platform(config.platform)
+    if len(config.apps) > platform.n_cores:
+        raise ConfigError(
+            f"{len(config.apps)} apps exceed {platform.n_cores} cores"
+        )
+    chip = Chip(platform, tick_s=config.tick_s)
+    engine = SimEngine(chip)
+    models = [
+        spec_app(spec.benchmark, steady=spec.steady) for spec in config.apps
+    ]
+    placements = pin_apps(chip, models)
+    managed = []
+    for placement, spec, model in zip(placements, config.apps, models):
+        max_freq = platform.effective_max_frequency_mhz(model.uses_avx)
+        if config.useful_frequency_mode:
+            max_freq = min(
+                max_freq, highest_useful_frequency(platform, model)
+            )
+        managed.append(
+            ManagedApp(
+                label=placement.label,
+                core_id=placement.core_id,
+                shares=spec.shares,
+                priority=spec.priority,
+                max_frequency_mhz=max_freq,
+                baseline_ips=max_standalone_ips(platform, model),
+            )
+        )
+    policy_cls = POLICY_REGISTRY[config.policy]
+    policy = policy_cls(platform, managed, config.limit_w)
+    if isinstance(policy, HwpHintsPolicy):
+        # the hint policy delegates P-state selection to an autonomous
+        # HWP controller running at hardware cadence
+        from repro.hw.hwp import HwpController
+
+        hwp = HwpController(chip)
+        policy.attach_hwp(hwp)
+        hwp.attach(engine, period_s=0.05)
+    daemon = PowerDaemon(chip, policy, interval_s=config.interval_s)
+    daemon.attach(engine)
+    return ExperimentStack(
+        platform=platform,
+        chip=chip,
+        engine=engine,
+        daemon=daemon,
+        labels=[p.label for p in placements],
+    )

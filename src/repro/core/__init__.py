@@ -1,0 +1,62 @@
+"""The paper's contribution: differential power-delivery policies.
+
+Two policy classes (paper section 4):
+
+* :class:`~repro.core.priority.PriorityPolicy` — strict two-level
+  priorities: high-priority apps first, low-priority apps get residual
+  power and may starve.
+* Proportional shares of three resources:
+  :class:`~repro.core.power_shares.PowerSharesPolicy`,
+  :class:`~repro.core.frequency_shares.FrequencySharesPolicy`, and
+  :class:`~repro.core.performance_shares.PerformanceSharesPolicy`.
+
+Plus the :class:`~repro.core.rapl_baseline.RaplBaselinePolicy` the paper
+compares against, and the :class:`~repro.core.daemon.PowerDaemon` that
+runs any of them in a 1 Hz monitoring loop (section 5).
+"""
+
+from repro.core.types import (
+    Priority,
+    ManagedApp,
+    AppTelemetry,
+    PolicyInputs,
+    PolicyDecision,
+)
+from repro.core.policy import Policy, PolicyConfig
+from repro.core.minfund import distribute_min_funding, Claim
+from repro.core.priority import PriorityPolicy, PriorityConfig
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.performance_shares import PerformanceSharesPolicy
+from repro.core.power_shares import PowerSharesPolicy
+from repro.core.rapl_baseline import RaplBaselinePolicy
+from repro.core.pstate_select import select_pstate_levels
+from repro.core.daemon import PowerDaemon
+from repro.core.timeshare_policy import plan_single_core, SingleCorePlan
+from repro.core.consolidate import ConsolidationPlan, plan_lp_consolidation
+from repro.core.thermal_daemon import ThermalDaemon, ThermalDaemonConfig
+
+__all__ = [
+    "Priority",
+    "ManagedApp",
+    "AppTelemetry",
+    "PolicyInputs",
+    "PolicyDecision",
+    "Policy",
+    "PolicyConfig",
+    "distribute_min_funding",
+    "Claim",
+    "PriorityPolicy",
+    "PriorityConfig",
+    "FrequencySharesPolicy",
+    "PerformanceSharesPolicy",
+    "PowerSharesPolicy",
+    "RaplBaselinePolicy",
+    "select_pstate_levels",
+    "PowerDaemon",
+    "plan_single_core",
+    "SingleCorePlan",
+    "ConsolidationPlan",
+    "plan_lp_consolidation",
+    "ThermalDaemon",
+    "ThermalDaemonConfig",
+]

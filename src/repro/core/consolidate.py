@@ -1,0 +1,75 @@
+"""LP consolidation: the paper's alternative to starvation (section 4.4).
+
+When the priority policy cannot afford to run *all* low-priority
+applications at the minimum P-state, the simple implementation starves
+them all.  The paper notes the alternative: "the policy should disable
+cores (put them in a sleep state) and let the OS scheduler time-slice
+applications on the remaining cores" — run a *subset* of cores at the
+minimum P-state and multiplex every LP app across them.
+
+:func:`plan_lp_consolidation` computes that plan from the residual power
+budget and an estimated minimum-P-state per-core cost, assigning LP apps
+round-robin to the affordable cores; the scheduler substrate
+(:class:`repro.sched.timeshare.TimeSharedCoreLoad`) executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ConsolidationPlan:
+    """How to pack starved LP apps onto a reduced set of cores."""
+
+    #: cores (by index into the LP core list) that stay awake.
+    active_core_count: int
+    #: app labels per active core, round-robin packed.
+    assignments: tuple[tuple[str, ...], ...]
+    #: labels that still cannot run (budget below one core's cost).
+    starved: tuple[str, ...]
+
+    @property
+    def runnable(self) -> tuple[str, ...]:
+        return tuple(
+            label for group in self.assignments for label in group
+        )
+
+
+def plan_lp_consolidation(
+    lp_labels: list[str],
+    residual_power_w: float,
+    min_pstate_core_power_w: float,
+) -> ConsolidationPlan:
+    """Plan time-slicing of LP apps onto the affordable number of cores.
+
+    ``residual_power_w`` is the headroom left after the HP apps;
+    ``min_pstate_core_power_w`` the estimated draw of one core running
+    at the minimum P-state.  With ``k`` affordable cores (capped at the
+    number of LP apps), the apps are packed round-robin; ``k == 0``
+    degenerates to the strict-starvation behaviour.
+    """
+    if not lp_labels:
+        raise ConfigError("no LP applications to consolidate")
+    if len(set(lp_labels)) != len(lp_labels):
+        raise ConfigError("duplicate LP labels")
+    if min_pstate_core_power_w <= 0:
+        raise ConfigError("per-core power estimate must be positive")
+    affordable = int(max(residual_power_w, 0.0) // min_pstate_core_power_w)
+    k = min(affordable, len(lp_labels))
+    if k == 0:
+        return ConsolidationPlan(
+            active_core_count=0,
+            assignments=(),
+            starved=tuple(lp_labels),
+        )
+    groups: list[list[str]] = [[] for _ in range(k)]
+    for index, label in enumerate(lp_labels):
+        groups[index % k].append(label)
+    return ConsolidationPlan(
+        active_core_count=k,
+        assignments=tuple(tuple(g) for g in groups),
+        starved=(),
+    )

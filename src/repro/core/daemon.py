@@ -1,0 +1,177 @@
+"""The userspace power daemon (paper section 5).
+
+``PowerDaemon`` is the component the paper actually built: it "takes a
+list of programs as input with their priority and shares", pins them,
+"then runs a monitoring loop.  In every loop iteration (1 second in our
+implementation), it reads processor statistics, including power
+(per-core or per-package), performance (retired instruction count), and
+actual frequency" and re-programs P-states through the policy's
+redistribution function.
+
+The daemon owns the platform-level plumbing every policy shares:
+
+* telemetry via the turbostat sampler,
+* quantization of policy targets onto the DVFS grid,
+* the Ryzen three-simultaneous-P-state reduction
+  (:func:`repro.core.pstate_select.select_pstate_levels`),
+* core parking for starved applications,
+* programming frequencies through the cpufreq/MSR interface, and the
+  hardware RAPL limit for the baseline policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.core.policy import Policy
+from repro.core.pstate_select import select_pstate_levels
+from repro.core.types import AppTelemetry, PolicyDecision, PolicyInputs
+from repro.hw.cpufreq import CpuFreqInterface
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.telemetry.turbostat import Turbostat, TurbostatSample
+
+
+@dataclass(frozen=True)
+class DaemonSample:
+    """One monitoring-loop iteration, for experiment post-processing."""
+
+    iteration: int
+    time_s: float
+    package_power_w: float
+    app_frequency_mhz: dict[str, float]
+    app_ips: dict[str, float]
+    app_power_w: dict[str, float | None]
+    app_parked: dict[str, bool]
+    targets_mhz: dict[str, float]
+
+
+class PowerDaemon:
+    """Monitoring loop driving one policy over one chip."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        policy: Policy,
+        *,
+        interval_s: float = 1.0,
+    ):
+        if interval_s <= 0:
+            raise ConfigError("daemon interval must be positive")
+        if policy.platform is not chip.platform:
+            raise ConfigError("policy and chip platform specs differ")
+        self.chip = chip
+        self.policy = policy
+        self.interval_s = interval_s
+        self.cpufreq = CpuFreqInterface(chip.platform, chip.msr)
+        self.turbostat = Turbostat(chip.platform, chip.msr)
+        self._core_of = {app.label: app.core_id for app in policy.apps}
+        self._iteration = 0
+        self._targets: dict[str, float] = {}
+        self._parked: set[str] = set()
+        self.history: list[DaemonSample] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Apply the policy's initial distribution and arm telemetry."""
+        if self._started:
+            raise ConfigError("daemon already started")
+        if getattr(self.policy, "programs_hardware_limit", False):
+            self.chip.set_rapl_limit(self.policy.limit_w)
+        elif self.chip.rapl is not None:
+            # software policies run with the hardware limiter at TDP, the
+            # configuration the paper's daemon experiments use: the
+            # policy enforces the operator limit, RAPL only backstops.
+            self.chip.set_rapl_limit(self.chip.platform.power.tdp_watts)
+        decision = self.policy.initial_distribution()
+        self._apply(decision)
+        self.turbostat.prime(self.chip.time_s)
+        self._started = True
+
+    def attach(self, engine: SimEngine) -> None:
+        """Register the monitoring loop with a simulation engine."""
+        if not self._started:
+            self.start()
+        engine.every(self.interval_s, self.iteration)
+
+    # -- one loop iteration ---------------------------------------------------------
+
+    def iteration(self, now_s: float) -> DaemonSample:
+        """Read statistics, run the policy, program the hardware."""
+        sample = self.turbostat.sample(now_s)
+        inputs = self._build_inputs(sample)
+        decision = self.policy.redistribute(inputs)
+        self._apply(decision)
+        self._iteration += 1
+        record = DaemonSample(
+            iteration=self._iteration,
+            time_s=now_s,
+            package_power_w=sample.package_power_w,
+            app_frequency_mhz={
+                label: sample.core(core).active_frequency_mhz
+                for label, core in self._core_of.items()
+            },
+            app_ips={
+                label: sample.core(core).ips
+                for label, core in self._core_of.items()
+            },
+            app_power_w={
+                label: sample.core(core).power_w
+                for label, core in self._core_of.items()
+            },
+            app_parked={
+                label: label in self._parked for label in self._core_of
+            },
+            targets_mhz=dict(self._targets),
+        )
+        self.history.append(record)
+        return record
+
+    def _build_inputs(self, sample: TurbostatSample) -> PolicyInputs:
+        telemetry = []
+        for app in self.policy.apps:
+            stats = sample.core(app.core_id)
+            telemetry.append(
+                AppTelemetry(
+                    label=app.label,
+                    active_frequency_mhz=stats.active_frequency_mhz,
+                    ips=stats.ips,
+                    busy_fraction=stats.busy_fraction,
+                    power_w=stats.power_w,
+                    parked=app.label in self._parked,
+                )
+            )
+        return PolicyInputs(
+            iteration=self._iteration,
+            limit_w=self.policy.limit_w,
+            package_power_w=sample.package_power_w,
+            apps=tuple(telemetry),
+            current_targets=dict(self._targets),
+        )
+
+    def _apply(self, decision: PolicyDecision) -> None:
+        decision.validate(set(self._core_of))
+        programs = getattr(self.policy, "programs_frequencies", True)
+        running_targets = {
+            label: freq
+            for label, freq in decision.targets.items()
+            if label not in decision.parked
+        }
+        if running_targets and programs:
+            quantized = select_pstate_levels(
+                self.chip.platform, running_targets
+            )
+        else:
+            quantized = {}
+        for label, core_id in self._core_of.items():
+            if label in decision.parked:
+                self.chip.park(core_id, True)
+                continue
+            self.chip.park(core_id, False)
+            if programs:
+                self.cpufreq.set_speed_mhz(core_id, quantized[label])
+        self._targets = dict(decision.targets)
+        self._parked = set(decision.parked)

@@ -1,0 +1,121 @@
+"""HWP-hints policy: shares expressed as CPPC hint windows.
+
+The paper notes (section 2.1) that with CPPC/HWP "hardware controls
+DVFS settings and software provides a range of allowable performance",
+and (section 5.2) that HWP's abstract performance metric "may be a
+better choice" than IPS for workloads where instruction counts mislead.
+
+This policy explores that design point: instead of programming explicit
+P-states each second, the daemon derives per-app **hint windows** from
+the shares — ``max_perf`` proportional to the share split, ``min_perf``
+at the daemon floor — and lets the autonomous HWP controller pick actual
+operating points inside them at hardware cadence.  Package-power
+feedback scales the whole hint envelope up or down, so the power limit
+is still enforced by software while fine-grained selection (e.g. backing
+off frequency-insensitive apps) happens "in hardware".
+
+Trade-off demonstrated by the ablation benches: HWP hints inherit the
+abstract scale's machine-specificity — the same hint window yields
+different frequencies on different platforms — exactly the tuning burden
+the paper warns about.
+"""
+
+from __future__ import annotations
+
+from repro.core.minfund import Claim, pool_bounds, refill_pool
+from repro.core.policy import Policy, PolicyConfig
+from repro.core.types import ManagedApp, PolicyDecision, PolicyInputs
+from repro.errors import ConfigError
+from repro.hw.hwp import HwpController, HwpRequest
+from repro.hw.platform import PlatformSpec
+from repro.units import clamp
+
+
+class HwpHintsPolicy(Policy):
+    """Proportional shares delivered as HWP hint ceilings.
+
+    The decision targets this policy emits are the *hint ceilings* in
+    MHz; the daemon must run an :class:`~repro.hw.hwp.HwpController`
+    (see :func:`attach_hwp`) which owns the actual P-state requests.
+    """
+
+    name = "hwp-hints"
+    programs_frequencies = False
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        apps: list[ManagedApp],
+        limit_w: float,
+        config: PolicyConfig | None = None,
+    ):
+        super().__init__(platform, apps, limit_w, config)
+        self._ceilings: dict[str, float] = {}
+        self._pool_mhz = 0.0
+        self._hwp: HwpController | None = None
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach_hwp(self, hwp: HwpController) -> None:
+        """Give the policy the HWP controller whose hints it manages."""
+        self._hwp = hwp
+
+    def _push_hints(self) -> None:
+        if self._hwp is None:
+            raise ConfigError(
+                "hwp-hints policy needs an attached HwpController"
+            )
+        for app in self.apps:
+            ceiling = self._ceilings[app.label]
+            self._hwp.set_request(
+                app.core_id,
+                HwpRequest(
+                    min_perf=self._hwp.mhz_to_perf(self.min_frequency),
+                    max_perf=max(
+                        self._hwp.mhz_to_perf(ceiling),
+                        self._hwp.mhz_to_perf(self.min_frequency),
+                    ),
+                ),
+            )
+
+    # -- the three functions -----------------------------------------------------
+
+    def _claims(self) -> list[Claim]:
+        return [
+            Claim(
+                label=app.label,
+                shares=app.shares,
+                current=self._ceilings.get(app.label, self.min_frequency),
+                lo=self.min_frequency,
+                hi=self.achievable_max_frequency(app),
+            )
+            for app in self.apps
+        ]
+
+    def initial_distribution(self) -> PolicyDecision:
+        top = max(app.shares for app in self.apps)
+        for app in self.apps:
+            fraction = app.shares / top
+            self._ceilings[app.label] = clamp(
+                fraction * self.achievable_max_frequency(app),
+                self.min_frequency,
+                self.achievable_max_frequency(app),
+            )
+        self._pool_mhz = sum(self._ceilings.values())
+        self._push_hints()
+        return PolicyDecision(targets=dict(self._ceilings))
+
+    def redistribute(self, inputs: PolicyInputs) -> PolicyDecision:
+        error_w = self.scaled_step(inputs.power_error_w)
+        if error_w != 0.0:
+            delta = (
+                self.alpha(error_w)
+                * self.platform.max_frequency_mhz
+                * len(self.apps)
+            )
+            claims = self._claims()
+            lo, hi = pool_bounds(claims)
+            self._pool_mhz = min(max(self._pool_mhz + delta, lo), hi)
+            self._ceilings = refill_pool(self._pool_mhz, claims)
+            self._push_hints()
+        return PolicyDecision(targets=dict(self._ceilings))

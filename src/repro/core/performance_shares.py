@@ -1,0 +1,211 @@
+"""Performance shares (paper sections 4.2 and 5.2).
+
+Applications' *performance*, normalized to their standalone performance
+at maximum frequency (measured offline), is kept proportional to shares.
+The paper uses instructions-per-second as the performance proxy for its
+single-threaded workloads and notes the policy's weakness: IPS moves
+with program phases, so the control loop keeps rebalancing — the
+under/over-shoot visible in Fig 10.
+
+Control loop:
+
+* the power limit converts to a performance budget through the naive
+  model ``PerformanceDelta = alpha * MaxPerformance * NumAvailableCores``
+  where MaxPerformance is 1.0 (normalized) per core,
+* the *initial distribution* splits the performance budget by share
+  ratio into per-app normalized performance limits,
+* the *redistribution function* converts the power error to performance
+  and spreads it over non-saturated apps (min-funding revocation),
+* the *translation function* converts per-app performance targets to
+  frequencies with a proportional correction from measured performance:
+  ``f_new = f_cur * target / measured``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.core.minfund import Claim, pool_bounds, proportional_targets, refill_pool
+from repro.core.policy import Policy, PolicyConfig
+from repro.core.types import ManagedApp, PolicyDecision, PolicyInputs
+from repro.hw.platform import PlatformSpec
+from repro.units import clamp
+
+#: normalized performance of one core running flat-out (the baseline).
+_MAX_PERFORMANCE = 1.0
+#: floor for the normalized performance target; keeps the translation
+#: well-defined and mirrors the paper's no-starvation rule for shares.
+_MIN_PERFORMANCE = 0.02
+
+
+class PerformanceSharesPolicy(Policy):
+    """Proportional shares of normalized application performance."""
+
+    name = "performance-shares"
+
+    #: per-iteration bounds on the multiplicative frequency correction;
+    #: keeps one noisy IPS sample from slamming the operating point.
+    max_step_up = 1.25
+    max_step_down = 0.85
+    #: iterations an app detected as frequency-insensitive is exempt
+    #: from further cuts before the policy probes again.
+    insensitive_hold_iterations = 10
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        apps: list[ManagedApp],
+        limit_w: float,
+        config: PolicyConfig | None = None,
+    ):
+        super().__init__(platform, apps, limit_w, config)
+        for app in apps:
+            if app.baseline_ips is None:
+                raise ConfigError(
+                    f"{app.label}: performance shares require an offline "
+                    "baseline IPS (run the app alone at max frequency)"
+                )
+        self._perf_targets: dict[str, float] = {}
+        self._freq_targets: dict[str, float] = {}
+        self._pool_perf = 0.0
+        # sensitivity tracking: last (granted frequency, measured perf)
+        # per app, plus an iteration until which cuts are frozen
+        self._last_observation: dict[str, tuple[float, float]] = {}
+        self._insensitive_until: dict[str, int] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _baseline(self, label: str) -> float:
+        for app in self.apps:
+            if app.label == label:
+                assert app.baseline_ips is not None
+                return app.baseline_ips
+        raise ConfigError(f"unknown app {label!r}")
+
+    def measured_performance(self, inputs: PolicyInputs, label: str) -> float:
+        """IPS normalized to the offline standalone baseline."""
+        telemetry = inputs.telemetry(label)
+        return telemetry.ips / self._baseline(label)
+
+    def _perf_claims(self) -> list[Claim]:
+        return [
+            Claim(
+                label=app.label,
+                shares=app.shares,
+                current=self._perf_targets.get(app.label, 0.0),
+                lo=_MIN_PERFORMANCE,
+                hi=_MAX_PERFORMANCE,
+            )
+            for app in self.apps
+        ]
+
+    def _update_sensitivity(
+        self, label: str, granted_mhz: float, measured_perf: float,
+        iteration: int,
+    ) -> None:
+        """Detect frequency-insensitive apps and freeze cuts on them.
+
+        IPS is a poor proxy for apps whose throughput is load-determined
+        rather than frequency-determined (the closed-loop websearch
+        service, or heavily memory-bound code).  If a frequency cut of
+        more than ~3% produced less than a third of the proportional
+        performance drop, cutting further only hurts latency without
+        reclaiming "performance" — the highest-*useful*-frequency
+        consideration of paper section 4.4 — so the app is treated as
+        saturated-at-minimum for a hold period.
+        """
+        previous = self._last_observation.get(label)
+        self._last_observation[label] = (granted_mhz, measured_perf)
+        if previous is None or granted_mhz <= 0:
+            return
+        prev_freq, prev_perf = previous
+        if prev_freq <= 0 or prev_perf <= 1e-9:
+            return
+        freq_drop = 1.0 - granted_mhz / prev_freq
+        if freq_drop < 0.03:
+            return
+        perf_drop = 1.0 - measured_perf / prev_perf
+        if perf_drop < freq_drop / 3.0:
+            self._insensitive_until[label] = (
+                iteration + self.insensitive_hold_iterations
+            )
+
+    def _translate(
+        self,
+        label: str,
+        measured_perf: float,
+        iteration: int,
+        over_limit: bool,
+    ) -> float:
+        """Performance target -> frequency via proportional correction."""
+        target = self._perf_targets[label]
+        current_freq = self._freq_targets[label]
+        if measured_perf <= 1e-6:
+            # no signal yet (app just started); linear first guess
+            freq = target * self.platform.max_frequency_mhz
+        else:
+            ratio = clamp(
+                target / measured_perf, self.max_step_down, self.max_step_up
+            )
+            if (
+                ratio < 1.0
+                and not over_limit
+                and iteration < self._insensitive_until.get(label, 0)
+            ):
+                # frozen: cuts buy no performance back — but the freeze
+                # never overrides limit enforcement
+                ratio = 1.0
+            freq = current_freq * ratio
+        app = next(a for a in self.apps if a.label == label)
+        return clamp(
+            freq, self.min_frequency, self.achievable_max_frequency(app)
+        )
+
+    # -- the three functions -----------------------------------------------------
+
+    def initial_distribution(self) -> PolicyDecision:
+        performance_budget = (
+            self.alpha(self.limit_w) * _MAX_PERFORMANCE * len(self.apps)
+        )
+        self._perf_targets = proportional_targets(
+            performance_budget, self._perf_claims()
+        )
+        self._pool_perf = sum(self._perf_targets.values())
+        targets = {}
+        for app in self.apps:
+            freq = self._perf_targets[app.label] * self.platform.max_frequency_mhz
+            targets[app.label] = clamp(
+                freq, self.min_frequency, self.achievable_max_frequency(app)
+            )
+        self._freq_targets = dict(targets)
+        return PolicyDecision(targets=targets)
+
+    def redistribute(self, inputs: PolicyInputs) -> PolicyDecision:
+        error_w = self.scaled_step(inputs.power_error_w)
+        if error_w != 0.0:
+            performance_delta = (
+                self.alpha(error_w) * _MAX_PERFORMANCE * len(self.apps)
+            )
+            claims = self._perf_claims()
+            lo, hi = pool_bounds(claims)
+            self._pool_perf = min(
+                max(self._pool_perf + performance_delta, lo), hi
+            )
+            self._perf_targets = refill_pool(self._pool_perf, claims)
+        targets = {}
+        for app in self.apps:
+            measured = self.measured_performance(inputs, app.label)
+            telemetry = inputs.telemetry(app.label)
+            self._update_sensitivity(
+                app.label,
+                telemetry.active_frequency_mhz,
+                measured,
+                inputs.iteration,
+            )
+            targets[app.label] = self._translate(
+                app.label,
+                measured,
+                inputs.iteration,
+                over_limit=inputs.power_error_w < -self.config.deadband_w,
+            )
+        self._freq_targets = dict(targets)
+        return PolicyDecision(targets=targets)

@@ -1,0 +1,126 @@
+"""Power shares (paper sections 4.2 and 5.2).
+
+Applications draw power proportionally to their shares.  Conceptually the
+simplest — the managed resource *is* the limited resource — but it needs
+per-application power feedback, which only the Ryzen platform provides
+(its per-core energy MSRs), so the paper runs this policy on Ryzen only.
+We enforce the same restriction through the platform feature flag.
+
+Control loop:
+
+* the *initial distribution* splits the core power budget (limit minus
+  the uncore estimate) by share ratio into per-app power limits,
+* the *redistribution function* spreads the difference between measured
+  total power and the limit over non-saturated apps (min-funding
+  revocation), updating the per-app power limits,
+* the *translation function* uses a simple linear power->frequency model
+  for the first guess and thereafter corrects each core's frequency from
+  its measured power error — "since we dynamically adjust the values
+  later, modeling errors do not affect steady state behavior".
+
+The paper's key negative result — power shares give the worst
+performance isolation (Fig 10) — emerges naturally: equal power to a
+high-demand and a low-demand app yields very different frequencies and
+hence very different performance.
+"""
+
+from __future__ import annotations
+
+from repro.core.minfund import Claim, pool_bounds, proportional_targets, refill_pool
+from repro.core.policy import Policy, PolicyConfig
+from repro.core.types import ManagedApp, PolicyDecision, PolicyInputs
+from repro.hw.platform import PlatformSpec
+from repro.units import clamp
+
+
+class PowerSharesPolicy(Policy):
+    """Proportional shares of per-application power draw."""
+
+    name = "power-shares"
+    requires_per_core_energy = True
+
+    #: bounds of the linear power model per core, watts.  Crude by
+    #: design (see module docstring); feedback corrects the error.
+    model_min_w = 0.5
+    model_max_w = 12.0
+    #: translation gain: MHz of frequency correction per watt of
+    #: per-core power error per iteration.
+    gain_mhz_per_w = 220.0
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        apps: list[ManagedApp],
+        limit_w: float,
+        config: PolicyConfig | None = None,
+    ):
+        super().__init__(platform, apps, limit_w, config)
+        self._power_limits: dict[str, float] = {}
+        self._freq_targets: dict[str, float] = {}
+        self._pool_w = 0.0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def core_budget_w(self) -> float:
+        """Power available to cores after the uncore estimate."""
+        return max(self.limit_w - self.config.uncore_estimate_w, 1.0)
+
+    def _power_claims(self) -> list[Claim]:
+        return [
+            Claim(
+                label=app.label,
+                shares=app.shares,
+                current=self._power_limits.get(app.label, 0.0),
+                lo=self.model_min_w,
+                hi=self.model_max_w,
+            )
+            for app in self.apps
+        ]
+
+    def _linear_model_freq(self, power_w: float) -> float:
+        """First-guess linear conversion of a power level to frequency."""
+        span_w = self.model_max_w - self.model_min_w
+        fraction = (power_w - self.model_min_w) / span_w
+        span_f = self.platform.max_frequency_mhz - self.min_frequency
+        return self.min_frequency + clamp(fraction, 0.0, 1.0) * span_f
+
+    # -- the three functions -----------------------------------------------------
+
+    def initial_distribution(self) -> PolicyDecision:
+        self._power_limits = proportional_targets(
+            self.core_budget_w, self._power_claims()
+        )
+        self._pool_w = sum(self._power_limits.values())
+        targets = {}
+        for app in self.apps:
+            freq = self._linear_model_freq(self._power_limits[app.label])
+            targets[app.label] = clamp(
+                freq, self.min_frequency, self.achievable_max_frequency(app)
+            )
+        self._freq_targets = dict(targets)
+        return PolicyDecision(targets=targets)
+
+    def redistribute(self, inputs: PolicyInputs) -> PolicyDecision:
+        # global step: keep the sum of per-app limits tracking the budget
+        error_w = self.scaled_step(inputs.power_error_w)
+        if error_w != 0.0:
+            claims = self._power_claims()
+            lo, hi = pool_bounds(claims)
+            self._pool_w = min(max(self._pool_w + error_w, lo), hi)
+            self._power_limits = refill_pool(self._pool_w, claims)
+        # local step: steer each core's frequency toward its power limit
+        targets = {}
+        for app in self.apps:
+            telemetry = inputs.telemetry(app.label)
+            measured_w = telemetry.power_w
+            assert measured_w is not None  # guaranteed by feature check
+            local_error = self._power_limits[app.label] - measured_w
+            freq = self._freq_targets[app.label] + (
+                self.gain_mhz_per_w * local_error
+            )
+            targets[app.label] = clamp(
+                freq, self.min_frequency, self.achievable_max_frequency(app)
+            )
+        self._freq_targets = dict(targets)
+        return PolicyDecision(targets=targets)

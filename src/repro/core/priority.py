@@ -1,0 +1,339 @@
+"""Strict two-level priority policy (paper sections 4.1 and 5.1).
+
+High-priority (HP) applications run at the maximum P-state sustainable
+under the power limit; low-priority (LP) applications are started at the
+slowest P-state only if that leaves HP performance intact, then soak up
+residual power.  When there is not enough residual power to start *all*
+LP applications at the minimum P-state, they starve: the paper's
+implementation parks them (deep C-state), which can hand the freed
+thermal/power headroom to HP cores as opportunistic turbo — the effect
+behind Fig 7's "HP faster at 40 W than at 85 W" result.
+
+The loop is a small state machine:
+
+* ``HP_CONVERGE`` — LP parked; a shared HP frequency level climbs (or
+  falls) via the alpha model until package power settles at the limit.
+* ``TRIAL`` — LP admitted at minimum frequency, HP pinned at its
+  converged level; a couple of iterations measure the true cost.
+* ``ADMITTED`` — trial fit under the limit: LP stay, and redistribution
+  gives them residual power (taking it back from LP *first* when over).
+* ``STARVED`` — trial exceeded the limit: LP parked again.  The paper
+  makes exactly this choice ("in our implementation we starve the LP
+  applications") rather than dragging HP down to fit LP in.  Retries
+  happen periodically and whenever the active-app set changes.
+
+Frequencies that triggered a limit violation are temporarily blacklisted
+so the controller does not dither across the turbo voltage cliff (one
+P-state bin can be worth ~10 W across all cores).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.minfund import Claim, distribute_min_funding
+from repro.core.policy import Policy, PolicyConfig
+from repro.core.types import (
+    ManagedApp,
+    PolicyDecision,
+    PolicyInputs,
+    Priority,
+)
+from repro.hw.platform import PlatformSpec
+from repro.units import clamp
+
+
+class _State(enum.Enum):
+    HP_CONVERGE = "hp-converge"
+    TRIAL = "trial"
+    ADMITTED = "admitted"
+    STARVED = "starved"
+
+
+@dataclass(frozen=True)
+class PriorityConfig:
+    """Tunables specific to the priority state machine."""
+
+    #: iterations of in-deadband power before HP is considered converged.
+    stable_iterations: int = 2
+    #: iterations a trial runs before the admit/starve verdict.
+    trial_iterations: int = 2
+    #: tolerance above the limit still counted as fitting, watts.
+    trial_tolerance_w: float = 0.5
+    #: iterations between starvation retries.
+    retry_interval: int = 25
+    #: iterations a violating frequency stays blacklisted.
+    blacklist_iterations: int = 20
+    #: the alternative admission order of paper section 4.1: "first
+    #: allocate the minimum required power to all cores to execute
+    #: before allocating additional power for high-priority application
+    #: to run at maximum performance".  LP apps are admitted at the
+    #: minimum P-state from the start and never starved; HP apps take
+    #: whatever the residual allows — trading the opportunistic HP boost
+    #: for LP liveness.
+    floor_first: bool = False
+
+
+class PriorityPolicy(Policy):
+    """Strict priorities: HP first, LP from residual power, else starved."""
+
+    name = "priority"
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        apps: list[ManagedApp],
+        limit_w: float,
+        config: PolicyConfig | None = None,
+        priority_config: PriorityConfig | None = None,
+    ):
+        super().__init__(platform, apps, limit_w, config)
+        self.pconfig = priority_config or PriorityConfig()
+        hp = [a for a in apps if a.priority is Priority.HIGH]
+        lp = [a for a in apps if a.priority is Priority.LOW]
+        if not hp:
+            # equal-priority devolves to equal shares (paper section 4.1);
+            # treat everyone as high priority.
+            hp, lp = lp, []
+        self.hp_apps = hp
+        self.lp_apps = lp
+        self._state = _State.HP_CONVERGE
+        self._hp_level = self.platform.max_frequency_mhz
+        self._hp_converged_level: float | None = None
+        self._lp_targets: dict[str, float] = {}
+        self._stable_count = 0
+        self._trial_count = 0
+        self._trial_power: list[float] = []
+        self._retry_at = 0
+        self._blacklist: dict[float, int] = {}
+        self._active_labels: frozenset[str] = frozenset()
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state-machine state (for tests and reports)."""
+        return self._state.value
+
+    @property
+    def lp_running(self) -> bool:
+        return self._state is _State.ADMITTED
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _hp_max(self) -> float:
+        return max(self.app_max_frequency(a) for a in self.hp_apps)
+
+    def _decision(self) -> PolicyDecision:
+        targets = {}
+        parked: set[str] = set()
+        for app in self.hp_apps:
+            targets[app.label] = clamp(
+                self._hp_level, self.min_frequency, self.app_max_frequency(app)
+            )
+        lp_running = self._state in (_State.TRIAL, _State.ADMITTED)
+        for app in self.lp_apps:
+            if lp_running:
+                targets[app.label] = self._lp_targets.get(
+                    app.label, self.min_frequency
+                )
+            else:
+                targets[app.label] = self.min_frequency
+                parked.add(app.label)
+        return PolicyDecision(targets=targets, parked=parked)
+
+    def _granted_hp_level(self, inputs: PolicyInputs) -> float:
+        """Highest active frequency among HP cores last interval."""
+        freqs = [
+            inputs.telemetry(a.label).active_frequency_mhz
+            for a in self.hp_apps
+        ]
+        freqs = [f for f in freqs if f > 0]
+        return max(freqs) if freqs else self._hp_level
+
+    def _blacklisted_ceiling(self, iteration: int) -> float | None:
+        """Lowest currently blacklisted frequency, if any."""
+        live = [
+            freq
+            for freq, until in self._blacklist.items()
+            if until > iteration
+        ]
+        return min(live) if live else None
+
+    def _expire_blacklist(self, iteration: int) -> None:
+        self._blacklist = {
+            freq: until
+            for freq, until in self._blacklist.items()
+            if until > iteration
+        }
+
+    def _cap_below_blacklist(self, freq: float, iteration: int) -> float:
+        ceiling = self._blacklisted_ceiling(iteration)
+        if ceiling is None or freq < ceiling:
+            return freq
+        # back off to the grid point strictly below the blacklisted bin
+        lower = self.platform.pstates.quantize(
+            max(ceiling - 1.0, self.min_frequency)
+        )
+        return lower.frequency_mhz
+
+    def _step_hp(self, inputs: PolicyInputs) -> None:
+        """Adjust the shared HP level from the power error (alpha model).
+
+        The level counts as *stable* when the loop has nothing left to
+        do: the error sits inside the deadband, or the desired upward
+        move is blocked (by the app/table maximum or by a blacklisted
+        bin just above).  Stability is what gates the LP admission trial.
+        """
+        error_w = self.scaled_step(inputs.power_error_w)
+        if error_w == 0.0:
+            self._stable_count += 1
+            return
+        base = min(self._hp_level, self._granted_hp_level(inputs))
+        delta = self.alpha(error_w) * self.platform.max_frequency_mhz
+        if error_w < 0:
+            # over the limit: blacklist the level that violated
+            violating = self.platform.pstates.quantize(
+                clamp(base, self.min_frequency, self._hp_max()),
+                nearest=True,
+            ).frequency_mhz
+            self._blacklist[violating] = (
+                inputs.iteration + self.pconfig.blacklist_iterations
+            )
+        level = clamp(base + delta, self.min_frequency, self._hp_max())
+        if error_w > 0:
+            level = self._cap_below_blacklist(level, inputs.iteration)
+        if error_w > 0 and level <= self._hp_level + 1.0:
+            # wanted to climb but could not: converged at a ceiling
+            self._stable_count += 1
+        else:
+            self._stable_count = 0
+        self._hp_level = level
+
+    def _lp_claims(self) -> list[Claim]:
+        return [
+            Claim(
+                label=app.label,
+                shares=app.shares,
+                current=self._lp_targets.get(app.label, self.min_frequency),
+                lo=self.min_frequency,
+                hi=self.app_max_frequency(app),
+            )
+            for app in self.lp_apps
+        ]
+
+    def _step_lp(self, inputs: PolicyInputs) -> bool:
+        """Give LP residual power / take it back.  Returns True if the
+        over-limit condition was fully absorbed by LP."""
+        error_w = self.scaled_step(inputs.power_error_w)
+        if error_w == 0.0:
+            return True
+        delta = (
+            self.alpha(error_w)
+            * self.platform.max_frequency_mhz
+            * max(len(self.lp_apps), 1)
+        )
+        before = dict(self._lp_targets)
+        self._lp_targets = distribute_min_funding(delta, self._lp_claims())
+        if error_w >= 0:
+            return True
+        # did LP absorb the whole reduction, or are they pinned at min?
+        absorbed = sum(before.get(k, self.min_frequency) - v
+                       for k, v in self._lp_targets.items())
+        return absorbed > abs(delta) * 0.5
+
+    def _app_set(self, inputs: PolicyInputs) -> frozenset[str]:
+        return frozenset(
+            t.label for t in inputs.apps if t.busy_fraction > 0 or t.parked
+        )
+
+    # -- the three functions ---------------------------------------------------------
+
+    def initial_distribution(self) -> PolicyDecision:
+        """HP at the top P-state; LP parked until proven affordable
+        (default) or admitted at the floor immediately (floor-first)."""
+        self._hp_level = self._hp_max()
+        self._lp_targets = {
+            a.label: self.min_frequency for a in self.lp_apps
+        }
+        if self.pconfig.floor_first and self.lp_apps:
+            # everyone runs from the start; HP convergence happens with
+            # the LP floor already paid for
+            self._state = _State.ADMITTED
+        else:
+            self._state = _State.HP_CONVERGE
+        return self._decision()
+
+    def redistribute(self, inputs: PolicyInputs) -> PolicyDecision:
+        self._expire_blacklist(inputs.iteration)
+        active = self._app_set(inputs)
+        set_changed = active != self._active_labels and bool(
+            self._active_labels
+        )
+        self._active_labels = active
+
+        if self._state is _State.HP_CONVERGE:
+            self._step_hp(inputs)
+            # Converged: nothing more to give HP (stable at a ceiling or
+            # inside the deadband) and not meaningfully over the limit.
+            converged = (
+                self._stable_count >= self.pconfig.stable_iterations
+                and inputs.power_error_w >= -self.pconfig.trial_tolerance_w
+            )
+            if converged and self.lp_apps:
+                self._hp_converged_level = min(
+                    self._hp_level, self._granted_hp_level(inputs)
+                )
+                self._hp_level = self._hp_converged_level
+                self._lp_targets = {
+                    a.label: self.min_frequency for a in self.lp_apps
+                }
+                self._state = _State.TRIAL
+                self._trial_count = 0
+                self._trial_power = []
+            return self._decision()
+
+        if self._state is _State.TRIAL:
+            self._trial_power.append(inputs.package_power_w)
+            self._trial_count += 1
+            if self._trial_count >= self.pconfig.trial_iterations:
+                mean_power = sum(self._trial_power) / len(self._trial_power)
+                if mean_power <= self.limit_w + self.pconfig.trial_tolerance_w:
+                    self._state = _State.ADMITTED
+                else:
+                    self._state = _State.STARVED
+                    self._retry_at = (
+                        inputs.iteration + self.pconfig.retry_interval
+                    )
+            return self._decision()
+
+        if self._state is _State.ADMITTED:
+            lp_absorbed = self._step_lp(inputs)
+            if not lp_absorbed:
+                # LP pinned at minimum and still over: HP must give
+                self._step_hp(inputs)
+            if set_changed and not self.pconfig.floor_first:
+                self._restart(inputs)
+            return self._decision()
+
+        # STARVED: HP keeps fine-adjusting; retry admission periodically
+        self._step_hp(inputs)
+        if set_changed:
+            self._restart(inputs)
+        elif inputs.iteration >= self._retry_at:
+            # re-trial at the current HP level without a reconvergence
+            # spike; the set is unchanged so the level is still right
+            self._hp_converged_level = min(
+                self._hp_level, self._granted_hp_level(inputs)
+            )
+            self._state = _State.TRIAL
+            self._trial_count = 0
+            self._trial_power = []
+        return self._decision()
+
+    def _restart(self, inputs: PolicyInputs) -> None:
+        """Return to HP convergence (the active app set changed)."""
+        self._state = _State.HP_CONVERGE
+        self._stable_count = 0
+        self._hp_level = self._hp_max()

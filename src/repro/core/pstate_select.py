@@ -1,0 +1,80 @@
+"""Ryzen three-P-state selection utility (paper section 5, "Ryzen details").
+
+The Ryzen 1700X can hold only three distinct voltage/frequency pairs
+across its cores at once, although the pairs themselves are configurable
+in 25 MHz steps.  The paper built "an additional selection utility that
+dynamically reduces the target frequencies to three valid P-states";
+this module is that utility.
+
+Reduction is a small 1-D k-means (k = number of simultaneous P-states):
+cluster the requested per-core frequencies, snap each cluster centroid
+onto the platform grid, and map every core to its cluster's level.  This
+is the optimization problem the paper alludes to — "determining which
+three frequencies are optimal for a set of workloads" — solved with the
+natural squared-error objective.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hw.platform import PlatformSpec
+
+
+def _kmeans_1d(
+    values: list[float], k: int, *, iterations: int = 32
+) -> list[float]:
+    """Plain 1-D k-means with deterministic quantile seeding."""
+    ordered = sorted(values)
+    n = len(ordered)
+    # seed centroids at spread quantiles
+    centroids = [
+        ordered[min(n - 1, int(round(i * (n - 1) / max(k - 1, 1))))]
+        for i in range(k)
+    ]
+    for _ in range(iterations):
+        buckets: list[list[float]] = [[] for _ in range(k)]
+        for value in values:
+            best = min(range(k), key=lambda i: abs(value - centroids[i]))
+            buckets[best].append(value)
+        moved = False
+        for i, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            new = sum(bucket) / len(bucket)
+            if abs(new - centroids[i]) > 1e-9:
+                centroids[i] = new
+                moved = True
+        if not moved:
+            break
+    return centroids
+
+
+def select_pstate_levels(
+    platform: PlatformSpec, targets: dict[str, float]
+) -> dict[str, float]:
+    """Reduce per-app frequency targets to the platform's level budget.
+
+    Returns new targets where at most ``platform.simultaneous_pstates``
+    distinct frequencies occur, each snapped onto the platform grid.
+    Platforms without the restriction (Skylake) pass through unchanged
+    apart from grid quantization.
+    """
+    if not targets:
+        raise ConfigError("no targets to select levels for")
+    quantize = platform.pstates.quantize
+    k = platform.simultaneous_pstates
+    values = list(targets.values())
+    distinct = sorted({quantize(v, nearest=True).frequency_mhz for v in values})
+    if len(distinct) <= k:
+        return {
+            label: quantize(value, nearest=True).frequency_mhz
+            for label, value in targets.items()
+        }
+    centroids = _kmeans_1d(values, k)
+    levels = sorted(
+        {quantize(c, nearest=True).frequency_mhz for c in centroids}
+    )
+    return {
+        label: min(levels, key=lambda level: abs(level - value))
+        for label, value in targets.items()
+    }

@@ -1,0 +1,40 @@
+"""RAPL baseline "policy" (paper sections 2.2, 3.2, 6).
+
+This is what the paper compares against: let every core request maximum
+frequency and hand enforcement to the hardware RAPL limiter, which knows
+nothing about priorities or shares.  The limiter's global frequency cap
+throttles the fastest cores first, producing the unfair interference of
+Figs 1 and 5.
+
+As a :class:`~repro.core.policy.Policy` it is trivial — its decisions
+never change — but wrapping it keeps the experiment harness uniform: the
+daemon programs the hardware limit once and then merely observes.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Policy
+from repro.core.types import PolicyDecision, PolicyInputs
+
+
+class RaplBaselinePolicy(Policy):
+    """All cores at max request; the hardware RAPL limiter enforces."""
+
+    name = "rapl"
+    requires_rapl_limit = True
+
+    #: the daemon reads this to program the PKG_POWER_LIMIT MSR.
+    programs_hardware_limit = True
+
+    def _decision(self) -> PolicyDecision:
+        return PolicyDecision(
+            targets={
+                app.label: self.app_max_frequency(app) for app in self.apps
+            }
+        )
+
+    def initial_distribution(self) -> PolicyDecision:
+        return self._decision()
+
+    def redistribute(self, inputs: PolicyInputs) -> PolicyDecision:
+        return self._decision()

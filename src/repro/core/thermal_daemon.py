@@ -1,0 +1,101 @@
+"""thermald-like thermal management daemon (paper section 2.2).
+
+Linux's *thermald* lets an operator set thermal limits; when triggered
+it uses P-states, RAPL, C-states or clock gating to reduce power, and —
+as the paper notes — "depending on the mechanisms enabled ... it can
+have differing effects on application performance".
+
+:class:`ThermalDaemon` closes the loop over the lumped
+:class:`~repro.sim.thermal.ThermalModel`: it watches package temperature
+and, when the trip point nears, lowers a package power target that it
+enforces through either the hardware RAPL limiter (global, unfair) or a
+supplied per-application policy (differential) — demonstrating the
+paper's point that thermal pressure can be delivered per-application
+just like power limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.chip import Chip
+from repro.sim.thermal import ThermalModel
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class ThermalDaemonConfig:
+    """Trip points and controller constants."""
+
+    #: temperature at which power reduction begins, Celsius.
+    trip_c: float = 80.0
+    #: proportional gain: watts of target reduction per degree over trip.
+    gain_w_per_c: float = 2.0
+    #: bounds for the derived power target.
+    min_target_w: float = 20.0
+    max_target_w: float = 85.0
+
+    def __post_init__(self) -> None:
+        if self.gain_w_per_c <= 0:
+            raise ConfigError("gain must be positive")
+        if not self.min_target_w < self.max_target_w:
+            raise ConfigError("bad target bounds")
+
+
+class ThermalDaemon:
+    """Thermal-limit governor over the chip's thermal model.
+
+    Call :meth:`step` every simulator tick (it is cheap); it advances
+    the thermal model and derives the current power target.  The caller
+    applies the target — through the RAPL limiter or as the limit input
+    of a per-application policy — at its own control cadence via
+    :attr:`power_target_w`.
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        thermal: ThermalModel,
+        config: ThermalDaemonConfig | None = None,
+    ):
+        self.chip = chip
+        self.thermal = thermal
+        self.config = config or ThermalDaemonConfig()
+        self.power_target_w = self.config.max_target_w
+        self.trips = 0
+        self._over_trip = False
+
+    @property
+    def temperature_c(self) -> float:
+        return self.thermal.temperature_c
+
+    def step(self) -> None:
+        """Advance the thermal model one tick and update the target."""
+        self.thermal.step(self.chip.last_package_power_w, self.chip.tick_s)
+        over_c = self.thermal.temperature_c - self.config.trip_c
+        if over_c > 0:
+            if not self._over_trip:
+                self.trips += 1
+                self._over_trip = True
+            target = self.config.max_target_w - over_c * (
+                self.config.gain_w_per_c
+            )
+        else:
+            self._over_trip = False
+            target = self.config.max_target_w
+        self.power_target_w = clamp(
+            target, self.config.min_target_w, self.config.max_target_w
+        )
+
+    def attach(self, engine) -> None:
+        """Register with a sim engine at tick granularity."""
+        engine.every(self.chip.tick_s, lambda _t: self.step())
+
+    def enforce_with_rapl(self) -> None:
+        """Program the current target into the hardware RAPL limiter
+        (the global, priority-oblivious enforcement path)."""
+        if self.chip.rapl is None:
+            raise ConfigError("platform has no RAPL limiter")
+        lo, hi = self.chip.platform.rapl_limit_range_w
+        self.chip.set_rapl_limit(clamp(self.power_target_w, lo, hi))

@@ -1,0 +1,162 @@
+"""Single-core sharing policy (paper section 4.3).
+
+When applications time share one core, DVFS alone cannot differentiate
+them — the core has a single frequency — so the policy plans *both* the
+core frequency and the per-app CPU shares.  The paper enumerates three
+cases by the apps' demands, shares, and priorities; :func:`plan_single_core`
+implements that case analysis and returns a :class:`SingleCorePlan` that
+the caller applies to a :class:`~repro.sched.timeshare.TimeSharedCoreLoad`
+and the core's frequency.
+
+Case summary (quoting the paper's structure):
+
+1. *Equal demands* — power is similar whichever app runs; set the core
+   to the highest P-state that keeps either app within the power limit.
+2. *Mixed demands, equal shares, same priorities* — a power limit forces
+   a frequency that throttles the low-demand app unnecessarily; CPU
+   shares are adjusted to give the low-demand app more runtime as
+   compensation.
+3. *Mixed demands, mixed shares, mixed priorities* — run the
+   high-priority app at the highest level possible within the limit.
+   An HDHP app drags the LDLP app to its (slower) frequency; an LDHP
+   app runs at maximum frequency and an HDLP app that would exceed the
+   limit is not scheduled at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.core.types import Priority
+from repro.hw.platform import PlatformSpec
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class SingleCoreApp:
+    """One time-shared app as the planner sees it."""
+
+    label: str
+    #: relative power demand at a fixed frequency (the HD/LD axis);
+    #: comparable to :attr:`repro.workloads.app.AppModel.c_eff`.
+    demand: float
+    shares: float
+    priority: Priority
+    #: estimated core power at maximum frequency, watts.
+    power_at_max_w: float
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0 or self.shares <= 0 or self.power_at_max_w <= 0:
+            raise ConfigError(f"{self.label}: bad single-core app spec")
+
+
+@dataclass(frozen=True)
+class SingleCorePlan:
+    """Planned core frequency and CPU-share split."""
+
+    frequency_mhz: float
+    cpu_shares: dict[str, float]
+    #: labels excluded from the core entirely (case 3: HDLP app that
+    #: would exceed the limit while an LDHP app needs max frequency).
+    excluded: tuple[str, ...] = ()
+    case: str = ""
+
+
+def _freq_for_power(
+    platform: PlatformSpec, power_at_max_w: float, budget_w: float
+) -> float:
+    """Invert the quadratic-ish power curve for one core.
+
+    Planning estimate only (feedback corrects at runtime): assumes
+    ``P ∝ f^2`` over the DVFS range, which sits between the linear and
+    cubic extremes of real scaling.
+    """
+    f_max = platform.max_frequency_mhz
+    if budget_w >= power_at_max_w:
+        return f_max
+    fraction = max(budget_w / power_at_max_w, 0.0) ** 0.5
+    return clamp(fraction * f_max, platform.min_frequency_mhz, f_max)
+
+
+def plan_single_core(
+    platform: PlatformSpec,
+    apps: list[SingleCoreApp],
+    core_power_budget_w: float,
+    *,
+    demand_spread_threshold: float = 1.25,
+) -> SingleCorePlan:
+    """Plan frequency + CPU shares for apps time sharing one core."""
+    if len(apps) < 2:
+        raise ConfigError("single-core sharing needs at least two apps")
+    if core_power_budget_w <= 0:
+        raise ConfigError("power budget must be positive")
+    demands = [a.demand for a in apps]
+    mixed_demand = max(demands) / min(demands) >= demand_spread_threshold
+    equal_shares = len({a.shares for a in apps}) == 1
+    priorities = {a.priority for a in apps}
+    mixed_priority = len(priorities) > 1
+
+    quantize = platform.pstates.quantize
+
+    if not mixed_demand:
+        # Case 1: power is similar for all apps; highest P-state that
+        # keeps the hungriest app inside the limit.
+        budget_freq = min(
+            _freq_for_power(platform, a.power_at_max_w, core_power_budget_w)
+            for a in apps
+        )
+        return SingleCorePlan(
+            frequency_mhz=quantize(budget_freq).frequency_mhz,
+            cpu_shares={a.label: a.shares for a in apps},
+            case="equal-demand",
+        )
+
+    if not mixed_priority:
+        # Case 2: mixed demand, same priority.  Frequency set for the
+        # high-demand app; low-demand apps get extra runtime shares to
+        # compensate for throttling they did not cause.
+        hungriest = max(apps, key=lambda a: a.demand)
+        freq = _freq_for_power(
+            platform, hungriest.power_at_max_w, core_power_budget_w
+        )
+        freq_q = quantize(freq).frequency_mhz
+        throttle = freq_q / platform.max_frequency_mhz
+        shares = {}
+        for app in apps:
+            if equal_shares and app is not hungriest:
+                # boost runtime in proportion to the throttling depth
+                shares[app.label] = app.shares / max(throttle, 1e-3)
+            else:
+                shares[app.label] = app.shares
+        return SingleCorePlan(
+            frequency_mhz=freq_q,
+            cpu_shares=shares,
+            case="mixed-demand-equal-priority",
+        )
+
+    # Case 3: mixed demand, mixed priority.
+    hp_apps = [a for a in apps if a.priority is Priority.HIGH]
+    lp_apps = [a for a in apps if a.priority is Priority.LOW]
+    hp_hungriest = max(hp_apps, key=lambda a: a.demand)
+    hp_freq = _freq_for_power(
+        platform, hp_hungriest.power_at_max_w, core_power_budget_w
+    )
+    hp_freq_q = quantize(hp_freq).frequency_mhz
+    excluded: list[str] = []
+    if hp_freq_q >= platform.max_nominal_frequency_mhz - 1e-6:
+        # LDHP scenario: the core runs flat out for the HP app; any
+        # HDLP app whose draw at that frequency would bust the budget
+        # does not run at all.
+        for app in lp_apps:
+            if app.power_at_max_w > core_power_budget_w:
+                excluded.append(app.label)
+    shares = {
+        a.label: a.shares for a in apps if a.label not in excluded
+    }
+    return SingleCorePlan(
+        frequency_mhz=hp_freq_q,
+        cpu_shares=shares,
+        excluded=tuple(excluded),
+        case="mixed-demand-mixed-priority",
+    )

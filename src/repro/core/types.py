@@ -1,0 +1,103 @@
+"""Shared types for the policy layer.
+
+A :class:`ManagedApp` is the daemon's view of one pinned application:
+its core, its operator-assigned shares or priority, and (for performance
+shares) the offline-measured baseline IPS the paper normalizes against.
+
+Policies are pure functions of :class:`PolicyInputs` (the last monitoring
+interval's telemetry) to :class:`PolicyDecision` (new per-app frequency
+targets plus which apps to park), which keeps them testable without a
+simulator in the loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, ShareError
+
+
+class Priority(enum.Enum):
+    """Two-level priority model (paper section 4.1)."""
+
+    HIGH = "high"
+    LOW = "low"
+
+
+@dataclass(frozen=True)
+class ManagedApp:
+    """One application under the daemon's control."""
+
+    label: str
+    core_id: int
+    shares: float = 1.0
+    priority: Priority = Priority.HIGH
+    #: max frequency this app can sustain (AVX cap applies), MHz.
+    max_frequency_mhz: float | None = None
+    #: offline standalone IPS at maximum frequency; required by the
+    #: performance-shares policy (paper section 5.2).
+    baseline_ips: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ConfigError("managed app needs a label")
+        if self.shares <= 0:
+            raise ShareError(f"{self.label}: shares must be positive")
+        if self.baseline_ips is not None and self.baseline_ips <= 0:
+            raise ConfigError(f"{self.label}: baseline IPS must be positive")
+
+
+@dataclass(frozen=True)
+class AppTelemetry:
+    """Per-app measurements for one monitoring interval."""
+
+    label: str
+    active_frequency_mhz: float
+    ips: float
+    busy_fraction: float
+    #: per-core power; None on platforms without per-core energy (Skylake).
+    power_w: float | None
+    parked: bool
+
+
+@dataclass(frozen=True)
+class PolicyInputs:
+    """Everything a policy may look at in one iteration."""
+
+    iteration: int
+    limit_w: float
+    package_power_w: float
+    apps: tuple[AppTelemetry, ...]
+    #: the targets the policy set last iteration (label -> MHz).
+    current_targets: dict[str, float]
+
+    def telemetry(self, label: str) -> AppTelemetry:
+        for app in self.apps:
+            if app.label == label:
+                return app
+        raise ConfigError(f"no telemetry for app {label!r}")
+
+    @property
+    def power_error_w(self) -> float:
+        """Positive when there is headroom, negative when over limit."""
+        return self.limit_w - self.package_power_w
+
+
+@dataclass
+class PolicyDecision:
+    """New frequency targets (continuous MHz, pre-quantization) and the
+    set of apps to park (deep idle; starvation)."""
+
+    targets: dict[str, float] = field(default_factory=dict)
+    parked: set[str] = field(default_factory=set)
+
+    def validate(self, labels: set[str]) -> None:
+        unknown = (set(self.targets) | self.parked) - labels
+        if unknown:
+            raise ConfigError(f"decision references unknown apps: {unknown}")
+        for label, freq in self.targets.items():
+            if label not in self.parked and freq <= 0:
+                raise ConfigError(
+                    f"{label}: non-positive frequency target {freq}"
+                )

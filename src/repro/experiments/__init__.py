@@ -1,0 +1,24 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Every module exposes a ``run_*`` function returning a structured result
+with the same rows/series the paper reports, plus shape-checking helpers
+the benchmark suite asserts against.  See DESIGN.md section 4 for the
+experiment index.
+"""
+
+from repro.experiments.runner import (
+    SteadyAppResult,
+    SteadyRunResult,
+    run_steady,
+    standalone_reference_ips,
+)
+from repro.experiments.report import render_table, render_kv
+
+__all__ = [
+    "SteadyAppResult",
+    "SteadyRunResult",
+    "run_steady",
+    "standalone_reference_ips",
+    "render_table",
+    "render_kv",
+]

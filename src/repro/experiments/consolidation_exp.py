@@ -1,0 +1,149 @@
+"""Consolidation experiment: starvation vs time-slicing (section 4.4).
+
+The paper's 3H7L-at-40 W scenario starves all seven LP applications so
+the three HP apps can boost.  The alternative it sketches — park most LP
+cores but time-slice every LP app across the few cores the residual
+power can afford — keeps LP progress non-zero at a small HP cost.
+
+This experiment runs both variants on the simulated Skylake and reports
+HP and LP performance side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.consolidate import plan_lp_consolidation
+from repro.hw.platform import get_platform
+from repro.sched.timeshare import TimeShareEntry, TimeSharedCoreLoad
+from repro.sim.chip import Chip
+from repro.sim.core import BatchCoreLoad
+from repro.sim.engine import SimEngine
+from repro.sim.perf_model import max_standalone_ips
+from repro.sim.power_model import core_power_watts
+from repro.workloads.app import AppModel, RunningApp
+from repro.workloads.spec import spec_app
+
+_TICK_S = 5e-3
+
+
+@dataclass(frozen=True)
+class ConsolidationResult:
+    limit_w: float
+    mode: str  # "starve" | "consolidate"
+    hp_norm_perf: float
+    lp_norm_perf: float
+    lp_cores_active: int
+    package_power_w: float
+
+    def to_row(self) -> dict:
+        return {
+            "mode": self.mode,
+            "limit_w": self.limit_w,
+            "hp_perf": self.hp_norm_perf,
+            "lp_perf": self.lp_norm_perf,
+            "lp_cores": self.lp_cores_active,
+            "pkg_w": self.package_power_w,
+        }
+
+
+def _hp_apps() -> list[AppModel]:
+    return [
+        spec_app("cactusBSSN", steady=True),
+        spec_app("cactusBSSN", steady=True),
+        spec_app("leela", steady=True),
+    ]
+
+
+def _lp_apps() -> list[AppModel]:
+    return [spec_app("cactusBSSN", steady=True)] * 3 + [
+        spec_app("leela", steady=True)
+    ] * 4
+
+
+def run_consolidation_experiment(
+    *,
+    limit_w: float = 40.0,
+    consolidate: bool,
+    hp_frequency_mhz: float = 2800.0,
+    duration_s: float = 30.0,
+) -> ConsolidationResult:
+    """3H7L at ``limit_w``: strict starvation or LP time-slicing."""
+    platform = get_platform("skylake")
+    chip = Chip(platform, tick_s=_TICK_S)
+    engine = SimEngine(chip)
+    reference = platform.reference_frequency_mhz
+
+    hp_models = _hp_apps()
+    hp_runs = [RunningApp(m, instance=i) for i, m in enumerate(hp_models)]
+    for core_id, run in enumerate(hp_runs):
+        chip.assign_load(core_id, BatchCoreLoad(run, reference))
+        chip.set_requested_frequency(
+            core_id,
+            platform.pstates.quantize(hp_frequency_mhz).frequency_mhz,
+        )
+
+    lp_models = _lp_apps()
+    lp_labels = [f"lp{i}" for i in range(len(lp_models))]
+    lp_runs = {
+        label: RunningApp(model, instance=i)
+        for i, (label, model) in enumerate(zip(lp_labels, lp_models))
+    }
+    lp_cores = list(range(len(hp_models), platform.n_cores))
+
+    # estimate residual power the way the daemon would: HP cost at the
+    # boost frequency from the power model, against the limit
+    hp_cost = sum(
+        core_power_watts(
+            platform,
+            hp_frequency_mhz,
+            m.c_eff * m.activity_power_factor(hp_frequency_mhz, reference),
+            1.0,
+        )
+        for m in hp_models
+    )
+    residual = limit_w - hp_cost - platform.power.uncore_watts
+    min_freq = platform.min_frequency_mhz
+    lp_core_cost = core_power_watts(platform, min_freq, 1.0, 1.0)
+
+    active_lp_cores = 0
+    if consolidate:
+        plan = plan_lp_consolidation(lp_labels, residual, lp_core_cost)
+        active_lp_cores = plan.active_core_count
+        for slot, group in enumerate(plan.assignments):
+            core_id = lp_cores[slot]
+            entries = [
+                TimeShareEntry(app=lp_runs[label], shares=1.0)
+                for label in group
+            ]
+            chip.assign_load(
+                core_id, TimeSharedCoreLoad(entries, reference)
+            )
+            chip.set_requested_frequency(core_id, min_freq)
+        for core_id in lp_cores[active_lp_cores:]:
+            chip.park(core_id)
+    else:
+        for core_id in lp_cores:
+            chip.park(core_id)
+
+    engine.run(duration_s)
+
+    hp_perf = sum(
+        (chip.cores[i].total_instructions / chip.time_s)
+        / max_standalone_ips(platform, model)
+        for i, model in enumerate(hp_models)
+    ) / len(hp_models)
+    lp_perf = sum(
+        run.retired_instructions
+        / chip.time_s
+        / max_standalone_ips(platform, run.model)
+        for run in lp_runs.values()
+    ) / len(lp_runs)
+    return ConsolidationResult(
+        limit_w=limit_w,
+        mode="consolidate" if consolidate else "starve",
+        hp_norm_perf=hp_perf,
+        lp_norm_perf=lp_perf,
+        lp_cores_active=active_lp_cores,
+        package_power_w=chip.energy.package_energy_joules / chip.time_s,
+    )

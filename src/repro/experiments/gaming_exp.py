@@ -1,0 +1,111 @@
+"""Game-ability experiment (paper section 8 discussion).
+
+Two copies of the same benchmark run under the performance-share policy
+with equal shares; one copy pads its instruction stream with NOPs to
+inflate its measured IPS.  The policy normalizes against the *honest*
+offline baseline (operators profile the real binary), so the gamed copy
+appears to over-achieve its performance target and gets its frequency
+cut — and because padding also costs real pipeline bandwidth, the
+gamer's *useful* throughput ends strictly below the honest copy's.
+
+This is the outcome the paper calls sound: gaming hurts the gamer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.daemon import PowerDaemon
+from repro.core.performance_shares import PerformanceSharesPolicy
+from repro.core.types import ManagedApp
+from repro.hw.platform import get_platform
+from repro.sim.chip import Chip
+from repro.sim.core import BatchCoreLoad
+from repro.sim.engine import SimEngine
+from repro.sim.perf_model import max_standalone_ips
+from repro.workloads.app import RunningApp
+from repro.workloads.gaming import nop_padded, useful_fraction
+from repro.workloads.spec import spec_app
+
+
+@dataclass(frozen=True)
+class GamingResult:
+    benchmark: str
+    nop_fraction: float
+    limit_w: float
+    honest_useful_ips: float
+    gamed_useful_ips: float
+    honest_freq_mhz: float
+    gamed_freq_mhz: float
+
+    @property
+    def gaming_payoff(self) -> float:
+        """Useful throughput of the gamer relative to playing it
+        straight; < 1 means gaming backfired."""
+        return self.gamed_useful_ips / self.honest_useful_ips
+
+    def to_rows(self) -> list[dict]:
+        return [
+            {
+                "app": "honest",
+                "useful_gips": self.honest_useful_ips / 1e9,
+                "freq_mhz": self.honest_freq_mhz,
+            },
+            {
+                "app": f"gamed (nop={self.nop_fraction:.0%})",
+                "useful_gips": self.gamed_useful_ips / 1e9,
+                "freq_mhz": self.gamed_freq_mhz,
+            },
+        ]
+
+
+def run_gaming_experiment(
+    *,
+    benchmark: str = "gcc",
+    nop_fraction: float = 0.4,
+    limit_w: float = 24.0,
+    duration_s: float = 40.0,
+    warmup_s: float = 20.0,
+) -> GamingResult:
+    """Honest vs NOP-padded copy under equal performance shares."""
+    platform = get_platform("skylake")
+    chip = Chip(platform, tick_s=5e-3)
+    engine = SimEngine(chip)
+
+    honest = spec_app(benchmark, steady=True)
+    gamed = nop_padded(honest, nop_fraction)
+    chip.assign_load(
+        0, BatchCoreLoad(RunningApp(honest), platform.reference_frequency_mhz)
+    )
+    chip.assign_load(
+        1, BatchCoreLoad(RunningApp(gamed), platform.reference_frequency_mhz)
+    )
+    # both apps are profiled offline as the honest binary: same baseline
+    baseline = max_standalone_ips(platform, honest)
+    managed = [
+        ManagedApp(label="honest", core_id=0, shares=50.0,
+                   baseline_ips=baseline),
+        ManagedApp(label="gamed", core_id=1, shares=50.0,
+                   baseline_ips=baseline),
+    ]
+    policy = PerformanceSharesPolicy(platform, managed, limit_w)
+    daemon = PowerDaemon(chip, policy)
+    daemon.attach(engine)
+    engine.run(duration_s)
+
+    window = [s for s in daemon.history if s.time_s >= warmup_s]
+    n = len(window)
+
+    def mean(label, field):
+        return sum(getattr(s, field)[label] for s in window) / n
+
+    gamed_useful = mean("gamed", "app_ips") * useful_fraction(nop_fraction)
+    return GamingResult(
+        benchmark=benchmark,
+        nop_fraction=nop_fraction,
+        limit_w=limit_w,
+        honest_useful_ips=mean("honest", "app_ips"),
+        gamed_useful_ips=gamed_useful,
+        honest_freq_mhz=mean("honest", "app_frequency_mhz"),
+        gamed_freq_mhz=mean("gamed", "app_frequency_mhz"),
+    )

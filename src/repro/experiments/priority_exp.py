@@ -1,0 +1,226 @@
+"""Priority-policy experiments (paper Figs 7 and 8, Tables 2, section 6.1).
+
+Skylake runs the Table 2 workload mixes — cactusBSSN (HD) and leela (LD)
+split into high/low priority — under the priority policy and under RAPL,
+at 85/50/40 W.  Ryzen runs 8H0L/6H2L/4H4L/2H6L mixes under the priority
+policy (no RAPL results: the mechanism is undocumented there).
+
+Shapes to reproduce:
+
+* starvation of LP applications at low limits with many HP apps
+  (at 50 W LP runs only with <= 5 HP on Skylake; at 40 W only with 1 HP),
+* opportunistic scaling: with few HP apps and LP starved, HP runs
+  *faster* at 40 W than at 85 W,
+* RAPL, by contrast, treats HP and LP identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AppSpec, ExperimentConfig
+from repro.core.types import Priority
+from repro.errors import ConfigError
+from repro.experiments.runner import BATCH_TICK_S, SteadyRunResult, run_steady
+
+#: Table 2 of the paper: Skylake workload mixes.  Tuples are counts of
+#: (cactusBSSN-HP, leela-HP, cactusBSSN-LP, leela-LP).
+TABLE2_MIXES: dict[str, tuple[int, int, int, int]] = {
+    "10H0L": (5, 5, 0, 0),
+    "7H3L": (4, 3, 1, 2),
+    "5H5L": (5, 0, 0, 5),
+    "3H7L": (2, 1, 3, 4),
+    "1H9L": (1, 0, 4, 5),
+}
+
+#: Ryzen mixes (section 6.1): counts of the same four classes over the
+#: 8-core part, with equal HD/LD split inside each class where possible.
+RYZEN_MIXES: dict[str, tuple[int, int, int, int]] = {
+    "8H0L": (4, 4, 0, 0),
+    "6H2L": (3, 3, 1, 1),
+    "4H4L": (4, 0, 0, 4),
+    "2H6L": (1, 1, 3, 3),
+}
+
+
+def mix_app_specs(mix: tuple[int, int, int, int]) -> tuple[AppSpec, ...]:
+    """Expand a Table 2-style mix tuple into AppSpecs."""
+    hd_hp, ld_hp, hd_lp, ld_lp = mix
+    specs: list[AppSpec] = []
+    specs += [AppSpec("cactusBSSN", priority=Priority.HIGH)] * hd_hp
+    specs += [AppSpec("leela", priority=Priority.HIGH)] * ld_hp
+    specs += [AppSpec("cactusBSSN", priority=Priority.LOW)] * hd_lp
+    specs += [AppSpec("leela", priority=Priority.LOW)] * ld_lp
+    if not specs:
+        raise ConfigError("empty mix")
+    return tuple(specs)
+
+
+@dataclass(frozen=True)
+class PriorityCell:
+    """One (mix, limit, policy) cell of Fig 7 / Fig 8."""
+
+    mix: str
+    limit_w: float
+    policy: str
+    hp_norm_perf: float
+    lp_norm_perf: float
+    hp_freq_mhz: float
+    lp_freq_mhz: float
+    lp_parked_fraction: float
+    package_power_w: float
+    #: core-power mean per class; only populated on Ryzen.
+    hp_core_power_w: float | None = None
+    lp_core_power_w: float | None = None
+
+
+@dataclass(frozen=True)
+class PriorityResult:
+    platform: str
+    cells: tuple[PriorityCell, ...]
+
+    def cell(self, mix: str, limit_w: float, policy: str) -> PriorityCell:
+        for cell in self.cells:
+            if (
+                cell.mix == mix
+                and abs(cell.limit_w - limit_w) < 1e-6
+                and cell.policy == policy
+            ):
+                return cell
+        raise ConfigError(f"no cell ({mix}, {limit_w}, {policy})")
+
+    def to_rows(self) -> list[dict]:
+        return [
+            {
+                "mix": c.mix,
+                "limit_w": c.limit_w,
+                "policy": c.policy,
+                "hp_perf": c.hp_norm_perf,
+                "lp_perf": c.lp_norm_perf,
+                "hp_mhz": c.hp_freq_mhz,
+                "lp_mhz": c.lp_freq_mhz,
+                "lp_parked": c.lp_parked_fraction,
+                "pkg_w": c.package_power_w,
+                "hp_core_w": c.hp_core_power_w,
+                "lp_core_w": c.lp_core_power_w,
+            }
+            for c in self.cells
+        ]
+
+
+def _classify(result: SteadyRunResult, specs: tuple[AppSpec, ...]):
+    hp_labels, lp_labels = [], []
+    for app_result, spec in zip(result.apps, specs):
+        (hp_labels if spec.priority is Priority.HIGH else lp_labels).append(
+            app_result.label
+        )
+    return hp_labels, lp_labels
+
+
+def _cell_from_run(
+    result: SteadyRunResult,
+    specs: tuple[AppSpec, ...],
+    mix: str,
+    limit_w: float,
+    policy: str,
+    per_core_power: bool,
+) -> PriorityCell:
+    hp_labels, lp_labels = _classify(result, specs)
+
+    def stats(labels):
+        if not labels:
+            return 0.0, 0.0, 0.0, None
+        perf = result.mean_over(labels, "normalized_performance")
+        freq = result.mean_over(labels, "mean_frequency_mhz")
+        parked = result.mean_over(labels, "parked_fraction")
+        power = (
+            result.mean_over(labels, "mean_power_w")
+            if per_core_power
+            else None
+        )
+        return perf, freq, parked, power
+
+    hp_perf, hp_freq, _hp_parked, hp_power = stats(hp_labels)
+    lp_perf, lp_freq, lp_parked, lp_power = stats(lp_labels)
+    return PriorityCell(
+        mix=mix,
+        limit_w=limit_w,
+        policy=policy,
+        hp_norm_perf=hp_perf,
+        lp_norm_perf=lp_perf,
+        hp_freq_mhz=hp_freq,
+        lp_freq_mhz=lp_freq,
+        lp_parked_fraction=lp_parked,
+        package_power_w=result.mean_package_power_w,
+        hp_core_power_w=hp_power,
+        lp_core_power_w=lp_power,
+    )
+
+
+def run_fig7_priority_skylake(
+    *,
+    limits_w: tuple[float, ...] = (85.0, 50.0, 40.0),
+    policies: tuple[str, ...] = ("priority", "rapl"),
+    mixes: dict[str, tuple[int, int, int, int]] | None = None,
+    duration_s: float = 60.0,
+    warmup_s: float = 25.0,
+) -> PriorityResult:
+    """Priority vs RAPL on Skylake across Table 2 mixes (Fig 7)."""
+    mixes = mixes or TABLE2_MIXES
+    cells: list[PriorityCell] = []
+    for mix_name, mix in mixes.items():
+        specs = mix_app_specs(mix)
+        for limit in limits_w:
+            for policy in policies:
+                config = ExperimentConfig(
+                    platform="skylake",
+                    policy=policy,
+                    limit_w=limit,
+                    apps=specs,
+                    tick_s=BATCH_TICK_S,
+                )
+                result = run_steady(
+                    config, duration_s=duration_s, warmup_s=warmup_s
+                )
+                cells.append(
+                    _cell_from_run(
+                        result, specs, mix_name, limit, policy, False
+                    )
+                )
+    return PriorityResult(platform="skylake", cells=tuple(cells))
+
+
+def run_fig8_priority_ryzen(
+    *,
+    limits_w: tuple[float, ...] = (95.0, 50.0, 40.0),
+    mixes: dict[str, tuple[int, int, int, int]] | None = None,
+    duration_s: float = 60.0,
+    warmup_s: float = 25.0,
+) -> PriorityResult:
+    """Priority policy on Ryzen (Fig 8); includes per-class core power.
+
+    There is no RAPL baseline: the limiting mechanism is undocumented on
+    the platform (paper section 6.1), so the daemon enforces the limit
+    in software — exactly the paper's setup.
+    """
+    mixes = mixes or RYZEN_MIXES
+    cells: list[PriorityCell] = []
+    for mix_name, mix in mixes.items():
+        specs = mix_app_specs(mix)
+        for limit in limits_w:
+            config = ExperimentConfig(
+                platform="ryzen",
+                policy="priority",
+                limit_w=limit,
+                apps=specs,
+                tick_s=BATCH_TICK_S,
+            )
+            result = run_steady(
+                config, duration_s=duration_s, warmup_s=warmup_s
+            )
+            cells.append(
+                _cell_from_run(
+                    result, specs, mix_name, limit, "priority", True
+                )
+            )
+    return PriorityResult(platform="ryzen", cells=tuple(cells))

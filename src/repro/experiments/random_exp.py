@@ -1,0 +1,155 @@
+"""Random-mix share experiments (paper Fig 11 and Table 3, section 6.3).
+
+Two randomly drawn 5-benchmark sets (Table 3, reproduced verbatim in
+:mod:`repro.workloads.generator`) run with two copies of each app on the
+10-core Skylake, shares 100:75:50:25 for apps #4:#3:#2:#1 and 20 for
+app #0 (the paper's stated share levels are {20, 40, 60, 80, 100}; the
+figure caption quotes the 100:75:50:25 tail — we use the share levels,
+which preserve both orderings).
+
+Shapes to reproduce:
+
+* as shares increase, frequency/power/performance increase (set A),
+* exchange2 under-performs and perlbench over-performs their share under
+  performance shares (frequency sensitivity),
+* set B's AVX apps (cam4, lbm) saturate: they cannot reach full
+  frequency even at 85 W,
+* at 40 W the frequency dynamic range is too small for proportionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AppSpec, ExperimentConfig
+from repro.errors import ConfigError
+from repro.experiments.runner import BATCH_TICK_S, run_steady
+from repro.workloads.generator import TABLE3_SETS
+
+#: share level of app #k (paper: {20, 40, 60, 80, 100}).
+SHARE_LEVELS: tuple[float, ...] = (20.0, 40.0, 60.0, 80.0, 100.0)
+
+
+@dataclass(frozen=True)
+class RandomCell:
+    """One app's aggregate in one (set, policy, limit) run."""
+
+    app_set: str
+    app_index: int
+    benchmark: str
+    policy: str
+    limit_w: float
+    shares: float
+    frequency_fraction: float
+    performance_fraction: float
+    norm_perf: float
+    mean_frequency_mhz: float
+    package_power_w: float
+
+
+@dataclass(frozen=True)
+class RandomResult:
+    cells: tuple[RandomCell, ...]
+
+    def series(
+        self, app_set: str, policy: str, limit_w: float
+    ) -> list[RandomCell]:
+        out = [
+            c
+            for c in self.cells
+            if c.app_set == app_set
+            and c.policy == policy
+            and abs(c.limit_w - limit_w) < 1e-6
+        ]
+        if not out:
+            raise ConfigError(f"no cells ({app_set}, {policy}, {limit_w})")
+        return sorted(out, key=lambda c: c.app_index)
+
+    def to_rows(self) -> list[dict]:
+        return [
+            {
+                "set": c.app_set,
+                "app": f"{c.app_set}{c.app_index}",
+                "benchmark": c.benchmark,
+                "policy": c.policy,
+                "limit_w": c.limit_w,
+                "shares": c.shares,
+                "freq_pct": 100 * c.frequency_fraction,
+                "perf_pct": 100 * c.performance_fraction,
+                "norm_perf": c.norm_perf,
+                "mhz": c.mean_frequency_mhz,
+                "pkg_w": c.package_power_w,
+            }
+            for c in self.cells
+        ]
+
+
+def run_fig11_random_skylake(
+    *,
+    sets: tuple[str, ...] = ("A", "B"),
+    policies: tuple[str, ...] = ("frequency-shares", "performance-shares"),
+    limits_w: tuple[float, ...] = (85.0, 50.0, 40.0),
+    copies: int = 2,
+    duration_s: float = 60.0,
+    warmup_s: float = 25.0,
+) -> RandomResult:
+    """Random experiments on Skylake (Fig 11)."""
+    cells: list[RandomCell] = []
+    for set_name in sets:
+        names = TABLE3_SETS[set_name.upper()]
+        specs: list[AppSpec] = []
+        for index, name in enumerate(names):
+            specs.extend(
+                [AppSpec(name, shares=SHARE_LEVELS[index])] * copies
+            )
+        for policy in policies:
+            for limit in limits_w:
+                config = ExperimentConfig(
+                    platform="skylake",
+                    policy=policy,
+                    limit_w=limit,
+                    apps=tuple(specs),
+                    tick_s=BATCH_TICK_S,
+                )
+                result = run_steady(
+                    config, duration_s=duration_s, warmup_s=warmup_s
+                )
+                freq_total = sum(
+                    r.mean_frequency_mhz for r in result.apps
+                )
+                perf_total = sum(
+                    r.normalized_performance for r in result.apps
+                )
+                for index, name in enumerate(names):
+                    instances = result.by_benchmark(name)
+                    mean_freq = sum(
+                        r.mean_frequency_mhz for r in instances
+                    ) / len(instances)
+                    mean_perf = sum(
+                        r.normalized_performance for r in instances
+                    ) / len(instances)
+                    cells.append(
+                        RandomCell(
+                            app_set=set_name,
+                            app_index=index,
+                            benchmark=name,
+                            policy=policy,
+                            limit_w=limit,
+                            shares=SHARE_LEVELS[index],
+                            frequency_fraction=(
+                                sum(r.mean_frequency_mhz for r in instances)
+                                / freq_total
+                            ),
+                            performance_fraction=(
+                                sum(
+                                    r.normalized_performance
+                                    for r in instances
+                                )
+                                / perf_total
+                            ),
+                            norm_perf=mean_perf,
+                            mean_frequency_mhz=mean_freq,
+                            package_power_w=result.mean_package_power_w,
+                        )
+                    )
+    return RandomResult(cells=tuple(cells))

@@ -1,0 +1,65 @@
+"""ASCII rendering of experiment results.
+
+The paper presents tables and bar/box plots; the CLI renders the same
+rows as fixed-width ASCII tables so results are diffable and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigError
+
+
+def _format(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        raise ConfigError("no rows to render")
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Mapping[str, Any], *, title: str | None = None) -> str:
+    """Render key/value metadata (Table 1 style)."""
+    if not pairs:
+        raise ConfigError("no pairs to render")
+    width = max(len(k) for k in pairs)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)}  {_format(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""ASCII sparklines and strip charts for time-series in the CLI.
+
+The figures in the paper are plots; the CLI renders the same series as
+terminal graphics so a run's dynamics (the daemon converging on a limit,
+a latency tail inflating, a probe excursion) are visible without leaving
+the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, width: int | None = None) -> str:
+    """One-line unicode sparkline of a series.
+
+    ``width`` downsamples (by bucket means) to at most that many cells.
+    A flat series renders as mid-height bars.
+    """
+    if not values:
+        raise ConfigError("no values to sparkline")
+    data = list(values)
+    if width is not None:
+        if width <= 0:
+            raise ConfigError("width must be positive")
+        data = _downsample(data, width)
+    lo, hi = min(data), max(data)
+    if hi - lo < 1e-12:
+        return _BARS[3] * len(data)
+    span = hi - lo
+    out = []
+    for value in data:
+        index = int((value - lo) / span * (len(_BARS) - 1))
+        out.append(_BARS[index])
+    return "".join(out)
+
+
+def _downsample(values: list[float], width: int) -> list[float]:
+    if len(values) <= width:
+        return values
+    out = []
+    for bucket in range(width):
+        start = bucket * len(values) // width
+        end = max((bucket + 1) * len(values) // width, start + 1)
+        chunk = values[start:end]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def strip_chart(
+    values: Sequence[float],
+    *,
+    height: int = 8,
+    width: int = 60,
+    label: str = "",
+    reference: float | None = None,
+) -> str:
+    """Multi-line ASCII chart with min/max labels and an optional
+    reference line (e.g. the power limit)."""
+    if not values:
+        raise ConfigError("no values to chart")
+    if height < 2 or width < 2:
+        raise ConfigError("chart too small")
+    data = _downsample(list(values), width)
+    lo, hi = min(data), max(data)
+    if reference is not None:
+        lo, hi = min(lo, reference), max(hi, reference)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    span = hi - lo
+    rows = [[" "] * len(data) for _ in range(height)]
+    for x, value in enumerate(data):
+        y = int((value - lo) / span * (height - 1))
+        rows[height - 1 - y][x] = "*"
+    if reference is not None:
+        ref_y = height - 1 - int((reference - lo) / span * (height - 1))
+        for x in range(len(data)):
+            if rows[ref_y][x] == " ":
+                rows[ref_y][x] = "-"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{hi:8.1f} ┤" + "".join(rows[0]))
+    for row in rows[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo:8.1f} ┤" + "".join(rows[-1]))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""The paper's tables as checkable data (Tables 1, 2, 3).
+
+Table 1 is derived live from the :class:`~repro.hw.platform.PlatformSpec`
+objects so the documentation cannot drift from the implementation;
+Tables 2 and 3 re-export the mix/set constants the experiments use.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.priority_exp import TABLE2_MIXES
+from repro.hw.platform import get_platform
+from repro.units import mhz_to_ghz
+from repro.workloads.generator import TABLE3_SETS
+
+
+def table1_features(platform_name: str) -> dict[str, object]:
+    """Table 1 row: power-management feature summary for one platform."""
+    platform = get_platform(platform_name)
+    turbo = max(f for f in platform.pstates.frequencies_mhz)
+    return {
+        "processor": platform.name,
+        "vendor": platform.vendor,
+        "cores": platform.n_cores,
+        "threads": platform.n_threads,
+        "dram_gb": platform.dram_gb,
+        "freq_range_ghz": (
+            f"{mhz_to_ghz(platform.min_frequency_mhz):.1f}-"
+            f"{mhz_to_ghz(platform.max_nominal_frequency_mhz):.1f}"
+            f" + {mhz_to_ghz(turbo):.1f} boost"
+        ),
+        "dvfs_step_mhz": platform.step_mhz,
+        "per_core_dvfs": platform.has_per_core_dvfs,
+        "simultaneous_pstates": platform.simultaneous_pstates,
+        "rapl_capping": (
+            f"{platform.rapl_limit_range_w[0]:.0f}-"
+            f"{platform.rapl_limit_range_w[1]:.0f} W"
+            if platform.has_rapl_limit
+            else "none"
+        ),
+        "per_core_power_telemetry": platform.has_per_core_energy,
+    }
+
+
+def table2_rows() -> list[dict[str, object]]:
+    """Table 2: Skylake priority-experiment workload mixes."""
+    rows = []
+    for mix, (hd_hp, ld_hp, hd_lp, ld_lp) in TABLE2_MIXES.items():
+        rows.append(
+            {
+                "mix": mix,
+                "cactusBSSN-HP": hd_hp,
+                "leela-HP": ld_hp,
+                "cactusBSSN-LP": hd_lp,
+                "leela-LP": ld_lp,
+            }
+        )
+    return rows
+
+
+def table3_rows() -> list[dict[str, object]]:
+    """Table 3: application sets for the random experiments."""
+    rows = []
+    for set_name, names in TABLE3_SETS.items():
+        row: dict[str, object] = {"set": f"Skylake {set_name}"}
+        for index, name in enumerate(names):
+            row[f"app{index}"] = name
+        rows.append(row)
+    return rows

@@ -1,0 +1,154 @@
+"""Time-shared single-core power experiment (paper Fig 6, section 4.3).
+
+cactusBSSN (HD) and gcc (LD) run as containers sharing one Ryzen core at
+3.4 GHz.  One app's CPU quota is fixed at 50% while the other's sweeps
+10-50%; the paper also measures each app alone at 100%.  The result to
+reproduce: core power is the **residency-weighted sum** of the apps'
+standalone draws — power rises/falls linearly with the share of core
+time each app holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.platform import get_platform
+from repro.sched.timeshare import TimeShareEntry, TimeSharedCoreLoad
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.units import ghz
+from repro.workloads.app import RunningApp
+from repro.workloads.spec import spec_app
+
+_TICK_S = 5e-3
+
+
+@dataclass(frozen=True)
+class TimeSharePoint:
+    fixed_app: str
+    varied_app: str
+    fixed_quota: float
+    varied_quota: float
+    core_power_w: float
+
+
+@dataclass(frozen=True)
+class TimeShareResult:
+    frequency_mhz: float
+    #: standalone 100%-share core power per app.
+    alone_power_w: dict[str, float]
+    points: tuple[TimeSharePoint, ...]
+
+    def series(self, varied_app: str) -> list[TimeSharePoint]:
+        out = sorted(
+            (p for p in self.points if p.varied_app == varied_app),
+            key=lambda p: p.varied_quota,
+        )
+        if not out:
+            raise ConfigError(f"no series for {varied_app}")
+        return out
+
+    def to_rows(self) -> list[dict]:
+        rows = [
+            {
+                "fixed": p.fixed_app,
+                "varied": p.varied_app,
+                "fixed_pct": 100 * p.fixed_quota,
+                "varied_pct": 100 * p.varied_quota,
+                "core_w": p.core_power_w,
+            }
+            for p in self.points
+        ]
+        for app, power in self.alone_power_w.items():
+            rows.append(
+                {
+                    "fixed": app,
+                    "varied": "-",
+                    "fixed_pct": 100.0,
+                    "varied_pct": 0.0,
+                    "core_w": power,
+                }
+            )
+        return rows
+
+
+def _measure_core_power(
+    platform,
+    quotas: dict[str, float],
+    frequency_mhz: float,
+    duration_s: float,
+) -> float:
+    chip = Chip(platform, tick_s=_TICK_S)
+    engine = SimEngine(chip)
+    entries = [
+        TimeShareEntry(
+            app=RunningApp(spec_app(name, steady=True)), shares=quota
+        )
+        for name, quota in quotas.items()
+    ]
+    load = TimeSharedCoreLoad(
+        entries,
+        platform.reference_frequency_mhz,
+        absolute_quotas=True,
+    )
+    chip.assign_load(0, load)
+    chip.set_requested_frequency(0, frequency_mhz)
+    engine.run(duration_s)
+    return chip.cores[0].total_energy_j / chip.time_s
+
+
+def run_fig6_timeshare(
+    *,
+    hd_app: str = "cactusBSSN",
+    ld_app: str = "gcc",
+    frequency_mhz: float = ghz(3.4),
+    varied_quotas: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    fixed_quota: float = 0.5,
+    duration_s: float = 20.0,
+) -> TimeShareResult:
+    """Fig 6: time-shared power on one Ryzen core at 3.4 GHz."""
+    platform = get_platform("ryzen")
+    alone = {
+        name: _measure_core_power(
+            platform, {name: 1.0}, frequency_mhz, duration_s
+        )
+        for name in (hd_app, ld_app)
+    }
+    points: list[TimeSharePoint] = []
+    for fixed_app, varied_app in ((hd_app, ld_app), (ld_app, hd_app)):
+        for quota in varied_quotas:
+            power = _measure_core_power(
+                platform,
+                {fixed_app: fixed_quota, varied_app: quota},
+                frequency_mhz,
+                duration_s,
+            )
+            points.append(
+                TimeSharePoint(
+                    fixed_app=fixed_app,
+                    varied_app=varied_app,
+                    fixed_quota=fixed_quota,
+                    varied_quota=quota,
+                    core_power_w=power,
+                )
+            )
+    return TimeShareResult(
+        frequency_mhz=frequency_mhz,
+        alone_power_w=alone,
+        points=tuple(points),
+    )
+
+
+def expected_mixture_power_w(
+    result: TimeShareResult, fixed_app: str, varied_app: str, quota: float
+) -> float:
+    """The paper's model: residency-weighted sum of standalone draws.
+
+    Used by tests/benches to assert Fig 6's linear-mixture conclusion.
+    The idle remainder of the core draws (approximately) nothing.
+    """
+    return (
+        result.alone_power_w[fixed_app] * 0.5
+        + result.alone_power_w[varied_app] * quota
+    )

@@ -1,0 +1,44 @@
+"""Emulated hardware substrate: MSRs, P-states, cpufreq, RAPL, turbo, C-states.
+
+This package stands in for the silicon the paper measures (Intel Xeon SP
+4114 "Skylake" and AMD Ryzen 1700X).  The policy layer only ever talks to
+these interfaces — the same boundary a real userspace daemon would have via
+``/dev/cpu/*/msr`` and sysfs — so the policies are portable to real
+hardware by swapping the backend.
+"""
+
+from repro.hw.platform import (
+    PlatformSpec,
+    ryzen_1700x,
+    skylake_xeon_4114,
+    get_platform,
+    PLATFORM_REGISTRY,
+)
+from repro.hw.pstate import PState, PStateTable
+from repro.hw.msr import MSRFile, MSRDef
+from repro.hw.rapl import RaplDomain, RaplController, RaplLimiter
+from repro.hw.turbo import TurboModel
+from repro.hw.cstates import CState, CStateModel
+from repro.hw.cpufreq import CpuFreqInterface
+from repro.hw.hwp import HwpController, HwpRequest
+
+__all__ = [
+    "PlatformSpec",
+    "ryzen_1700x",
+    "skylake_xeon_4114",
+    "get_platform",
+    "PLATFORM_REGISTRY",
+    "PState",
+    "PStateTable",
+    "MSRFile",
+    "MSRDef",
+    "RaplDomain",
+    "RaplController",
+    "RaplLimiter",
+    "TurboModel",
+    "CState",
+    "CStateModel",
+    "CpuFreqInterface",
+    "HwpController",
+    "HwpRequest",
+]

@@ -1,0 +1,115 @@
+"""C-state (core idle) model.
+
+C-states trade wake-up latency for near-zero power (paper section 2.1,
+"Core Idling"): C0 is active, C1 a shallow halt, C6 deep sleep at
+milliwatt-level power.  The policy layer parks starved cores (priority
+policy, section 5.1) which drives them to C6 and frees headroom for
+turbo on the remaining cores.
+
+The model tracks per-core residency statistics (what turbostat reports)
+and charges wake-up latency by discounting the first tick of work after
+a deep-sleep exit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+
+class CState(enum.Enum):
+    """Idle-state ladder (subset: the states turbostat reports on both
+    evaluation platforms)."""
+
+    C0 = 0  # active
+    C1 = 1  # halt: clock gated, fast exit
+    C6 = 6  # deep sleep: power gated, slow exit
+
+    @property
+    def is_idle(self) -> bool:
+        return self is not CState.C0
+
+
+#: Exit latencies in seconds (order-of-magnitude per Schöne et al. [46]).
+EXIT_LATENCY_S = {
+    CState.C0: 0.0,
+    CState.C1: 1e-6,
+    CState.C6: 133e-6,
+}
+
+
+@dataclass
+class _Residency:
+    c0_s: float = 0.0
+    c1_s: float = 0.0
+    c6_s: float = 0.0
+    current: CState = CState.C0
+    transitions: int = 0
+
+    def seconds(self, state: CState) -> float:
+        if state is CState.C0:
+            return self.c0_s
+        if state is CState.C1:
+            return self.c1_s
+        return self.c6_s
+
+    def total(self) -> float:
+        return self.c0_s + self.c1_s + self.c6_s
+
+
+class CStateModel:
+    """Tracks per-core C-state residency over simulated time."""
+
+    def __init__(self, n_cores: int):
+        if n_cores <= 0:
+            raise PlatformError("need at least one core")
+        self._cores = [_Residency() for _ in range(n_cores)]
+
+    def observe(
+        self, core_id: int, dt_s: float, busy_fraction: float, parked: bool
+    ) -> float:
+        """Record one tick; returns the work-efficiency factor in (0, 1].
+
+        A parked core sits in C6.  An unparked core splits the tick
+        between C0 (``busy_fraction``) and C1.  The efficiency factor
+        discounts useful work by the exit latency paid when the core
+        returns to C0 after deep sleep.
+        """
+        res = self._cores[core_id]
+        previous = res.current
+        if parked:
+            new_state = CState.C6
+            res.c6_s += dt_s
+        elif busy_fraction <= 0.0:
+            new_state = CState.C1
+            res.c1_s += dt_s
+        else:
+            new_state = CState.C0
+            res.c0_s += dt_s * busy_fraction
+            res.c1_s += dt_s * (1.0 - busy_fraction)
+        if new_state is not previous:
+            res.transitions += 1
+            res.current = new_state
+        if previous is CState.C6 and new_state is CState.C0 and dt_s > 0:
+            wake_cost = EXIT_LATENCY_S[CState.C6]
+            return max(0.0, 1.0 - wake_cost / dt_s)
+        return 1.0
+
+    def residency(self, core_id: int, state: CState) -> float:
+        """Total seconds core ``core_id`` has spent in ``state``."""
+        return self._cores[core_id].seconds(state)
+
+    def residency_fraction(self, core_id: int, state: CState) -> float:
+        res = self._cores[core_id]
+        total = res.total()
+        if total <= 0:
+            return 1.0 if state is CState.C0 else 0.0
+        return res.seconds(state) / total
+
+    def transitions(self, core_id: int) -> int:
+        return self._cores[core_id].transitions
+
+    def state(self, core_id: int) -> CState:
+        return self._cores[core_id].current

@@ -1,0 +1,162 @@
+"""Hardware-managed P-states (Intel HWP / ACPI CPPC — paper section 2.1).
+
+With the Collaborative Processor Performance Control interface,
+"hardware controls DVFS settings and software provides a range of
+allowable performance".  Software writes per-core *hints* — minimum,
+maximum, and desired performance on an abstract 0-255 scale — and the
+hardware picks the operating point autonomously, exploiting what it can
+observe about the workload (e.g. frequency-insensitivity from stalled
+cycles).
+
+:class:`HwpController` implements that contract over the simulated chip:
+
+* hints are stored per core (an `IA32_HWP_REQUEST`-like register image),
+* the abstract performance scale maps linearly onto the platform's
+  frequency range — the paper's caveat that "the performance level used
+  by CPPC is specific to the hardware implementation" applies verbatim,
+* in *autonomous* mode the controller watches each core's achieved IPS
+  and backs the clock off toward the highest useful frequency inside the
+  hint window, which is exactly the hardware support the paper says can
+  identify performance saturation (section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.chip import Chip
+from repro.units import clamp
+
+#: the abstract CPPC performance scale.
+HWP_PERF_MIN = 1
+HWP_PERF_MAX = 255
+
+
+@dataclass
+class HwpRequest:
+    """Per-core hint register (subset of IA32_HWP_REQUEST fields)."""
+
+    min_perf: int = HWP_PERF_MIN
+    max_perf: int = HWP_PERF_MAX
+    desired_perf: int = 0  # 0 = let hardware choose (autonomous)
+
+    def validate(self) -> None:
+        if not HWP_PERF_MIN <= self.min_perf <= HWP_PERF_MAX:
+            raise ConfigError(f"min_perf {self.min_perf} out of range")
+        if not HWP_PERF_MIN <= self.max_perf <= HWP_PERF_MAX:
+            raise ConfigError(f"max_perf {self.max_perf} out of range")
+        if self.min_perf > self.max_perf:
+            raise ConfigError("min_perf above max_perf")
+        if self.desired_perf and not (
+            self.min_perf <= self.desired_perf <= self.max_perf
+        ):
+            raise ConfigError("desired_perf outside [min, max]")
+
+
+class HwpController:
+    """CPPC-style autonomous frequency selection within hint windows."""
+
+    #: relative IPS gain per relative frequency gain below which the
+    #: autonomous logic considers the core saturated and steps down.
+    efficiency_floor = 0.35
+    #: step size of autonomous moves, in abstract performance units.
+    autonomous_step = 8
+
+    def __init__(self, chip: Chip):
+        self.chip = chip
+        self.requests = [HwpRequest() for _ in chip.platform.core_ids()]
+        self._last_ips = [0.0] * chip.platform.n_cores
+        self._last_freq = [0.0] * chip.platform.n_cores
+        self._last_instr = [0.0] * chip.platform.n_cores
+        self._last_time = chip.time_s
+
+    # -- hint interface (what software writes) -------------------------------
+
+    def set_request(self, core_id: int, request: HwpRequest) -> None:
+        self.chip.platform.validate_core(core_id)
+        request.validate()
+        self.requests[core_id] = request
+
+    def perf_to_mhz(self, perf: int) -> float:
+        """Map the abstract scale onto the platform frequency range."""
+        platform = self.chip.platform
+        fraction = (perf - HWP_PERF_MIN) / (HWP_PERF_MAX - HWP_PERF_MIN)
+        return platform.min_frequency_mhz + fraction * (
+            platform.max_frequency_mhz - platform.min_frequency_mhz
+        )
+
+    def mhz_to_perf(self, freq_mhz: float) -> int:
+        platform = self.chip.platform
+        span = platform.max_frequency_mhz - platform.min_frequency_mhz
+        fraction = (freq_mhz - platform.min_frequency_mhz) / span
+        return int(round(
+            HWP_PERF_MIN + clamp(fraction, 0.0, 1.0)
+            * (HWP_PERF_MAX - HWP_PERF_MIN)
+        ))
+
+    # -- autonomous selection (what "hardware" does) ---------------------------
+
+    def update(self) -> None:
+        """One autonomous-selection pass; call at control cadence.
+
+        For each core: honour an explicit ``desired_perf``; otherwise
+        probe within [min, max], stepping down when the last frequency
+        change bought disproportionately little IPS (saturation) and up
+        when IPS tracked frequency.
+        """
+        now = self.chip.time_s
+        dt = now - self._last_time
+        self._last_time = now
+        for core in self.chip.cores:
+            cpu = core.core_id
+            request = self.requests[cpu]
+            floor = self.perf_to_mhz(request.min_perf)
+            ceiling = self.perf_to_mhz(request.max_perf)
+            if request.desired_perf:
+                target = self.perf_to_mhz(request.desired_perf)
+                self._program(cpu, clamp(target, floor, ceiling))
+                continue
+            if dt <= 0:
+                continue  # autonomous logic needs an observation window
+            instr = core.total_instructions
+            ips = (instr - self._last_instr[cpu]) / dt
+            self._last_instr[cpu] = instr
+            # track the *requested* frequency: past a hardware cap (AVX,
+            # turbo ceiling) the effective clock stops moving, and it is
+            # exactly the request-vs-IPS relation that reveals saturation
+            freq = core.requested_mhz
+            prev_ips = self._last_ips[cpu]
+            prev_freq = self._last_freq[cpu]
+            self._last_ips[cpu] = ips
+            self._last_freq[cpu] = freq
+            if not core.active:
+                continue
+            current = core.requested_mhz
+            step_mhz = self.autonomous_step / (
+                HWP_PERF_MAX - HWP_PERF_MIN
+            ) * (
+                self.chip.platform.max_frequency_mhz
+                - self.chip.platform.min_frequency_mhz
+            )
+            if prev_freq > 0 and prev_ips > 0 and freq != prev_freq:
+                freq_gain = freq / prev_freq - 1.0
+                ips_gain = ips / prev_ips - 1.0
+                if abs(freq_gain) > 0.01:
+                    efficiency = ips_gain / freq_gain
+                    if efficiency < self.efficiency_floor:
+                        # saturated: frequency bought no performance
+                        self._program(
+                            cpu, clamp(current - step_mhz, floor, ceiling)
+                        )
+                        continue
+            # default: climb toward the ceiling
+            self._program(cpu, clamp(current + step_mhz, floor, ceiling))
+
+    def _program(self, cpu: int, freq_mhz: float) -> None:
+        pstate = self.chip.platform.pstates.quantize(freq_mhz, nearest=True)
+        self.chip.set_requested_frequency(cpu, pstate.frequency_mhz)
+
+    def attach(self, engine, period_s: float = 0.05) -> None:
+        """Register the autonomous pass (hardware-fast: 50 ms default)."""
+        engine.every(period_s, lambda _t: self.update())

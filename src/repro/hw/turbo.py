@@ -1,0 +1,55 @@
+"""Opportunistic frequency scaling: TurboBoost / Precision Boost + XFR.
+
+When only a few cores are active, the remaining power/thermal headroom
+lets those cores run above nominal maximum frequency (paper section 2.1,
+"Opportunistic Scaling").  We model the standard stepped grant: the
+fewer active cores, the higher the ceiling, down to nominal max once more
+than ``turbo_max_cores_active`` cores are active.
+
+This is the mechanism behind two of the paper's observations:
+
+* the ~5 W package power jump at the top DVFS bins (Figs 2, 3) — turbo
+  points carry a higher voltage;
+* HP applications running *faster under a 40 W limit than at 85 W* when
+  LP applications are starved (Fig 7) — parked LP cores free headroom.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlatformError
+from repro.hw.platform import PlatformSpec
+
+
+class TurboModel:
+    """Stepped turbo-ceiling table from the platform's ``turbo_bins``.
+
+    Each bin is ``(max_active_cores, ceiling_mhz)``: the ceiling applies
+    while at most that many cores are active.  Active-core counts beyond
+    the last bin fall back to nominal max, so a platform whose last bin
+    covers all cores (like the Xeon 4114's 2.5 GHz all-core turbo) always
+    has some opportunistic headroom, while one without (none here) would
+    degrade to nominal.
+    """
+
+    def __init__(self, platform: PlatformSpec):
+        self.platform = platform
+        self._bins = tuple(platform.turbo_bins)
+
+    @property
+    def has_turbo(self) -> bool:
+        return bool(self._bins)
+
+    def ceiling_mhz(self, active_cores: int) -> float:
+        """Maximum grantable frequency with ``active_cores`` in C0."""
+        if active_cores < 0:
+            raise PlatformError("active core count cannot be negative")
+        if active_cores == 0:
+            active_cores = 1  # about-to-wake core gets the best bin
+        for max_active, ceiling in self._bins:
+            if active_cores <= max_active:
+                return ceiling
+        return self.platform.max_nominal_frequency_mhz
+
+    def grant(self, requested_mhz: float, active_cores: int) -> float:
+        """Clip a software frequency request to the turbo ceiling."""
+        return min(requested_mhz, self.ceiling_mhz(active_cores))

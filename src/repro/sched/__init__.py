@@ -1,0 +1,11 @@
+"""Scheduling substrate: core pinning and single-core time sharing.
+
+The paper pins one application per core (space sharing) for all the main
+experiments, and separately studies time sharing of one core between two
+applications with docker CPU shares (section 4.3, Fig 6).
+"""
+
+from repro.sched.pinning import Placement, pin_apps
+from repro.sched.timeshare import TimeSharedCoreLoad, TimeShareEntry
+
+__all__ = ["Placement", "pin_apps", "TimeSharedCoreLoad", "TimeShareEntry"]

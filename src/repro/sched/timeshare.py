@@ -1,0 +1,145 @@
+"""Proportional-share time sharing of a single core (paper section 4.3).
+
+The paper demonstrates, using docker CPU shares, that when two apps time
+share one core the core's average power is the **residency-weighted sum**
+of the individual apps' power draws (Fig 6).  :class:`TimeSharedCoreLoad`
+implements that: it is a :class:`~repro.sim.core.CoreLoad` multiplexing
+several applications on one core with configurable shares, like the
+cgroups ``cpu.shares`` / docker ``--cpu-shares`` mechanism.
+
+Each tick the runnable apps split the core's time in proportion to their
+shares; the reported effective capacitance is the same residency-weighted
+mixture, which is exactly what produces the paper's linear power
+interpolation between the two standalone draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError, ShareError
+from repro.sim.core import LoadSample
+from repro.workloads.app import RunningApp
+
+
+@dataclass
+class TimeShareEntry:
+    """One app in the time-share group with its CPU shares."""
+
+    app: RunningApp
+    shares: float
+
+    def __post_init__(self) -> None:
+        if self.shares <= 0:
+            raise ShareError(
+                f"{self.app.label}: CPU shares must be positive"
+            )
+
+
+class TimeSharedCoreLoad:
+    """Multiple apps sharing one core by proportional CPU shares."""
+
+    def __init__(
+        self,
+        entries: list[TimeShareEntry],
+        reference_mhz: float,
+        *,
+        absolute_quotas: bool = False,
+    ):
+        """``absolute_quotas=True`` treats shares as fixed fractions of
+        the core (docker ``--cpus`` style: 0.5 = 50% of the core) whose
+        sum must be <= 1, leaving the remainder idle — the configuration
+        of the paper's Fig 6.  The default treats them as relative
+        weights that always fill the core (``--cpu-shares`` style)."""
+        if not entries:
+            raise SchedulerError("time-share group cannot be empty")
+        labels = [e.app.label for e in entries]
+        if len(set(labels)) != len(labels):
+            raise SchedulerError("duplicate app labels in time-share group")
+        if reference_mhz <= 0:
+            raise SchedulerError("reference frequency must be positive")
+        if absolute_quotas and sum(e.shares for e in entries) > 1.0 + 1e-9:
+            raise ShareError("absolute quotas cannot exceed 100% of the core")
+        self.entries = list(entries)
+        self.reference_mhz = reference_mhz
+        self.absolute_quotas = absolute_quotas
+
+    @property
+    def name(self) -> str:
+        return "+".join(e.app.label for e in self.entries)
+
+    @property
+    def uses_avx(self) -> bool:
+        return any(
+            e.app.model.uses_avx and not e.app.finished for e in self.entries
+        )
+
+    def set_shares(self, label: str, shares: float) -> None:
+        """Adjust one app's CPU shares at runtime.
+
+        Dynamic share adjustment is the knob the paper suggests for the
+        mixed-demand/equal-share case: give low-demand apps more runtime
+        to compensate for frequency throttling (section 4.3, case 2).
+        """
+        if shares <= 0:
+            raise ShareError("CPU shares must be positive")
+        for entry in self.entries:
+            if entry.app.label == label:
+                old = entry.shares
+                entry.shares = shares
+                if self.absolute_quotas and (
+                    sum(e.shares for e in self.entries) > 1.0 + 1e-9
+                ):
+                    entry.shares = old
+                    raise ShareError(
+                        "absolute quotas cannot exceed 100% of the core"
+                    )
+                return
+        raise SchedulerError(f"no app {label!r} in time-share group")
+
+    def residencies(self) -> dict[str, float]:
+        """Current core-time split among unfinished apps."""
+        runnable = [e for e in self.entries if not e.app.finished]
+        if self.absolute_quotas:
+            return {e.app.label: e.shares for e in runnable}
+        total = sum(e.shares for e in runnable)
+        if total <= 0:
+            return {}
+        return {e.app.label: e.shares / total for e in runnable}
+
+    def advance(
+        self, dt_s: float, frequency_mhz: float, sim_time_s: float
+    ) -> LoadSample:
+        split = self.residencies()
+        if not split:
+            return LoadSample(0.0, 0.0, 0.0, done=True)
+        instructions = 0.0
+        c_eff_weighted = 0.0
+        busy = 0.0
+        for entry in self.entries:
+            share = split.get(entry.app.label)
+            if share is None:
+                continue
+            retired = entry.app.advance(
+                dt_s, frequency_mhz, self.reference_mhz, sim_time_s,
+                share=share,
+            )
+            instructions += retired
+            model = entry.app.model
+            c_eff_weighted += share * (
+                model.c_eff
+                * model.activity_power_factor(frequency_mhz, self.reference_mhz)
+                * model.power_factor(sim_time_s)
+            )
+            busy += share
+        done = all(e.app.finished for e in self.entries)
+        busy = min(1.0, busy)
+        # c_eff is defined per unit of busy time (the power model scales
+        # by busy_fraction); normalize the residency-weighted mixture
+        c_eff = c_eff_weighted / busy if busy > 0 else 0.0
+        return LoadSample(
+            instructions=instructions,
+            busy_fraction=busy,
+            c_eff=c_eff,
+            done=done,
+        )

@@ -1,0 +1,39 @@
+"""Execution substrate: a discrete-time multicore chip simulator.
+
+The simulator advances in fixed ticks (1 ms by default).  Each tick every
+core resolves its *effective* frequency (requested P-state, clipped by
+AVX caps, the RAPL limiter, and turbo grants), runs its attached load,
+and reports power; the chip aggregates package power and publishes all
+counters into the MSR file that the driver/telemetry layers read.
+"""
+
+from repro.sim.core import (
+    Core,
+    CoreLoad,
+    LoadSample,
+    BatchCoreLoad,
+    ClusterCoreLoad,
+    IdleLoad,
+)
+from repro.sim.power_model import core_power_watts, PowerBreakdown
+from repro.sim.perf_model import standalone_runtime_s, standalone_ips
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.sim.thermal import ThermalModel, ThermalConfig
+
+__all__ = [
+    "Core",
+    "CoreLoad",
+    "LoadSample",
+    "BatchCoreLoad",
+    "ClusterCoreLoad",
+    "IdleLoad",
+    "core_power_watts",
+    "PowerBreakdown",
+    "standalone_runtime_s",
+    "standalone_ips",
+    "Chip",
+    "SimEngine",
+    "ThermalModel",
+    "ThermalConfig",
+]

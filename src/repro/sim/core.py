@@ -1,0 +1,199 @@
+"""Simulated cores and the loads that run on them.
+
+A :class:`Core` owns a *requested* frequency (what software programmed
+via the cpufreq/MSR interface) and resolves an *effective* frequency each
+tick after hardware-side constraints: the AVX frequency cap, the RAPL
+limiter's global cap, and turbo grants.  The distinction matters — the
+paper's Fig 4 hinges on RAPL silently lowering effective frequency below
+the software request on the fastest cores.
+
+Loads implement the small :class:`CoreLoad` interface so batch SPEC apps,
+the websearch cluster's per-core servers, the cpuburn virus, and
+time-shared app groups all plug into the same core model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import SimulationError
+from repro.workloads.app import RunningApp
+from repro.workloads.websearch import WebsearchCluster
+
+
+@dataclass(frozen=True)
+class LoadSample:
+    """What a load did during one tick.
+
+    Attributes:
+        instructions: instructions retired this tick.
+        busy_fraction: C0 (active) residency in [0, 1].
+        c_eff: effective switching capacitance during the busy time,
+            already including activity/stall and phase factors.
+        done: the load finished and the core may enter deep idle.
+    """
+
+    instructions: float
+    busy_fraction: float
+    c_eff: float
+    done: bool = False
+
+
+@runtime_checkable
+class CoreLoad(Protocol):
+    """Anything that can occupy a core."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def uses_avx(self) -> bool: ...
+
+    def advance(
+        self, dt_s: float, frequency_mhz: float, sim_time_s: float
+    ) -> LoadSample: ...
+
+
+class IdleLoad:
+    """Placeholder for an unoccupied core (deep C-state)."""
+
+    name = "idle"
+    uses_avx = False
+
+    def advance(
+        self, dt_s: float, frequency_mhz: float, sim_time_s: float
+    ) -> LoadSample:
+        return LoadSample(instructions=0.0, busy_fraction=0.0, c_eff=0.0, done=True)
+
+
+class BatchCoreLoad:
+    """A pinned single-threaded batch application (one SPEC instance).
+
+    ``reference_mhz`` anchors the app's roofline model; the platform's
+    reference frequency is the natural choice and is what the experiment
+    harness passes.
+    """
+
+    def __init__(self, app: RunningApp, reference_mhz: float):
+        if reference_mhz <= 0:
+            raise SimulationError("reference frequency must be positive")
+        self.app = app
+        self.reference_mhz = reference_mhz
+        # activity factor depends only on frequency, which changes at
+        # daemon cadence, not tick cadence: memoize the last value
+        self._factor_freq = -1.0
+        self._factor = 1.0
+
+    @property
+    def name(self) -> str:
+        return self.app.label
+
+    @property
+    def uses_avx(self) -> bool:
+        return self.app.model.uses_avx
+
+    def advance(
+        self, dt_s: float, frequency_mhz: float, sim_time_s: float
+    ) -> LoadSample:
+        if self.app.finished:
+            return LoadSample(0.0, 0.0, 0.0, done=True)
+        retired = self.app.advance(
+            dt_s, frequency_mhz, self.reference_mhz, sim_time_s
+        )
+        model = self.app.model
+        if frequency_mhz != self._factor_freq:
+            self._factor = model.activity_power_factor(
+                frequency_mhz, self.reference_mhz
+            )
+            self._factor_freq = frequency_mhz
+        c_eff = model.c_eff * self._factor * model.power_factor(sim_time_s)
+        return LoadSample(
+            instructions=retired,
+            busy_fraction=1.0,
+            c_eff=c_eff,
+            done=self.app.finished,
+        )
+
+
+class ClusterCoreLoad:
+    """One serving core of a :class:`WebsearchCluster`.
+
+    The cluster itself is advanced once per tick by the chip (it needs a
+    globally consistent view of all serving-core frequencies); this
+    adapter only *collects* the per-core busy time and instruction counts
+    the cluster accumulated, and converts them into a power-relevant
+    sample.
+    """
+
+    def __init__(self, cluster: WebsearchCluster, core_id: int):
+        if core_id not in cluster.core_ids:
+            raise SimulationError(
+                f"core {core_id} is not a serving core of the cluster"
+            )
+        self.cluster = cluster
+        self.core_id = core_id
+
+    @property
+    def name(self) -> str:
+        return f"websearch@{self.core_id}"
+
+    @property
+    def uses_avx(self) -> bool:
+        return False
+
+    def advance(
+        self, dt_s: float, frequency_mhz: float, sim_time_s: float
+    ) -> LoadSample:
+        busy_s, instructions = self.cluster.take_core_sample(self.core_id)
+        busy_fraction = min(1.0, busy_s / dt_s) if dt_s > 0 else 0.0
+        return LoadSample(
+            instructions=instructions,
+            busy_fraction=busy_fraction,
+            c_eff=self.cluster.config.c_eff,
+            done=False,
+        )
+
+
+class Core:
+    """One physical core: frequency request/effective split plus counters."""
+
+    def __init__(self, core_id: int, initial_frequency_mhz: float):
+        self.core_id = core_id
+        self.requested_mhz = initial_frequency_mhz
+        self.effective_mhz = initial_frequency_mhz
+        self.load: CoreLoad = IdleLoad()
+        #: set True by the policy layer to park the core in a deep C-state
+        #: (paper section 4.4 starvation handling).
+        self.parked = False
+        # lifetime counters
+        self.total_instructions = 0.0
+        self.total_energy_j = 0.0
+        self.total_busy_s = 0.0
+        self.total_time_s = 0.0
+        self.last_sample: LoadSample | None = None
+
+    @property
+    def active(self) -> bool:
+        """Core has unfinished work and is not parked."""
+        if self.parked:
+            return False
+        sample = self.last_sample
+        if sample is None:
+            return not isinstance(self.load, IdleLoad)
+        return not (isinstance(self.load, IdleLoad) or sample.done)
+
+    def assign(self, load: CoreLoad) -> None:
+        self.load = load
+        self.last_sample = None
+
+    def clear(self) -> None:
+        self.load = IdleLoad()
+        self.last_sample = None
+
+    def record(self, sample: LoadSample, power_w: float, dt_s: float) -> None:
+        self.last_sample = sample
+        self.total_instructions += sample.instructions
+        self.total_energy_j += power_w * dt_s
+        self.total_busy_s += sample.busy_fraction * dt_s
+        self.total_time_s += dt_s

@@ -1,0 +1,86 @@
+"""Closed-form performance helpers.
+
+These mirror what the simulator computes tick-by-tick, in closed form:
+standalone runtime and IPS of an app at a fixed frequency.  The
+experiment harness uses them for the offline baselines the paper's
+performance-share policy needs ("performance of an application running
+alone at maximum frequency, measured offline" — section 5.2) and for
+normalizing results the way the figures do.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hw.platform import PlatformSpec
+from repro.workloads.app import AppModel
+
+
+def effective_frequency_mhz(
+    platform: PlatformSpec, app: AppModel, requested_mhz: float
+) -> float:
+    """Frequency the app would actually sustain at a software request,
+    accounting for the platform AVX cap (no RAPL, no turbo contention)."""
+    if requested_mhz <= 0:
+        raise ConfigError("requested frequency must be positive")
+    return min(requested_mhz, platform.effective_max_frequency_mhz(app.uses_avx))
+
+
+def standalone_ips(
+    platform: PlatformSpec, app: AppModel, frequency_mhz: float
+) -> float:
+    """Instructions per second running alone at ``frequency_mhz``."""
+    freq = effective_frequency_mhz(platform, app, frequency_mhz)
+    return app.ips(freq, platform.reference_frequency_mhz)
+
+
+def standalone_runtime_s(
+    platform: PlatformSpec, app: AppModel, frequency_mhz: float
+) -> float:
+    """Standalone completion time at a fixed frequency."""
+    if app.instructions is None:
+        raise ConfigError(f"{app.name} is a service; it has no runtime")
+    return app.instructions / standalone_ips(platform, app, frequency_mhz)
+
+
+def max_standalone_ips(platform: PlatformSpec, app: AppModel) -> float:
+    """Offline baseline the performance-share policy normalizes against:
+    IPS alone at the platform's maximum frequency."""
+    return standalone_ips(platform, app, platform.max_frequency_mhz)
+
+
+def highest_useful_frequency(
+    platform: PlatformSpec,
+    app: AppModel,
+    *,
+    min_speedup_per_step: float = 0.6,
+) -> float:
+    """Highest *useful* frequency for an app (paper section 4.4).
+
+    Memory- and I/O-bound applications gain little from the top P-states
+    while still paying their power cost; the paper suggests policies
+    "run applications at the highest useful frequency rather than the
+    highest possible frequency", with hardware like Intel HWP supplying
+    the saturation hint.  Here the roofline model supplies it: walk the
+    platform's grid and stop where a step's marginal speedup drops below
+    ``min_speedup_per_step`` of the ideal (frequency-proportional) gain.
+
+    Returns a grid frequency; fully compute-bound apps get the (AVX
+    -capped) maximum.
+    """
+    if not 0.0 < min_speedup_per_step <= 1.0:
+        raise ConfigError("min_speedup_per_step must be in (0, 1]")
+    cap = platform.effective_max_frequency_mhz(app.uses_avx)
+    grid = [f for f in platform.pstates.frequencies_mhz if f <= cap]
+    reference = platform.reference_frequency_mhz
+    chosen = grid[0]
+    for prev, curr in zip(grid, grid[1:]):
+        actual_gain = app.speedup(curr, reference) / app.speedup(
+            prev, reference
+        )
+        ideal_gain = curr / prev
+        # fraction of the ideal gain actually realised by this step
+        realised = (actual_gain - 1.0) / (ideal_gain - 1.0)
+        if realised < min_speedup_per_step:
+            break
+        chosen = curr
+    return chosen

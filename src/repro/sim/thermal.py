@@ -1,0 +1,78 @@
+"""First-order package thermal model (optional substrate).
+
+The paper's experiments are power-limited, not thermally limited, so the
+policies never hit thermal throttling in the reproduced figures.  The
+model exists because section 2.2 discusses *thermald* and thermally
+triggered mechanisms; the ablation benches use it to show the policies
+keep working when a thermal cap, rather than RAPL, is the binding
+constraint.
+
+Model: lumped RC —
+
+    ``T' = T_ambient + P · R_th``  (steady state)
+    ``dT/dt = (T' - T) / tau``
+
+with throttling engaging proportionally above ``t_throttle_c`` and fully
+stopping the clock at ``t_max_c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    ambient_c: float = 35.0
+    #: thermal resistance junction->ambient, Kelvin per watt.
+    r_th_k_per_w: float = 0.45
+    #: thermal time constant, seconds.
+    tau_s: float = 8.0
+    t_throttle_c: float = 85.0
+    t_max_c: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.tau_s <= 0 or self.r_th_k_per_w <= 0:
+            raise ConfigError("tau and R_th must be positive")
+        if not self.ambient_c < self.t_throttle_c < self.t_max_c:
+            raise ConfigError(
+                "need ambient < throttle < max temperatures"
+            )
+
+
+class ThermalModel:
+    """Lumped package temperature with proportional throttling."""
+
+    def __init__(self, config: ThermalConfig | None = None):
+        self.config = config or ThermalConfig()
+        self.temperature_c = self.config.ambient_c
+
+    def step(self, package_power_w: float, dt_s: float) -> None:
+        """Advance temperature one tick under the given power draw."""
+        if dt_s <= 0:
+            raise ConfigError("dt must be positive")
+        cfg = self.config
+        steady = cfg.ambient_c + package_power_w * cfg.r_th_k_per_w
+        alpha = clamp(dt_s / cfg.tau_s, 0.0, 1.0)
+        self.temperature_c += alpha * (steady - self.temperature_c)
+
+    def throttle_factor(self) -> float:
+        """Frequency multiplier in [0, 1] demanded by thermals.
+
+        1.0 below the throttle point, linearly falling to 0.0 at the
+        critical temperature.
+        """
+        cfg = self.config
+        if self.temperature_c <= cfg.t_throttle_c:
+            return 1.0
+        if self.temperature_c >= cfg.t_max_c:
+            return 0.0
+        span = cfg.t_max_c - cfg.t_throttle_c
+        return 1.0 - (self.temperature_c - cfg.t_throttle_c) / span
+
+    def steady_state_c(self, package_power_w: float) -> float:
+        """Equilibrium temperature at a constant power draw."""
+        return self.config.ambient_c + package_power_w * self.config.r_th_k_per_w

@@ -1,0 +1,30 @@
+"""Telemetry: counter snapshots, a turbostat-like sampler, and traces.
+
+The paper's daemon reads processor statistics once per second — package
+(and on Ryzen, per-core) power, retired instructions, and actual
+frequency — via the ``turbostat`` tool, which the authors extended to
+support Ryzen (section 3.1).  This package reproduces that stack over
+the emulated MSR file.
+"""
+
+from repro.telemetry.counters import CounterSnapshot, CounterDelta, read_snapshot
+from repro.telemetry.turbostat import Turbostat, TurbostatSample, CoreStats
+from repro.telemetry.trace import Trace, TraceSeries
+from repro.telemetry.wattsup import WattsUpMeter, WattsUpConfig, verify_rapl_against_meter
+from repro.telemetry.ledger import AppEnergyAccount, EnergyLedger
+
+__all__ = [
+    "CounterSnapshot",
+    "CounterDelta",
+    "read_snapshot",
+    "Turbostat",
+    "TurbostatSample",
+    "CoreStats",
+    "Trace",
+    "TraceSeries",
+    "WattsUpMeter",
+    "WattsUpConfig",
+    "verify_rapl_against_meter",
+    "AppEnergyAccount",
+    "EnergyLedger",
+]

@@ -1,0 +1,105 @@
+"""turbostat-like periodic sampler.
+
+The paper collects package power, core power (Ryzen), performance
+(instructions per second) and active frequency once per second with a
+modified turbostat (section 3.1).  :class:`Turbostat` does the same over
+the emulated MSR file: call :meth:`sample` on whatever cadence the
+monitoring loop uses and get back a :class:`TurbostatSample` of derived
+per-core statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+from repro.hw.msr import MSRFile
+from repro.hw.platform import PlatformSpec
+from repro.telemetry.counters import CounterSnapshot, read_snapshot
+
+
+@dataclass(frozen=True)
+class CoreStats:
+    """Per-core derived statistics for one sampling interval."""
+
+    core_id: int
+    active_frequency_mhz: float
+    busy_fraction: float
+    ips: float
+    power_w: float | None  # None on platforms without per-core energy
+
+
+@dataclass(frozen=True)
+class TurbostatSample:
+    """One monitoring-interval report."""
+
+    timestamp_s: float
+    interval_s: float
+    package_power_w: float
+    cores: tuple[CoreStats, ...]
+
+    def core(self, core_id: int) -> CoreStats:
+        for stats in self.cores:
+            if stats.core_id == core_id:
+                return stats
+        raise PlatformError(f"no core {core_id} in sample")
+
+    def total_ips(self) -> float:
+        return sum(stats.ips for stats in self.cores)
+
+
+class Turbostat:
+    """Stateful sampler: each :meth:`sample` reports since the previous."""
+
+    def __init__(self, platform: PlatformSpec, msr: MSRFile):
+        self.platform = platform
+        self.msr = msr
+        self._tsc_mhz = platform.max_nominal_frequency_mhz
+        self._previous: CounterSnapshot | None = None
+        self.history: list[TurbostatSample] = []
+
+    def prime(self, timestamp_s: float) -> None:
+        """Take the initial snapshot without emitting a sample."""
+        self._previous = read_snapshot(self.platform, self.msr, timestamp_s)
+
+    def sample(self, timestamp_s: float) -> TurbostatSample:
+        """Read counters and report the interval since the last call."""
+        current = read_snapshot(self.platform, self.msr, timestamp_s)
+        if self._previous is None:
+            self._previous = current
+            empty = TurbostatSample(
+                timestamp_s=timestamp_s,
+                interval_s=0.0,
+                package_power_w=0.0,
+                cores=tuple(
+                    CoreStats(cpu, 0.0, 0.0, 0.0, None)
+                    for cpu in self.platform.core_ids()
+                ),
+            )
+            return empty
+        delta = self._previous.delta(current)
+        self._previous = current
+        cores = []
+        for cpu in self.platform.core_ids():
+            power = None
+            if self.platform.has_per_core_energy:
+                power = delta.core_power_w(cpu)
+            cores.append(
+                CoreStats(
+                    core_id=cpu,
+                    active_frequency_mhz=delta.active_frequency_mhz(
+                        cpu, self._tsc_mhz
+                    ),
+                    busy_fraction=delta.busy_fraction(cpu, self._tsc_mhz),
+                    ips=delta.ips(cpu),
+                    power_w=power,
+                )
+            )
+        sample = TurbostatSample(
+            timestamp_s=timestamp_s,
+            interval_s=delta.dt_s,
+            package_power_w=delta.package_power_w(),
+            cores=tuple(cores),
+        )
+        self.history.append(sample)
+        return sample

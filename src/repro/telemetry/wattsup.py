@@ -1,0 +1,97 @@
+"""External wall-power meter (a "Watts Up" — paper section 3.1).
+
+The paper verified its RAPL power readings against a Watts Up meter,
+citing Khan et al.'s finding that RAPL is accurate.  This module models
+that external meter: it samples *true* platform power (which the meter
+sees after the power supply, so a PSU efficiency loss and wall-side
+overhead apply) at a coarse rate with quantisation and calibration
+noise, independent of the on-die counters.
+
+:func:`verify_rapl_against_meter` reproduces the verification
+methodology: run both instruments over a window and report the relative
+error between RAPL energy and meter energy net of the modelled PSU.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WattsUpConfig:
+    """Meter characteristics (a consumer wall meter, not a lab PSU)."""
+
+    sample_period_s: float = 1.0
+    #: wall power = platform power / psu_efficiency + base draw
+    psu_efficiency: float = 0.90
+    psu_base_watts: float = 8.0
+    #: display quantisation, watts.
+    resolution_w: float = 0.1
+    #: relative calibration noise (1 sigma).
+    noise_sigma: float = 0.005
+    seed: int = 99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.psu_efficiency <= 1.0:
+            raise ConfigError("PSU efficiency must be in (0, 1]")
+        if self.sample_period_s <= 0 or self.resolution_w <= 0:
+            raise ConfigError("period and resolution must be positive")
+
+
+class WattsUpMeter:
+    """Samples true package power through a modelled PSU."""
+
+    def __init__(self, config: WattsUpConfig | None = None):
+        self.config = config or WattsUpConfig()
+        self._rng = random.Random(self.config.seed)
+        self.samples_w: list[float] = []
+        self._accum_s = 0.0
+
+    def observe(self, true_package_w: float, dt_s: float) -> None:
+        """Feed true power; the meter latches a reading once per period."""
+        if dt_s <= 0:
+            raise ConfigError("dt must be positive")
+        self._accum_s += dt_s
+        if self._accum_s + 1e-12 < self.config.sample_period_s:
+            return
+        self._accum_s -= self.config.sample_period_s
+        cfg = self.config
+        wall = true_package_w / cfg.psu_efficiency + cfg.psu_base_watts
+        wall *= 1.0 + self._rng.gauss(0.0, cfg.noise_sigma)
+        quantised = round(wall / cfg.resolution_w) * cfg.resolution_w
+        self.samples_w.append(quantised)
+
+    def mean_wall_power_w(self) -> float:
+        if not self.samples_w:
+            raise ConfigError("meter has no samples yet")
+        return sum(self.samples_w) / len(self.samples_w)
+
+    def implied_package_power_w(self) -> float:
+        """Back out package power from wall readings using the PSU model
+        (what the paper's verification effectively computes)."""
+        cfg = self.config
+        return (self.mean_wall_power_w() - cfg.psu_base_watts) * (
+            cfg.psu_efficiency
+        )
+
+
+def verify_rapl_against_meter(
+    chip, duration_s: float = 20.0, config: WattsUpConfig | None = None
+) -> float:
+    """Run chip + meter together; return RAPL's relative error vs the
+    meter-implied package power (paper section 3.1 methodology)."""
+    meter = WattsUpMeter(config)
+    start_energy = chip.energy.package_energy_joules
+    start_time = chip.time_s
+    ticks = int(round(duration_s / chip.tick_s))
+    for _ in range(ticks):
+        chip.tick()
+        meter.observe(chip.last_package_power_w, chip.tick_s)
+    chip.flush_counters()
+    elapsed = chip.time_s - start_time
+    rapl_power = (chip.energy.package_energy_joules - start_energy) / elapsed
+    meter_power = meter.implied_package_power_w()
+    return abs(rapl_power - meter_power) / meter_power

@@ -1,0 +1,39 @@
+"""Workload models: SPEC CPU2017-like apps, cpuburn, and websearch.
+
+The paper drives its policies with 11 SPEC CPU2017 benchmarks, the
+``cpuburn`` power virus and CloudSuite's ``websearch``.  We model each as
+an analytic application whose performance and power demand respond to
+frequency the way the measured programs do (see DESIGN.md section 2 for
+the substitution argument).
+"""
+
+from repro.workloads.app import AppModel, AppPhase, RunningApp
+from repro.workloads.spec import (
+    SPEC_BENCHMARKS,
+    spec_app,
+    spec_names,
+    high_demand_names,
+    low_demand_names,
+)
+from repro.workloads.cpuburn import cpuburn
+from repro.workloads.websearch import WebsearchCluster, WebsearchConfig
+from repro.workloads.generator import RandomMixGenerator, table3_set
+from repro.workloads.gaming import nop_padded, useful_fraction
+
+__all__ = [
+    "AppModel",
+    "AppPhase",
+    "RunningApp",
+    "SPEC_BENCHMARKS",
+    "spec_app",
+    "spec_names",
+    "high_demand_names",
+    "low_demand_names",
+    "cpuburn",
+    "WebsearchCluster",
+    "WebsearchConfig",
+    "RandomMixGenerator",
+    "table3_set",
+    "nop_padded",
+    "useful_fraction",
+]

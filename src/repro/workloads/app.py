@@ -1,0 +1,239 @@
+"""Analytic application model.
+
+Each application is described by a small set of parameters that determine
+how it responds to frequency — the only properties the paper's policies
+can observe or exploit:
+
+* ``mem_fraction`` — fraction of runtime (at the reference frequency)
+  spent stalled on memory.  Memory time does not scale with frequency
+  (paper section 2.1, "Limitations of P-States"), so a high value makes
+  the app insensitive to DVFS.
+* ``c_eff`` — relative effective switching capacitance: the app's *power
+  demand* at a given frequency.  The paper classifies apps as high demand
+  (HD) or low demand (LD) on exactly this axis.
+* ``uses_avx`` — AVX-heavy apps draw extra power and are frequency-capped
+  by the platform (paper Figs 1 and 2: cam4, lbm, imagick).
+* ``base_ipc`` — instructions per cycle when compute-bound, which turns
+  the model into instruction counts for the IPS telemetry that
+  performance shares consume.
+
+The classic roofline-style runtime decomposition is
+
+    ``T(f) = T_cpu(f_ref) * (f_ref / f) + T_mem``
+
+which gives the throughput ratio used throughout::
+
+    speedup(f) = 1 / ((1 - m) * f_ref / f + m)
+
+Phases add small deterministic pseudo-random modulation on IPC and power
+demand.  SPEC benchmarks are steady (the paper chose them for that), so
+amplitudes are small, but they are what make performance shares jittery
+relative to frequency shares (paper section 6.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+#: name -> phase offset, computed once per app model name.
+_PHASE_OFFSET_CACHE: dict[str, float] = {}
+
+
+@dataclass(frozen=True)
+class AppPhase:
+    """Deterministic sinusoidal modulation of app behaviour.
+
+    ``ipc_amplitude`` and ``power_amplitude`` are relative (0.05 = +/-5%);
+    ``period_s`` is the phase period in seconds.
+    """
+
+    ipc_amplitude: float = 0.0
+    power_amplitude: float = 0.0
+    period_s: float = 40.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ipc_amplitude < 1.0:
+            raise ConfigError("ipc_amplitude must be in [0, 1)")
+        if not 0.0 <= self.power_amplitude < 1.0:
+            raise ConfigError("power_amplitude must be in [0, 1)")
+        if self.period_s <= 0.0:
+            raise ConfigError("phase period must be positive")
+
+
+@dataclass(frozen=True)
+class AppModel:
+    """Immutable description of an application's frequency response."""
+
+    name: str
+    #: total instructions to retire before the app completes; ``None``
+    #: models a continuously running service.
+    instructions: float | None
+    mem_fraction: float
+    c_eff: float
+    base_ipc: float
+    uses_avx: bool = False
+    phase: AppPhase = field(default_factory=AppPhase)
+    #: power multiplier applied while stalled on memory (stalled cores
+    #: still clock but switch less logic).
+    stall_power_factor: float = 0.45
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("app needs a name")
+        if self.instructions is not None and self.instructions <= 0:
+            raise ConfigError(f"{self.name}: instructions must be positive")
+        if not 0.0 <= self.mem_fraction < 1.0:
+            raise ConfigError(
+                f"{self.name}: mem_fraction must be in [0, 1)"
+            )
+        if self.c_eff <= 0:
+            raise ConfigError(f"{self.name}: c_eff must be positive")
+        if self.base_ipc <= 0:
+            raise ConfigError(f"{self.name}: base_ipc must be positive")
+        if not 0.0 < self.stall_power_factor <= 1.0:
+            raise ConfigError(
+                f"{self.name}: stall_power_factor must be in (0, 1]"
+            )
+
+    # -- frequency response -------------------------------------------------
+
+    def speedup(self, frequency_mhz: float, reference_mhz: float) -> float:
+        """Throughput at ``frequency_mhz`` relative to ``reference_mhz``."""
+        if frequency_mhz <= 0 or reference_mhz <= 0:
+            raise ConfigError("frequencies must be positive")
+        m = self.mem_fraction
+        return 1.0 / ((1.0 - m) * reference_mhz / frequency_mhz + m)
+
+    def ips(self, frequency_mhz: float, reference_mhz: float) -> float:
+        """Instructions per second at a frequency.
+
+        At the reference frequency the app retires ``base_ipc`` per cycle
+        scaled by the non-stalled fraction, i.e. IPS_ref =
+        base_ipc * f_ref * (1 - m) + memory-phase retirement, collapsed
+        into the roofline form.
+        """
+        ips_ref = self.base_ipc * reference_mhz * 1e6
+        return ips_ref * self.speedup(frequency_mhz, reference_mhz)
+
+    def compute_activity(
+        self, frequency_mhz: float, reference_mhz: float
+    ) -> float:
+        """Fraction of wall time spent compute-bound at this frequency.
+
+        As frequency rises, compute shrinks while memory time is fixed, so
+        activity falls — capturing why memory-bound apps save little power
+        from high clocks and gain little performance.
+        """
+        m = self.mem_fraction
+        cpu_time = (1.0 - m) * reference_mhz / frequency_mhz
+        return cpu_time / (cpu_time + m)
+
+    def activity_power_factor(
+        self, frequency_mhz: float, reference_mhz: float
+    ) -> float:
+        """Time-weighted dynamic-power activity factor in (0, 1]."""
+        active = self.compute_activity(frequency_mhz, reference_mhz)
+        return active + (1.0 - active) * self.stall_power_factor
+
+    # -- phase modulation ----------------------------------------------------
+
+    def _phase_offset(self) -> float:
+        # Per-app deterministic phase offset so co-running copies of
+        # different apps do not modulate in lockstep.  Cached: it is hit
+        # every simulator tick.
+        cached = _PHASE_OFFSET_CACHE.get(self.name)
+        if cached is None:
+            digest = hashlib.sha256(self.name.encode()).digest()
+            cached = digest[0] / 255.0 * 2.0 * math.pi
+            _PHASE_OFFSET_CACHE[self.name] = cached
+        return cached
+
+    def _phase_angle(self, sim_time_s: float) -> float:
+        return (
+            2.0 * math.pi * sim_time_s / self.phase.period_s
+            + self._phase_offset()
+        )
+
+    def ipc_factor(self, sim_time_s: float) -> float:
+        """Instantaneous IPC multiplier from phase behaviour."""
+        if self.phase.ipc_amplitude == 0.0:
+            return 1.0
+        return 1.0 + self.phase.ipc_amplitude * math.sin(
+            self._phase_angle(sim_time_s)
+        )
+
+    def power_factor(self, sim_time_s: float) -> float:
+        """Instantaneous power-demand multiplier from phase behaviour."""
+        if self.phase.power_amplitude == 0.0:
+            return 1.0
+        return 1.0 + self.phase.power_amplitude * math.sin(
+            self._phase_angle(sim_time_s) * 0.5
+        )
+
+    def with_instructions(self, instructions: float | None) -> "AppModel":
+        """Copy of this model with a different total work size."""
+        return replace(self, instructions=instructions)
+
+
+class RunningApp:
+    """Mutable execution state of one :class:`AppModel` instance.
+
+    Tracks retired instructions and completion.  A ``RunningApp`` is what
+    gets placed onto a simulated core; several instances of the same model
+    may run concurrently (the paper runs two copies of each app in the
+    random experiments).
+    """
+
+    def __init__(self, model: AppModel, *, instance: int = 0):
+        self.model = model
+        self.instance = instance
+        self.retired_instructions = 0.0
+        self.elapsed_s = 0.0
+        self.finished = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.model.name}#{self.instance}"
+
+    def advance(
+        self,
+        dt_s: float,
+        frequency_mhz: float,
+        reference_mhz: float,
+        sim_time_s: float,
+        share: float = 1.0,
+    ) -> float:
+        """Run for ``dt_s`` seconds at ``frequency_mhz``.
+
+        ``share`` scales residency for time-shared cores (fraction of the
+        interval the app actually held the core).  Returns instructions
+        retired this interval.
+        """
+        if self.finished:
+            return 0.0
+        if dt_s < 0 or not 0.0 <= share <= 1.0:
+            raise ConfigError("bad advance arguments")
+        rate = self.model.ips(frequency_mhz, reference_mhz)
+        rate *= self.model.ipc_factor(sim_time_s)
+        retired = rate * dt_s * share
+        budget = self.model.instructions
+        if budget is not None:
+            remaining = budget - self.retired_instructions
+            if retired >= remaining:
+                retired = max(remaining, 0.0)
+                self.finished = True
+        self.retired_instructions += retired
+        self.elapsed_s += dt_s * share
+        return retired
+
+    def progress(self) -> float:
+        """Completed fraction in [0, 1]; services always report 0."""
+        if self.model.instructions is None:
+            return 0.0
+        return min(
+            1.0, self.retired_instructions / self.model.instructions
+        )

@@ -1,0 +1,28 @@
+"""The ``cpuburn`` power virus (paper sections 3.2 and 6.4).
+
+cpuburn issues a tight loop of maximum-switching-activity instructions;
+one core of it drew 32 W on the paper's Skylake at 3 GHz while nine cores
+of websearch drew 44 W.  We model it as a service (never finishes) with
+by far the highest effective capacitance in the catalog and zero memory
+stall time, so its power demand scales all the way up the frequency
+range.  It is deliberately *not* AVX-flagged: the classic cpuburn kernels
+hammer the legacy FPU, and the paper runs it at the full 3 GHz.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.app import AppModel, AppPhase
+
+
+def cpuburn() -> AppModel:
+    """A maximum-power spin loop that runs until killed."""
+    return AppModel(
+        name="cpuburn",
+        instructions=None,
+        mem_fraction=0.0,
+        c_eff=2.8,
+        base_ipc=3.0,
+        uses_avx=False,
+        phase=AppPhase(),  # perfectly steady, by construction
+        stall_power_factor=1.0,
+    )

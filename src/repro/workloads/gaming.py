@@ -1,0 +1,70 @@
+"""Game-ability of power-allocation policies (paper section 8).
+
+The paper's conclusions warn that "an application can vary its
+instruction mix to change its measured resource usage": padding with
+NOPs inflates the IPS a performance-share policy measures, and adding
+vector/floating-point busywork inflates measured power.  A sound policy
+ensures "any gaming steps an application takes have an overall larger
+negative impact on their performance than any benefit they might
+receive".
+
+:func:`nop_padded` builds the gamed variant of an application: it
+retires more *instructions* per second (NOPs are nearly free) but every
+retired instruction carries less useful work, and the padding costs a
+little real pipeline throughput.  The gaming experiment
+(:mod:`repro.experiments.gaming_exp`) runs gamed and honest copies under
+the performance-share policy and measures *useful* throughput — which is
+what the gamer actually cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigError
+from repro.workloads.app import AppModel
+
+
+def nop_padded(
+    app: AppModel,
+    nop_fraction: float,
+    *,
+    pipeline_overhead: float = 0.05,
+) -> AppModel:
+    """A variant of ``app`` padded so a ``nop_fraction`` of retired
+    instructions are NOPs.
+
+    ``nop_fraction = 0.5`` doubles apparent instruction throughput per
+    unit of useful work.  ``pipeline_overhead`` is the real slowdown the
+    padding inflicts on useful work (fetch/decode bandwidth the NOPs
+    consume).  Use :func:`useful_fraction` to convert the gamed app's
+    measured IPS back to useful IPS.
+    """
+    if not 0.0 <= nop_fraction < 1.0:
+        raise ConfigError("nop_fraction must be in [0, 1)")
+    if not 0.0 <= pipeline_overhead < 1.0:
+        raise ConfigError("pipeline_overhead must be in [0, 1)")
+    if nop_fraction == 0.0:
+        return app
+    inflation = 1.0 / (1.0 - nop_fraction)
+    gamed_ipc = app.base_ipc * inflation * (1.0 - pipeline_overhead)
+    gamed = replace(
+        app,
+        name=f"{app.name}+nop{int(100 * nop_fraction)}",
+        base_ipc=gamed_ipc,
+        # the instruction *budget* inflates identically, so wall-clock
+        # runtime semantics are preserved modulo the overhead
+        instructions=(
+            app.instructions * inflation
+            if app.instructions is not None
+            else None
+        ),
+    )
+    return gamed
+
+
+def useful_fraction(nop_fraction: float) -> float:
+    """Fraction of a gamed app's retired instructions that do real work."""
+    if not 0.0 <= nop_fraction < 1.0:
+        raise ConfigError("nop_fraction must be in [0, 1)")
+    return 1.0 - nop_fraction

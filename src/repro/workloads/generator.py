@@ -1,0 +1,66 @@
+"""Random workload mixes (paper section 6.3, Table 3).
+
+The paper draws random subsets of the 11 SPEC benchmarks (using
+numbergenerator.org) to generalise beyond hand-picked HD/LD pairs.  The
+two sets it reports are reproduced verbatim as :func:`table3_set`;
+:class:`RandomMixGenerator` produces additional seeded mixes for wider
+sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigError
+from repro.workloads.app import AppModel
+from repro.workloads.spec import spec_app, spec_names
+
+#: Table 3 of the paper: application sets for the random experiments.
+TABLE3_SETS: dict[str, tuple[str, ...]] = {
+    "A": ("deepsjeng", "perlbench", "cactusBSSN", "exchange2", "gcc"),
+    "B": ("deepsjeng", "omnetpp", "perlbench", "cam4", "lbm"),
+}
+
+
+def table3_set(which: str, *, steady: bool = True) -> list[AppModel]:
+    """The paper's random set A or B, in Table 3 order (App. #0..#4)."""
+    try:
+        names = TABLE3_SETS[which.upper()]
+    except KeyError:
+        raise ConfigError(f"unknown Table 3 set {which!r}; use 'A' or 'B'") from None
+    return [spec_app(name, steady=steady) for name in names]
+
+
+class RandomMixGenerator:
+    """Seeded generator of random SPEC subsets.
+
+    Mirrors the paper's methodology: sample ``k`` distinct benchmarks,
+    then optionally replicate each ``copies`` times (the paper runs two
+    copies of each of 5 apps on the 10-core Skylake).
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def sample(
+        self, k: int, *, copies: int = 1, steady: bool = True
+    ) -> list[AppModel]:
+        """Draw ``k`` distinct benchmarks, replicated ``copies`` times."""
+        names = spec_names()
+        if not 0 < k <= len(names):
+            raise ConfigError(f"k must be in [1, {len(names)}]")
+        if copies <= 0:
+            raise ConfigError("copies must be positive")
+        chosen = self._rng.sample(list(names), k)
+        mix: list[AppModel] = []
+        for name in chosen:
+            app = spec_app(name, steady=steady)
+            mix.extend([app] * copies)
+        return mix
+
+    def sample_names(self, k: int) -> list[str]:
+        """Draw ``k`` distinct benchmark names without building models."""
+        names = spec_names()
+        if not 0 < k <= len(names):
+            raise ConfigError(f"k must be in [1, {len(names)}]")
+        return self._rng.sample(list(names), k)

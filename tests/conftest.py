@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.platform import ryzen_1700x, skylake_xeon_4114
+from repro.sim.chip import Chip
+
+
+@pytest.fixture(scope="session")
+def skylake():
+    return skylake_xeon_4114()
+
+
+@pytest.fixture(scope="session")
+def ryzen():
+    return ryzen_1700x()
+
+
+@pytest.fixture(params=["skylake", "ryzen"])
+def platform(request, skylake, ryzen):
+    """Parametrized over both evaluation platforms."""
+    return skylake if request.param == "skylake" else ryzen
+
+
+@pytest.fixture
+def sky_chip(skylake):
+    """A fresh Skylake chip with a 1 ms tick."""
+    return Chip(skylake)
+
+
+@pytest.fixture
+def ryzen_chip(ryzen):
+    return Chip(ryzen)
+
+
+@pytest.fixture
+def chip(platform):
+    return Chip(platform)

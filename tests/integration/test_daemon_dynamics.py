@@ -1,0 +1,124 @@
+"""Daemon dynamics under workload churn: apps finishing mid-run, parked
+telemetry, and policy reactions to a changing active set."""
+
+import pytest
+
+from repro.core.daemon import PowerDaemon
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.priority import PriorityPolicy
+from repro.core.types import ManagedApp, Priority
+from repro.hw.platform import get_platform
+from repro.sched.pinning import pin_apps
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.workloads.spec import spec_app
+
+TICK = 5e-3
+
+
+def finite_app(name, seconds_at_ref):
+    """An app sized to finish after roughly ``seconds_at_ref``."""
+    model = spec_app(name)
+    rate = model.ips(2200.0, 2200.0)
+    return model.with_instructions(rate * seconds_at_ref)
+
+
+class TestCompletionHandling:
+    def test_finished_app_frees_power_for_others(self):
+        """When a short app completes, redistribution hands its power to
+        the survivors (the daemon sees the power drop as headroom)."""
+        platform = get_platform("skylake")
+        chip = Chip(platform, tick_s=TICK)
+        engine = SimEngine(chip)
+        apps = (
+            [finite_app("cactusBSSN", 10.0)] * 5
+            + [spec_app("leela", steady=True)] * 5
+        )
+        placements = pin_apps(chip, apps)
+        managed = [
+            ManagedApp(label=p.label, core_id=p.core_id, shares=50.0)
+            for p in placements
+        ]
+        policy = FrequencySharesPolicy(platform, managed, 40.0)
+        daemon = PowerDaemon(chip, policy)
+        daemon.attach(engine)
+        engine.run(12.0)  # cactusBSSN instances finish around t=10-12
+        early_leela = daemon.history[7].app_frequency_mhz["leela#0"]
+        engine.run(30.0)
+        late_leela = daemon.history[-1].app_frequency_mhz["leela#0"]
+        assert late_leela > early_leela
+        # power still within the limit after the transition
+        tail = [s.package_power_w for s in daemon.history[-6:]]
+        assert max(tail) <= 42.0
+
+    def test_priority_readmits_lp_when_hp_finishes(self):
+        """Priority policy restarts its state machine when the active
+        set changes: once power-hungry HP apps finish, previously starved
+        LP apps get admitted."""
+        platform = get_platform("skylake")
+        chip = Chip(platform, tick_s=TICK)
+        engine = SimEngine(chip)
+        apps = (
+            [finite_app("cactusBSSN", 15.0)] * 5
+            + [spec_app("leela", steady=True)] * 5
+        )
+        placements = pin_apps(chip, apps)
+        managed = [
+            ManagedApp(
+                label=p.label, core_id=p.core_id,
+                priority=Priority.HIGH if i < 5 else Priority.LOW,
+            )
+            for i, p in enumerate(placements)
+        ]
+        policy = PriorityPolicy(platform, managed, 40.0)
+        daemon = PowerDaemon(chip, policy)
+        daemon.attach(engine)
+        engine.run(10.0)
+        # while HP run hot at 40 W, LP starve
+        assert daemon.history[-1].app_parked["leela#0"]
+        engine.run(50.0)  # HP finish; retries/readmission happen
+        record = daemon.history[-1]
+        assert not record.app_parked["leela#0"]
+        assert record.app_frequency_mhz["leela#0"] > 0
+
+    def test_parked_cores_report_zero_telemetry(self):
+        platform = get_platform("skylake")
+        chip = Chip(platform, tick_s=TICK)
+        engine = SimEngine(chip)
+        apps = (
+            [spec_app("cactusBSSN", steady=True)] * 5
+            + [spec_app("leela", steady=True)] * 5
+        )
+        placements = pin_apps(chip, apps)
+        managed = [
+            ManagedApp(
+                label=p.label, core_id=p.core_id,
+                priority=Priority.HIGH if i < 5 else Priority.LOW,
+            )
+            for i, p in enumerate(placements)
+        ]
+        policy = PriorityPolicy(platform, managed, 40.0)
+        daemon = PowerDaemon(chip, policy)
+        daemon.attach(engine)
+        engine.run(15.0)
+        record = daemon.history[-1]
+        assert record.app_parked["leela#0"]
+        assert record.app_frequency_mhz["leela#0"] == 0.0
+        assert record.app_ips["leela#0"] == 0.0
+
+    def test_all_apps_finished_drops_to_idle_power(self):
+        platform = get_platform("skylake")
+        chip = Chip(platform, tick_s=TICK)
+        engine = SimEngine(chip)
+        apps = [finite_app("leela", 5.0)] * 4
+        placements = pin_apps(chip, apps)
+        managed = [
+            ManagedApp(label=p.label, core_id=p.core_id)
+            for p in placements
+        ]
+        policy = FrequencySharesPolicy(platform, managed, 40.0)
+        daemon = PowerDaemon(chip, policy)
+        daemon.attach(engine)
+        engine.run(25.0)
+        # only uncore + idle floors remain
+        assert daemon.history[-1].package_power_w < 12.0

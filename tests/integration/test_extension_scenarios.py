@@ -1,0 +1,49 @@
+"""Integration tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments.consolidation_exp import run_consolidation_experiment
+from repro.experiments.gaming_exp import run_gaming_experiment
+
+
+class TestGamingExperiment:
+    def test_gaming_backfires_under_performance_shares(self):
+        """The paper's soundness criterion (section 8): NOP-padding's
+        frequency 'benefit' is outweighed by the loss of useful work."""
+        result = run_gaming_experiment(
+            nop_fraction=0.4, duration_s=25.0, warmup_s=12.0
+        )
+        assert result.gaming_payoff < 0.9
+        # the policy visibly punished the inflated IPS with frequency
+        assert result.gamed_freq_mhz < result.honest_freq_mhz
+
+
+class TestConsolidationExperiment:
+    def test_consolidation_beats_starvation_for_lp(self):
+        starved = run_consolidation_experiment(
+            consolidate=False, duration_s=15.0
+        )
+        packed = run_consolidation_experiment(
+            consolidate=True, duration_s=15.0
+        )
+        assert starved.lp_norm_perf == 0.0
+        assert packed.lp_norm_perf > 0.03
+        assert packed.lp_cores_active >= 1
+
+    def test_consolidation_costs_hp_its_boost(self):
+        """Waking LP cores lowers the turbo ceiling — the exact trade the
+        paper's implementation resolves in favour of starvation."""
+        starved = run_consolidation_experiment(
+            consolidate=False, duration_s=15.0
+        )
+        packed = run_consolidation_experiment(
+            consolidate=True, duration_s=15.0
+        )
+        assert packed.hp_norm_perf < starved.hp_norm_perf
+
+    def test_both_modes_respect_limit(self):
+        for consolidate in (False, True):
+            result = run_consolidation_experiment(
+                consolidate=consolidate, duration_s=15.0
+            )
+            assert result.package_power_w <= result.limit_w + 1.0

@@ -1,0 +1,73 @@
+"""Integration tests for the HWP-hints policy variant."""
+
+import pytest
+
+from repro.core.daemon import PowerDaemon
+from repro.core.hwp_hints import HwpHintsPolicy
+from repro.core.types import ManagedApp
+from repro.errors import ConfigError
+from repro.hw.hwp import HwpController
+from repro.hw.platform import get_platform
+from repro.sched.pinning import pin_apps
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.workloads.spec import spec_app
+
+
+def build(limit_w=45.0, shares=(70.0, 30.0)):
+    platform = get_platform("skylake")
+    chip = Chip(platform, tick_s=5e-3)
+    engine = SimEngine(chip)
+    placements = pin_apps(
+        chip,
+        [spec_app("leela", steady=True)] * 5
+        + [spec_app("cactusBSSN", steady=True)] * 5,
+    )
+    managed = [
+        ManagedApp(label=p.label, core_id=p.core_id,
+                   shares=shares[0] if i < 5 else shares[1])
+        for i, p in enumerate(placements)
+    ]
+    policy = HwpHintsPolicy(platform, managed, limit_w)
+    hwp = HwpController(chip)
+    policy.attach_hwp(hwp)
+    hwp.attach(engine, period_s=0.05)
+    daemon = PowerDaemon(chip, policy)
+    daemon.attach(engine)
+    return chip, engine, daemon, policy
+
+
+class TestHwpHints:
+    def test_requires_attached_controller(self, skylake):
+        managed = [ManagedApp(label="a", core_id=0)]
+        policy = HwpHintsPolicy(skylake, managed, 45.0)
+        with pytest.raises(ConfigError):
+            policy.initial_distribution()
+
+    def test_enforces_limit_through_hints(self):
+        chip, engine, daemon, _ = build(limit_w=45.0)
+        engine.run(45.0)
+        tail = [s.package_power_w for s in daemon.history[-12:]]
+        assert sum(tail) / len(tail) == pytest.approx(45.0, abs=2.5)
+
+    def test_share_split_realised_by_hardware(self):
+        chip, engine, daemon, _ = build(limit_w=45.0, shares=(70.0, 30.0))
+        engine.run(45.0)
+        window = daemon.history[-12:]
+        n = len(window)
+        ld = sum(s.app_frequency_mhz["leela#0"] for s in window) / n
+        hd = sum(s.app_frequency_mhz["cactusBSSN#0"] for s in window) / n
+        assert ld > hd
+        assert ld / (ld + hd) == pytest.approx(0.7, abs=0.10)
+
+    def test_daemon_does_not_program_frequencies(self):
+        """The HWP controller owns P-state requests; the daemon's hint
+        ceilings must not be written via cpufreq (they would fight)."""
+        chip, engine, daemon, policy = build()
+        assert policy.programs_frequencies is False
+        engine.run(3.0)
+        # requested frequencies move at HWP cadence, bounded by hints
+        ceilings = policy._ceilings
+        for app in policy.apps:
+            requested = chip.requested_frequency(app.core_id)
+            assert requested <= ceilings[app.label] + 150.0

@@ -1,0 +1,80 @@
+"""Integration tests for the floor-first priority variant (section 4.1)."""
+
+import pytest
+
+from repro.core.daemon import PowerDaemon
+from repro.core.priority import PriorityConfig, PriorityPolicy
+from repro.core.types import ManagedApp, Priority
+from repro.hw.platform import get_platform
+from repro.sched.pinning import pin_apps
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.workloads.spec import spec_app
+
+
+def build(floor_first, limit_w=40.0, n_hp=3, n_lp=7):
+    platform = get_platform("skylake")
+    chip = Chip(platform, tick_s=5e-3)
+    engine = SimEngine(chip)
+    apps = (
+        [spec_app("cactusBSSN", steady=True)] * n_hp
+        + [spec_app("leela", steady=True)] * n_lp
+    )
+    placements = pin_apps(chip, apps)
+    managed = [
+        ManagedApp(
+            label=p.label, core_id=p.core_id,
+            priority=Priority.HIGH if i < n_hp else Priority.LOW,
+        )
+        for i, p in enumerate(placements)
+    ]
+    policy = PriorityPolicy(
+        platform, managed, limit_w,
+        priority_config=PriorityConfig(floor_first=floor_first),
+    )
+    daemon = PowerDaemon(chip, policy)
+    daemon.attach(engine)
+    return engine, daemon, policy
+
+
+class TestFloorFirst:
+    def test_lp_never_parked(self):
+        engine, daemon, policy = build(floor_first=True)
+        engine.run(30.0)
+        assert all(
+            not parked
+            for s in daemon.history
+            for parked in s.app_parked.values()
+        )
+
+    def test_hp_still_prioritised_over_lp(self):
+        engine, daemon, _ = build(floor_first=True)
+        engine.run(30.0)
+        record = daemon.history[-1]
+        assert (
+            record.app_frequency_mhz["cactusBSSN#0"]
+            > record.app_frequency_mhz["leela#0"]
+        )
+
+    def test_limit_enforced(self):
+        engine, daemon, _ = build(floor_first=True)
+        engine.run(35.0)
+        tail = [s.package_power_w for s in daemon.history[-8:]]
+        assert sum(tail) / len(tail) <= 41.5
+
+    def test_default_variant_starves_same_mix(self):
+        engine, daemon, policy = build(floor_first=False)
+        engine.run(30.0)
+        assert policy.state == "starved"
+
+    def test_floor_first_with_ample_power_matches_default(self):
+        """At a slack limit both variants run everything flat out."""
+        results = {}
+        for mode in (False, True):
+            engine, daemon, _ = build(
+                floor_first=mode, limit_w=85.0, n_hp=2, n_lp=2
+            )
+            engine.run(20.0)
+            record = daemon.history[-1]
+            results[mode] = record.app_frequency_mhz["leela#0"]
+        assert results[True] == pytest.approx(results[False], rel=0.05)

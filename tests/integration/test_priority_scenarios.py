@@ -1,0 +1,110 @@
+"""Integration tests: the paper's priority-policy scenarios end to end.
+
+Each test runs the full stack (chip + daemon + policy) and asserts a
+behaviour Fig 7/8 reports.  Durations are short but long enough for the
+state machine to settle.
+"""
+
+import pytest
+
+from repro.config import AppSpec, ExperimentConfig, build_stack
+from repro.core.types import Priority
+
+TICK = 5e-3
+
+
+def priority_config(platform, limit, hd_hp, ld_hp, hd_lp, ld_lp):
+    apps = (
+        [AppSpec("cactusBSSN", priority=Priority.HIGH)] * hd_hp
+        + [AppSpec("leela", priority=Priority.HIGH)] * ld_hp
+        + [AppSpec("cactusBSSN", priority=Priority.LOW)] * hd_lp
+        + [AppSpec("leela", priority=Priority.LOW)] * ld_lp
+    )
+    return ExperimentConfig(
+        platform=platform, policy="priority", limit_w=limit,
+        apps=tuple(apps), tick_s=TICK,
+    )
+
+
+def run(config, seconds=40.0):
+    stack = build_stack(config)
+    stack.engine.run(seconds)
+    return stack
+
+
+class TestSkylakeStarvation:
+    def test_5h5l_at_50w_admits_lp(self):
+        """Paper: at 50 W LP runs when there are <= 5 HP apps."""
+        stack = run(priority_config("skylake", 50.0, 5, 0, 0, 5))
+        assert stack.daemon.policy.state == "admitted"
+        record = stack.daemon.history[-1]
+        assert not record.app_parked["leela#0"]
+        assert record.app_frequency_mhz["leela#0"] >= 800.0
+
+    def test_7h3l_at_50w_starves_lp(self):
+        """Paper: at 50 W LP starves with 7 HP apps."""
+        stack = run(priority_config("skylake", 50.0, 4, 3, 1, 2))
+        record = stack.daemon.history[-1]
+        assert record.app_parked["cactusBSSN#4"]  # the LP cactus
+
+    def test_3h7l_at_40w_starves_and_boosts(self):
+        """Paper: at 40 W with 3 HP apps, LP starve and HP run *faster*
+        than at 85 W thanks to opportunistic scaling."""
+        stack = run(priority_config("skylake", 40.0, 2, 1, 3, 4))
+        record = stack.daemon.history[-1]
+        assert record.app_parked["cactusBSSN#2"]
+        hp_freq = record.app_frequency_mhz["cactusBSSN#0"]
+        assert hp_freq > 2500.0  # above the 10-active all-core ceiling
+
+    def test_1h9l_at_40w_admits_lp(self):
+        """Paper Fig 7a: at 40 W LP runs in the 1H9L mix."""
+        stack = run(priority_config("skylake", 40.0, 1, 0, 4, 5))
+        assert stack.daemon.policy.state == "admitted"
+
+    def test_limit_respected_in_steady_state(self):
+        stack = run(priority_config("skylake", 50.0, 5, 0, 0, 5))
+        tail = [s.package_power_w for s in stack.daemon.history[-8:]]
+        assert sum(tail) / len(tail) <= 52.0
+
+
+class TestRyzenStarvation:
+    def test_4h4l_at_50w_admits(self):
+        """Paper: at 50 W Ryzen LP run when there are <= 4 HP jobs."""
+        stack = run(priority_config("ryzen", 50.0, 4, 0, 0, 4))
+        assert stack.daemon.policy.state == "admitted"
+
+    def test_4h4l_at_40w_starves(self):
+        """Paper: at 40 W Ryzen LP run only with 2 HP jobs."""
+        stack = run(priority_config("ryzen", 40.0, 4, 0, 0, 4))
+        record = stack.daemon.history[-1]
+        assert record.app_parked["leela#0"]
+
+    def test_2h6l_at_40w_admits(self):
+        stack = run(priority_config("ryzen", 40.0, 1, 1, 3, 3))
+        assert stack.daemon.policy.state == "admitted"
+
+    def test_core_power_ordering(self):
+        """HD HP cores draw more power than LP cores at minimum."""
+        stack = run(priority_config("ryzen", 50.0, 4, 0, 0, 4))
+        record = stack.daemon.history[-1]
+        hp_power = record.app_power_w["cactusBSSN#0"]
+        lp_power = record.app_power_w["leela#0"]
+        assert hp_power > lp_power
+
+
+class TestRaplComparison:
+    def test_rapl_ignores_priority(self):
+        """Under RAPL, HP and LP run at the same frequency (Fig 7)."""
+        apps = (
+            [AppSpec("cactusBSSN", priority=Priority.HIGH)] * 5
+            + [AppSpec("leela", priority=Priority.LOW)] * 5
+        )
+        config = ExperimentConfig(
+            platform="skylake", policy="rapl", limit_w=40.0,
+            apps=tuple(apps), tick_s=TICK,
+        )
+        stack = run(config, seconds=25.0)
+        record = stack.daemon.history[-1]
+        hp = record.app_frequency_mhz["cactusBSSN#0"]
+        lp = record.app_frequency_mhz["leela#0"]
+        assert hp == pytest.approx(lp, rel=0.02)

@@ -1,0 +1,122 @@
+"""Integration tests: RAPL interference effects (Figs 1, 4, 5)."""
+
+import pytest
+
+from repro.hw.platform import get_platform
+from repro.sim.chip import Chip
+from repro.sim.core import BatchCoreLoad, ClusterCoreLoad
+from repro.sim.engine import SimEngine
+from repro.sched.pinning import pin_apps
+from repro.workloads.app import RunningApp
+from repro.workloads.cpuburn import cpuburn
+from repro.workloads.spec import spec_app
+from repro.workloads.websearch import WebsearchCluster, WebsearchConfig
+
+TICK = 5e-3
+
+
+class TestFig1Shape:
+    def test_rapl_throttles_low_demand_app_more(self):
+        """gcc (fast, low demand) loses relatively more frequency than
+        cam4 (slow, high demand) under a binding RAPL limit."""
+        platform = get_platform("skylake")
+        chip = Chip(platform, tick_s=TICK)
+        engine = SimEngine(chip)
+        apps = [spec_app("gcc", steady=True)] * 5 + [
+            spec_app("cam4", steady=True)
+        ] * 5
+        placements = pin_apps(chip, apps)
+        for p in placements:
+            top = platform.effective_max_frequency_mhz(p.app.model.uses_avx)
+            chip.set_requested_frequency(
+                p.core_id, platform.pstates.quantize(top).frequency_mhz
+            )
+        chip.set_rapl_limit(50.0)
+        engine.run(20.0)
+        gcc_freq = chip.effective_frequency(0)
+        cam4_freq = chip.effective_frequency(5)
+        gcc_loss = 1 - gcc_freq / 3000.0
+        cam4_loss = 1 - cam4_freq / 1700.0
+        assert gcc_loss > cam4_loss
+
+    def test_both_converge_to_cap_at_low_limit(self):
+        platform = get_platform("skylake")
+        chip = Chip(platform, tick_s=TICK)
+        engine = SimEngine(chip)
+        apps = [spec_app("gcc", steady=True)] * 5 + [
+            spec_app("cam4", steady=True)
+        ] * 5
+        pin_apps(chip, apps)
+        for core_id in range(10):
+            chip.set_requested_frequency(core_id, 1700.0 if core_id >= 5
+                                         else 3000.0)
+        chip.set_rapl_limit(40.0)
+        engine.run(25.0)
+        assert chip.effective_frequency(0) == pytest.approx(
+            chip.effective_frequency(5), rel=0.02
+        )
+
+
+class TestFig4Shape:
+    def _run(self, throttle_mhz, limit=50.0):
+        platform = get_platform("skylake")
+        chip = Chip(platform, tick_s=TICK)
+        engine = SimEngine(chip)
+        pin_apps(chip, [spec_app("gcc", steady=True)] * 10)
+        for core_id in range(5):
+            chip.set_requested_frequency(core_id, 2500.0)
+        for core_id in range(5, 10):
+            chip.set_requested_frequency(core_id, throttle_mhz)
+        chip.set_rapl_limit(limit)
+        engine.run(15.0)
+        return chip
+
+    def test_saved_power_speeds_up_unconstrained_cores(self):
+        free = self._run(2500.0).effective_frequency(0)
+        boosted = self._run(800.0).effective_frequency(0)
+        assert boosted > free
+
+    def test_rapl_only_reduces_the_fastest_cores(self):
+        chip = self._run(1200.0)
+        # throttled cores keep their software set-point
+        assert chip.effective_frequency(7) == pytest.approx(1200.0)
+        # unconstrained cores get clipped below their request
+        assert chip.effective_frequency(0) < 2500.0
+
+    def test_limit_enforced(self):
+        chip = self._run(1600.0, limit=40.0)
+        assert chip.last_package_power_w <= 42.0
+
+
+class TestFig5Shape:
+    def _latency(self, colocated, limit):
+        platform = get_platform("skylake")
+        chip = Chip(platform, tick_s=2e-3)
+        engine = SimEngine(chip)
+        cluster = WebsearchCluster(
+            list(range(9)), WebsearchConfig(n_users=300, seed=5)
+        )
+        chip.attach_cluster(cluster)
+        for core_id in cluster.core_ids:
+            chip.assign_load(core_id, ClusterCoreLoad(cluster, core_id))
+            chip.set_requested_frequency(core_id, 3000.0)
+        if colocated:
+            chip.assign_load(
+                9, BatchCoreLoad(RunningApp(cpuburn()), 2200.0)
+            )
+            chip.set_requested_frequency(9, 3000.0)
+        chip.set_rapl_limit(limit)
+        engine.run(10.0)
+        cluster.reset_latency_window()
+        engine.run(20.0)
+        return cluster.latency_percentile(90.0)
+
+    def test_power_virus_inflates_tail_latency(self):
+        alone = self._latency(False, 40.0)
+        together = self._latency(True, 40.0)
+        assert together > alone * 1.25
+
+    def test_no_interference_at_high_limit(self):
+        alone = self._latency(False, 85.0)
+        together = self._latency(True, 85.0)
+        assert together == pytest.approx(alone, rel=0.15)

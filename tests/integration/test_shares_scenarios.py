@@ -1,0 +1,115 @@
+"""Integration tests: proportional-share behaviour end to end."""
+
+import pytest
+
+from repro.config import AppSpec, ExperimentConfig, build_stack
+
+TICK = 5e-3
+
+
+def shares_config(platform, policy, limit, ld_shares, hd_shares):
+    n = 10 if platform == "skylake" else 8
+    half = n // 2
+    apps = tuple(
+        [AppSpec("leela", shares=ld_shares)] * half
+        + [AppSpec("cactusBSSN", shares=hd_shares)] * half
+    )
+    return ExperimentConfig(
+        platform=platform, policy=policy, limit_w=limit,
+        apps=apps, tick_s=TICK,
+    )
+
+
+def run_means(config, seconds=40.0, warm=20.0):
+    stack = build_stack(config)
+    stack.engine.run(seconds)
+    window = [s for s in stack.daemon.history if s.time_s >= warm]
+    n = len(window)
+    freq = {
+        label: sum(s.app_frequency_mhz[label] for s in window) / n
+        for label in stack.labels
+    }
+    power = sum(s.package_power_w for s in window) / n
+    return stack, freq, power
+
+
+class TestFrequencyShares:
+    @pytest.mark.parametrize("platform", ["skylake", "ryzen"])
+    def test_frequency_ratio_tracks_shares(self, platform):
+        config = shares_config(platform, "frequency-shares", 45.0, 70, 30)
+        _, freq, _ = run_means(config)
+        ld = freq["leela#0"]
+        hd = freq["cactusBSSN#0"]
+        assert ld / hd == pytest.approx(70 / 30, rel=0.15)
+
+    def test_power_near_limit(self):
+        config = shares_config("skylake", "frequency-shares", 45.0, 50, 50)
+        _, _, power = run_means(config)
+        assert power == pytest.approx(45.0, abs=2.0)
+
+    def test_extreme_ratio_hits_floor(self):
+        """Paper: 90/10 cannot be honoured — the frequency floor binds,
+        so the low-share app gets more than its share."""
+        config = shares_config("skylake", "frequency-shares", 45.0, 90, 10)
+        _, freq, _ = run_means(config)
+        hd = freq["cactusBSSN#0"]
+        ld = freq["leela#0"]
+        assert hd == pytest.approx(800.0, abs=30.0)
+        assert hd / (hd + ld) > 0.10  # more than its 10% share
+
+    def test_same_share_same_frequency(self):
+        config = shares_config("skylake", "frequency-shares", 45.0, 50, 50)
+        _, freq, _ = run_means(config)
+        assert freq["leela#0"] == pytest.approx(
+            freq["cactusBSSN#0"], rel=0.03
+        )
+
+
+class TestPerformanceShares:
+    def test_perf_fraction_tracks_shares(self):
+        config = shares_config("skylake", "performance-shares", 45.0, 70, 30)
+        stack, _, _ = run_means(config)
+        from repro.experiments.runner import standalone_reference_ips
+
+        window = stack.daemon.history[-10:]
+        ld_base = standalone_reference_ips(stack.platform, "leela")
+        hd_base = standalone_reference_ips(stack.platform, "cactusBSSN")
+        ld = sum(
+            s.app_ips["leela#0"] / ld_base for s in window
+        ) / len(window)
+        hd = sum(
+            s.app_ips["cactusBSSN#0"] / hd_base for s in window
+        ) / len(window)
+        assert ld / (ld + hd) == pytest.approx(0.7, abs=0.08)
+
+
+class TestPowerShares:
+    def test_per_core_power_tracks_shares_on_ryzen(self):
+        config = shares_config("ryzen", "power-shares", 40.0, 70, 30)
+        stack, _, _ = run_means(config)
+        window = stack.daemon.history[-10:]
+        ld = sum(s.app_power_w["leela#0"] for s in window) / len(window)
+        hd = sum(s.app_power_w["cactusBSSN#0"] for s in window) / len(window)
+        assert ld / (ld + hd) == pytest.approx(0.7, abs=0.07)
+
+    def test_power_shares_isolate_performance_worst(self):
+        """The paper's headline negative result (Fig 10): performance
+        fractions deviate from the share split far more under power
+        shares, because equal watts buy unequal-demand apps unequal
+        frequency.  Visible at an asymmetric ratio (30/70)."""
+        from repro.experiments.runner import standalone_reference_ips
+
+        deviation = {}
+        for policy in ("frequency-shares", "power-shares"):
+            config = shares_config("ryzen", policy, 40.0, 30, 70)
+            stack, _, _ = run_means(config)
+            window = stack.daemon.history[-10:]
+            perf = {}
+            for name in ("leela", "cactusBSSN"):
+                base = standalone_reference_ips(stack.platform, name)
+                perf[name] = sum(
+                    s.app_ips[f"{name}#0"] / base for s in window
+                ) / len(window)
+            ld_fraction = perf["leela"] / (perf["leela"] + perf["cactusBSSN"])
+            deviation[policy] = abs(ld_fraction - 0.30)
+        assert deviation["power-shares"] > deviation["frequency-shares"] + 0.03

@@ -1,0 +1,127 @@
+"""Property-based tests for policy invariants: any telemetry sequence
+keeps targets inside platform bounds and decisions well-formed."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.performance_shares import PerformanceSharesPolicy
+from repro.core.priority import PriorityPolicy
+from repro.core.types import AppTelemetry, ManagedApp, PolicyInputs, Priority
+from repro.hw.platform import skylake_xeon_4114
+
+SKYLAKE = skylake_xeon_4114()
+
+
+def make_apps(n, with_priority=False, baseline=None):
+    apps = []
+    for i in range(n):
+        priority = (
+            Priority.LOW if with_priority and i >= n // 2 else Priority.HIGH
+        )
+        apps.append(
+            ManagedApp(
+                label=f"a{i}", core_id=i, shares=float(10 * (i + 1)),
+                priority=priority, baseline_ips=baseline,
+            )
+        )
+    return apps
+
+
+def build_inputs(policy, iteration, package_w, freq, ips):
+    telem = tuple(
+        AppTelemetry(
+            label=app.label, active_frequency_mhz=freq, ips=ips,
+            busy_fraction=1.0, power_w=None, parked=False,
+        )
+        for app in policy.apps
+    )
+    return PolicyInputs(
+        iteration=iteration, limit_w=policy.limit_w,
+        package_power_w=package_w, apps=telem, current_targets={},
+    )
+
+
+power_seq = st.lists(
+    st.floats(min_value=5.0, max_value=120.0), min_size=1, max_size=25
+)
+
+
+@given(power_seq, st.integers(min_value=2, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_frequency_shares_targets_always_in_bounds(powers, n_apps):
+    policy = FrequencySharesPolicy(SKYLAKE, make_apps(n_apps), 50.0)
+    policy.initial_distribution()
+    for i, p in enumerate(powers):
+        decision = policy.redistribute(build_inputs(policy, i, p, 2000.0, 1e9))
+        decision.validate({a.label for a in policy.apps})
+        for target in decision.targets.values():
+            assert SKYLAKE.min_frequency_mhz - 1e-6 <= target
+            assert target <= SKYLAKE.max_frequency_mhz + 1e-6
+        assert decision.parked == set()  # shares never starve
+
+
+@given(power_seq)
+@settings(max_examples=60, deadline=None)
+def test_frequency_shares_ratio_invariant(powers):
+    """Unclamped targets keep the share ratio through any power history."""
+    policy = FrequencySharesPolicy(SKYLAKE, make_apps(2), 50.0)
+    policy.initial_distribution()
+    for i, p in enumerate(powers):
+        decision = policy.redistribute(build_inputs(policy, i, p, 2000.0, 1e9))
+        t1, t2 = decision.targets["a0"], decision.targets["a1"]
+        clamped = (
+            t1 <= SKYLAKE.min_frequency_mhz + 1e-6
+            or t2 >= SKYLAKE.max_frequency_mhz - 1e-6
+        )
+        if not clamped:
+            assert t2 / t1 == pytest.approx(2.0, rel=0.02)
+
+
+@given(power_seq, st.floats(min_value=1e8, max_value=1e10))
+@settings(max_examples=60, deadline=None)
+def test_performance_shares_bounded(powers, ips):
+    policy = PerformanceSharesPolicy(
+        SKYLAKE, make_apps(3, baseline=5e9), 50.0
+    )
+    policy.initial_distribution()
+    for i, p in enumerate(powers):
+        decision = policy.redistribute(
+            build_inputs(policy, i, p, 1500.0, ips)
+        )
+        for target in decision.targets.values():
+            assert SKYLAKE.min_frequency_mhz - 1e-6 <= target
+            assert target <= SKYLAKE.max_frequency_mhz + 1e-6
+
+
+@given(power_seq)
+@settings(max_examples=40, deadline=None)
+def test_priority_hp_never_parked(powers):
+    policy = PriorityPolicy(
+        SKYLAKE, make_apps(4, with_priority=True), 50.0
+    )
+    policy.initial_distribution()
+    hp_labels = {a.label for a in policy.hp_apps}
+    for i, p in enumerate(powers):
+        decision = policy.redistribute(
+            build_inputs(policy, i, p, 2200.0, 1e9)
+        )
+        assert not (decision.parked & hp_labels)
+        decision.validate({a.label for a in policy.apps})
+
+
+@given(power_seq)
+@settings(max_examples=40, deadline=None)
+def test_priority_lp_floor_when_running(powers):
+    policy = PriorityPolicy(
+        SKYLAKE, make_apps(4, with_priority=True), 50.0
+    )
+    policy.initial_distribution()
+    for i, p in enumerate(powers):
+        decision = policy.redistribute(
+            build_inputs(policy, i, p, 2200.0, 1e9)
+        )
+        for label, target in decision.targets.items():
+            if label not in decision.parked:
+                assert target >= SKYLAKE.min_frequency_mhz - 1e-6

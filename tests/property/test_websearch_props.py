@@ -1,0 +1,99 @@
+"""Property-based tests on the websearch queueing model's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.websearch import WebsearchCluster, WebsearchConfig
+
+
+def drive(cluster, steps, freqs, dt=5e-3):
+    for _ in range(steps):
+        cluster.advance(dt, freqs)
+
+
+@st.composite
+def cluster_setup(draw):
+    n_cores = draw(st.integers(min_value=1, max_value=4))
+    n_users = draw(st.integers(min_value=5, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=999))
+    freq = draw(st.floats(min_value=600.0, max_value=3800.0))
+    config = WebsearchConfig(
+        n_users=n_users, think_time_s=0.3, seed=seed,
+        service_cpu_s=0.004, service_mem_s=0.002,
+    )
+    return list(range(n_cores)), config, freq
+
+
+@given(cluster_setup(), st.integers(min_value=50, max_value=600))
+@settings(max_examples=40, deadline=None)
+def test_latencies_positive_and_time_consistent(setup, steps):
+    cores, config, freq = setup
+    cluster = WebsearchCluster(cores, config)
+    drive(cluster, steps, {c: freq for c in cores})
+    assert all(lat > 0 for lat in cluster.latencies())
+    # no latency can exceed the total simulated time
+    assert all(lat <= cluster.now + 1e-9 for lat in cluster.latencies())
+
+
+@given(cluster_setup(), st.integers(min_value=50, max_value=600))
+@settings(max_examples=40, deadline=None)
+def test_in_flight_requests_bounded_by_users(setup, steps):
+    cores, config, freq = setup
+    cluster = WebsearchCluster(cores, config)
+    drive(cluster, steps, {c: freq for c in cores})
+    in_service = sum(
+        1 for c in cores if cluster._cores[c].current is not None
+    )
+    assert cluster.queue_length() + in_service <= config.n_users
+
+
+@given(cluster_setup(), st.integers(min_value=50, max_value=400))
+@settings(max_examples=30, deadline=None)
+def test_busy_time_never_exceeds_wall_time(setup, steps):
+    cores, config, freq = setup
+    cluster = WebsearchCluster(cores, config)
+    drive(cluster, steps, {c: freq for c in cores})
+    for core in cores:
+        assert cluster.core_utilization(core) <= 1.0 + 1e-9
+
+
+@given(cluster_setup())
+@settings(max_examples=20, deadline=None)
+def test_deterministic_replay(setup):
+    cores, config, freq = setup
+    a = WebsearchCluster(cores, config)
+    b = WebsearchCluster(cores, config)
+    drive(a, 200, {c: freq for c in cores})
+    drive(b, 200, {c: freq for c in cores})
+    assert a.completed_requests == b.completed_requests
+    assert a.latencies() == b.latencies()
+
+
+@given(cluster_setup(), st.integers(min_value=100, max_value=400))
+@settings(max_examples=20, deadline=None)
+def test_closed_loop_user_conservation(setup, steps):
+    """Every user is always in exactly one place: thinking, queued, or
+    in service — the defining invariant of the closed-loop model."""
+    cores, config, freq = setup
+    cluster = WebsearchCluster(cores, config)
+    drive(cluster, steps, {c: freq for c in cores})
+    thinking = len(cluster._thinkers)
+    queued = cluster.queue_length()
+    in_service = sum(
+        1 for c in cores if cluster._cores[c].current is not None
+    )
+    assert thinking + queued + in_service == config.n_users
+
+
+@given(cluster_setup(), st.integers(min_value=600, max_value=1200))
+@settings(max_examples=10, deadline=None)
+def test_long_run_throughput_near_interactive_law(setup, steps):
+    """Over a long window, throughput approaches N/(Z+R) and cannot
+    exceed N/Z by more than sampling noise (interactive response-time
+    law)."""
+    cores, config, freq = setup
+    cluster = WebsearchCluster(cores, config)
+    drive(cluster, steps, {c: freq for c in cores})
+    ceiling = config.n_users / config.think_time_s
+    assert cluster.throughput() <= ceiling * 1.5

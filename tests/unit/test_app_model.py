@@ -1,0 +1,185 @@
+"""Tests for the analytic application model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.app import AppModel, AppPhase, RunningApp
+
+
+def make_app(**overrides) -> AppModel:
+    base = dict(
+        name="toy",
+        instructions=1e9,
+        mem_fraction=0.2,
+        c_eff=1.0,
+        base_ipc=1.5,
+    )
+    base.update(overrides)
+    return AppModel(**base)
+
+
+class TestValidation:
+    def test_valid_app(self):
+        assert make_app().name == "toy"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_app(name="")
+
+    def test_nonpositive_instructions_rejected(self):
+        with pytest.raises(ConfigError):
+            make_app(instructions=0)
+
+    def test_service_has_no_instruction_budget(self):
+        assert make_app(instructions=None).instructions is None
+
+    def test_mem_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            make_app(mem_fraction=1.0)
+        with pytest.raises(ConfigError):
+            make_app(mem_fraction=-0.1)
+
+    def test_nonpositive_c_eff_rejected(self):
+        with pytest.raises(ConfigError):
+            make_app(c_eff=0.0)
+
+    def test_nonpositive_ipc_rejected(self):
+        with pytest.raises(ConfigError):
+            make_app(base_ipc=-1.0)
+
+    def test_phase_validation(self):
+        with pytest.raises(ConfigError):
+            AppPhase(ipc_amplitude=1.5)
+        with pytest.raises(ConfigError):
+            AppPhase(period_s=0)
+
+
+class TestFrequencyResponse:
+    def test_speedup_at_reference_is_one(self):
+        assert make_app().speedup(3000.0, 3000.0) == pytest.approx(1.0)
+
+    def test_speedup_monotonic(self):
+        app = make_app()
+        speeds = [app.speedup(f, 3000.0) for f in (1000, 2000, 3000, 4000)]
+        assert all(b > a for a, b in zip(speeds, speeds[1:]))
+
+    def test_compute_bound_app_scales_linearly(self):
+        app = make_app(mem_fraction=0.0)
+        assert app.speedup(1500.0, 3000.0) == pytest.approx(0.5)
+
+    def test_memory_bound_app_sublinear(self):
+        app = make_app(mem_fraction=0.5)
+        assert app.speedup(6000.0, 3000.0) < 2.0
+
+    def test_memory_fraction_limits_max_speedup(self):
+        """With mem_fraction=m, speedup is bounded by 1/m — infinite
+        frequency cannot shrink memory time (paper section 2.1)."""
+        app = make_app(mem_fraction=0.25)
+        assert app.speedup(1e9, 3000.0) < 4.0
+
+    def test_ips_at_reference(self):
+        app = make_app(base_ipc=2.0)
+        assert app.ips(3000.0, 3000.0) == pytest.approx(2.0 * 3000e6)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            make_app().speedup(-1.0, 3000.0)
+
+
+class TestActivity:
+    def test_compute_bound_always_active(self):
+        app = make_app(mem_fraction=0.0)
+        assert app.compute_activity(2000.0, 3000.0) == pytest.approx(1.0)
+
+    def test_activity_falls_with_frequency(self):
+        app = make_app(mem_fraction=0.3)
+        assert app.compute_activity(3000.0, 3000.0) < app.compute_activity(
+            1000.0, 3000.0
+        )
+
+    def test_power_factor_bounded(self):
+        app = make_app(mem_fraction=0.4)
+        factor = app.activity_power_factor(2000.0, 3000.0)
+        assert app.stall_power_factor < factor <= 1.0
+
+
+class TestPhases:
+    def test_no_phase_is_flat(self):
+        app = make_app()
+        assert app.ipc_factor(13.7) == 1.0
+        assert app.power_factor(13.7) == 1.0
+
+    def test_phase_modulates_within_amplitude(self):
+        app = make_app(phase=AppPhase(ipc_amplitude=0.1, power_amplitude=0.1))
+        for t in range(0, 120, 7):
+            assert 0.9 <= app.ipc_factor(float(t)) <= 1.1
+            assert 0.9 <= app.power_factor(float(t)) <= 1.1
+
+    def test_phase_is_deterministic(self):
+        app = make_app(phase=AppPhase(ipc_amplitude=0.05))
+        assert app.ipc_factor(10.0) == app.ipc_factor(10.0)
+
+    def test_different_apps_different_offsets(self):
+        a = make_app(name="alpha", phase=AppPhase(ipc_amplitude=0.05))
+        b = make_app(name="beta", phase=AppPhase(ipc_amplitude=0.05))
+        values_a = [a.ipc_factor(float(t)) for t in range(10)]
+        values_b = [b.ipc_factor(float(t)) for t in range(10)]
+        assert values_a != values_b
+
+
+class TestRunningApp:
+    def test_advance_retires_instructions(self):
+        run = RunningApp(make_app(instructions=None))
+        retired = run.advance(1.0, 3000.0, 3000.0, 0.0)
+        assert retired == pytest.approx(1.5 * 3000e6)
+
+    def test_finishes_exactly_at_budget(self):
+        run = RunningApp(make_app(instructions=1e9, base_ipc=1.0,
+                                  mem_fraction=0.0))
+        total = 0.0
+        for _ in range(100):
+            total += run.advance(0.01, 3000.0, 3000.0, 0.0)
+            if run.finished:
+                break
+        assert run.finished
+        assert total == pytest.approx(1e9)
+
+    def test_finished_app_retires_nothing(self):
+        run = RunningApp(make_app(instructions=1.0))
+        run.advance(1.0, 3000.0, 3000.0, 0.0)
+        assert run.finished
+        assert run.advance(1.0, 3000.0, 3000.0, 0.0) == 0.0
+
+    def test_share_scales_progress(self):
+        full = RunningApp(make_app(instructions=None))
+        half = RunningApp(make_app(instructions=None))
+        r_full = full.advance(1.0, 3000.0, 3000.0, 0.0, share=1.0)
+        r_half = half.advance(1.0, 3000.0, 3000.0, 0.0, share=0.5)
+        assert r_half == pytest.approx(r_full / 2)
+
+    def test_progress_fraction(self):
+        run = RunningApp(make_app(instructions=3.0e9, base_ipc=1.0,
+                                  mem_fraction=0.0))
+        run.advance(0.5, 3000.0, 3000.0, 0.0)
+        assert run.progress() == pytest.approx(0.5)
+
+    def test_service_progress_is_zero(self):
+        run = RunningApp(make_app(instructions=None))
+        run.advance(1.0, 3000.0, 3000.0, 0.0)
+        assert run.progress() == 0.0
+
+    def test_labels_unique_by_instance(self):
+        a = RunningApp(make_app(), instance=0)
+        b = RunningApp(make_app(), instance=1)
+        assert a.label != b.label
+
+    def test_bad_share_rejected(self):
+        run = RunningApp(make_app())
+        with pytest.raises(ConfigError):
+            run.advance(1.0, 3000.0, 3000.0, 0.0, share=1.5)
+
+    def test_with_instructions_copy(self):
+        app = make_app()
+        service = app.with_instructions(None)
+        assert service.instructions is None
+        assert app.instructions == 1e9

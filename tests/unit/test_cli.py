@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_apps, main
+from repro.core.types import Priority
+
+
+class TestParseApps:
+    def test_simple(self):
+        apps = _parse_apps("gcc")
+        assert apps[0].benchmark == "gcc"
+        assert apps[0].shares == 1.0
+
+    def test_with_shares(self):
+        apps = _parse_apps("leela:90,cactusBSSN:10")
+        assert apps[0].shares == 90.0
+        assert apps[1].shares == 10.0
+
+    def test_with_priority(self):
+        apps = _parse_apps("gcc:1:low,leela:1:high")
+        assert apps[0].priority is Priority.LOW
+        assert apps[1].priority is Priority.HIGH
+
+    def test_whitespace_tolerated(self):
+        apps = _parse_apps("gcc:2, leela:1")
+        assert apps[1].benchmark == "leela"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "run" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--platform", "skylake"]) == 0
+        assert "skylake" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "10H0L" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "deepsjeng" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        code = main([
+            "run", "--platform", "skylake", "--policy", "frequency-shares",
+            "--limit", "50", "--apps", "leela:9,gcc:1",
+            "--duration", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leela#0" in out and "pkg" in out
+
+    def test_run_bad_policy_fails_cleanly(self, capsys):
+        code = main([
+            "run", "--platform", "ryzen", "--policy", "rapl",
+            "--limit", "50", "--apps", "gcc", "--duration", "6",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_benchmark_fails_cleanly(self, capsys):
+        code = main([
+            "run", "--apps", "doom", "--duration", "6",
+        ])
+        assert code == 1

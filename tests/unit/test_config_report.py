@@ -1,0 +1,144 @@
+"""Tests for the experiment config builder, report rendering, and tables."""
+
+import pytest
+
+from repro.config import AppSpec, ExperimentConfig, POLICY_REGISTRY, build_stack
+from repro.core.types import Priority
+from repro.errors import ConfigError
+from repro.experiments.report import render_kv, render_table
+from repro.experiments.tables import table1_features, table2_rows, table3_rows
+
+
+class TestExperimentConfig:
+    def test_valid_config(self):
+        config = ExperimentConfig(
+            platform="skylake", policy="rapl", limit_w=50.0,
+            apps=(AppSpec("gcc"),),
+        )
+        assert config.policy == "rapl"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(
+                platform="skylake", policy="magic", limit_w=50.0,
+                apps=(AppSpec("gcc"),),
+            )
+
+    def test_empty_apps_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(
+                platform="skylake", policy="rapl", limit_w=50.0, apps=(),
+            )
+
+    def test_registry_has_all_paper_policies(self):
+        assert set(POLICY_REGISTRY) >= {
+            "priority", "frequency-shares", "performance-shares",
+            "power-shares", "rapl",
+        }
+        # plus the CPPC/HWP-hints variant the paper discusses (2.1, 5.2)
+        assert "hwp-hints" in POLICY_REGISTRY
+
+
+class TestBuildStack:
+    def test_builds_and_runs(self):
+        config = ExperimentConfig(
+            platform="skylake", policy="frequency-shares", limit_w=50.0,
+            apps=(AppSpec("leela", shares=2), AppSpec("gcc", shares=1)),
+            tick_s=5e-3,
+        )
+        stack = build_stack(config)
+        stack.engine.run(3.0)
+        assert len(stack.daemon.history) == 3
+        assert stack.labels == ["leela#0", "gcc#0"]
+
+    def test_too_many_apps_rejected(self):
+        config = ExperimentConfig(
+            platform="ryzen", policy="rapl", limit_w=50.0,
+            apps=tuple(AppSpec("gcc") for _ in range(9)),
+        )
+        with pytest.raises(ConfigError):
+            build_stack(config)
+
+    def test_avx_app_gets_capped_max(self):
+        config = ExperimentConfig(
+            platform="skylake", policy="frequency-shares", limit_w=50.0,
+            apps=(AppSpec("cam4"), AppSpec("gcc")), tick_s=5e-3,
+        )
+        stack = build_stack(config)
+        cam4 = next(
+            a for a in stack.daemon.policy.apps if a.label == "cam4#0"
+        )
+        assert cam4.max_frequency_mhz == 1700.0
+
+    def test_priority_spec_respected(self):
+        config = ExperimentConfig(
+            platform="skylake", policy="priority", limit_w=50.0,
+            apps=(
+                AppSpec("cactusBSSN", priority=Priority.HIGH),
+                AppSpec("leela", priority=Priority.LOW),
+            ),
+            tick_s=5e-3,
+        )
+        stack = build_stack(config)
+        assert len(stack.daemon.policy.lp_apps) == 1
+
+
+class TestReport:
+    def test_render_table_basic(self):
+        text = render_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": None}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "-" in lines[-1]  # None renders as dash
+
+    def test_render_table_column_selection(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_render_table_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_table([])
+
+    def test_render_bool(self):
+        text = render_table([{"x": True}, {"x": False}])
+        assert "yes" in text and "no" in text
+
+    def test_render_kv(self):
+        text = render_kv({"cores": 10, "vendor": "intel"})
+        assert "cores" in text and "10" in text
+
+    def test_render_kv_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_kv({})
+
+
+class TestTables:
+    def test_table1_skylake(self):
+        row = table1_features("skylake")
+        assert row["cores"] == 10
+        assert row["rapl_capping"] == "20-85 W"
+        assert row["per_core_power_telemetry"] is False
+
+    def test_table1_ryzen(self):
+        row = table1_features("ryzen")
+        assert row["simultaneous_pstates"] == 3
+        assert row["per_core_power_telemetry"] is True
+
+    def test_table2_row_sums(self):
+        """Each Table 2 mix fills all ten Skylake cores."""
+        for row in table2_rows():
+            total = sum(v for k, v in row.items() if k != "mix")
+            assert total == 10
+
+    def test_table2_mix_names_match_counts(self):
+        for row in table2_rows():
+            hp = row["cactusBSSN-HP"] + row["leela-HP"]
+            assert row["mix"].startswith(f"{hp}H")
+
+    def test_table3_sets(self):
+        rows = table3_rows()
+        assert len(rows) == 2
+        assert rows[0]["app2"] == "cactusBSSN"
+        assert rows[1]["app3"] == "cam4"

@@ -1,0 +1,99 @@
+"""Tests for the sysfs-like cpufreq front-end."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.hw.cpufreq import CpuFreqInterface
+from repro.hw.msr import MSRFile
+from repro.sim.chip import Chip
+from repro.sim.core import BatchCoreLoad
+from repro.workloads.app import RunningApp
+from repro.workloads.spec import spec_app
+
+
+@pytest.fixture
+def sky_cpufreq(sky_chip):
+    return CpuFreqInterface(sky_chip.platform, sky_chip.msr), sky_chip
+
+
+@pytest.fixture
+def ryz_cpufreq(ryzen_chip):
+    return CpuFreqInterface(ryzen_chip.platform, ryzen_chip.msr), ryzen_chip
+
+
+class TestControl:
+    def test_set_speed_reaches_chip(self, sky_cpufreq):
+        cpufreq, chip = sky_cpufreq
+        cpufreq.set_speed_mhz(3, 1900.0)
+        assert chip.requested_frequency(3) == 1900.0
+
+    def test_set_speed_khz(self, sky_cpufreq):
+        cpufreq, chip = sky_cpufreq
+        cpufreq.set_speed_khz(0, 1_500_000)
+        assert chip.requested_frequency(0) == 1500.0
+
+    def test_quantizes_to_grid(self, sky_cpufreq):
+        cpufreq, chip = sky_cpufreq
+        cpufreq.set_speed_mhz(0, 1849.0)
+        assert chip.requested_frequency(0) == 1800.0
+
+    def test_quantize_down_mode(self, sky_cpufreq):
+        cpufreq, chip = sky_cpufreq
+        cpufreq.set_speed_mhz(0, 1890.0, nearest=False)
+        assert chip.requested_frequency(0) == 1800.0
+
+    def test_clamps_out_of_range(self, sky_cpufreq):
+        cpufreq, chip = sky_cpufreq
+        cpufreq.set_speed_mhz(0, 99999.0)
+        assert chip.requested_frequency(0) == 3000.0
+        cpufreq.set_speed_mhz(0, 1.0)
+        assert chip.requested_frequency(0) == 800.0
+
+    def test_amd_25mhz_grid(self, ryz_cpufreq):
+        cpufreq, chip = ryz_cpufreq
+        cpufreq.set_speed_mhz(0, 2225.0)
+        assert chip.requested_frequency(0) == 2225.0
+
+    def test_set_all(self, sky_cpufreq):
+        cpufreq, chip = sky_cpufreq
+        cpufreq.set_all_mhz(1000.0)
+        assert all(
+            chip.requested_frequency(c) == 1000.0
+            for c in chip.platform.core_ids()
+        )
+
+    def test_bad_cpu_rejected(self, sky_cpufreq):
+        cpufreq, _ = sky_cpufreq
+        with pytest.raises(PlatformError):
+            cpufreq.set_speed_mhz(10, 1000.0)
+
+    def test_mismatched_msr_file_rejected(self, skylake):
+        with pytest.raises(PlatformError):
+            CpuFreqInterface(skylake, MSRFile(2))
+
+
+class TestReadback:
+    def test_available_frequencies(self, sky_cpufreq):
+        cpufreq, chip = sky_cpufreq
+        freqs = cpufreq.scaling_available_frequencies_khz()
+        assert freqs[0] == 800_000
+        assert freqs[-1] == 3_000_000
+
+    def test_scaling_limits(self, ryz_cpufreq):
+        cpufreq, _ = ryz_cpufreq
+        assert cpufreq.scaling_min_freq_khz == 400_000
+        assert cpufreq.scaling_max_freq_khz == 3_800_000
+
+    def test_cur_freq_shows_granted_not_requested(self, sky_cpufreq):
+        """After RAPL throttling, scaling_cur_freq reads the granted
+        frequency — the request/grant split Fig 4 relies on."""
+        cpufreq, chip = sky_cpufreq
+        for core_id in range(10):
+            app = RunningApp(spec_app("cactusBSSN", steady=True),
+                             instance=core_id)
+            chip.assign_load(core_id, BatchCoreLoad(app, 2200.0))
+        cpufreq.set_all_mhz(2200.0)
+        chip.set_rapl_limit(40.0)
+        chip.run_ticks(3000)
+        assert cpufreq.current_freq_mhz(0) < 2200.0
+        assert chip.requested_frequency(0) == 2200.0

@@ -1,0 +1,85 @@
+"""Tests for the C-state (core idle) model."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.hw.cstates import CState, CStateModel, EXIT_LATENCY_S
+
+
+class TestResidency:
+    def test_busy_core_in_c0(self):
+        model = CStateModel(2)
+        model.observe(0, 1e-3, 1.0, parked=False)
+        assert model.state(0) is CState.C0
+        assert model.residency(0, CState.C0) == pytest.approx(1e-3)
+
+    def test_partial_busy_splits_c0_c1(self):
+        model = CStateModel(1)
+        model.observe(0, 1.0, 0.25, parked=False)
+        assert model.residency(0, CState.C0) == pytest.approx(0.25)
+        assert model.residency(0, CState.C1) == pytest.approx(0.75)
+
+    def test_idle_core_in_c1(self):
+        model = CStateModel(1)
+        model.observe(0, 1e-3, 0.0, parked=False)
+        assert model.state(0) is CState.C1
+
+    def test_parked_core_in_c6(self):
+        model = CStateModel(1)
+        model.observe(0, 1e-3, 0.0, parked=True)
+        assert model.state(0) is CState.C6
+        assert model.residency(0, CState.C6) == pytest.approx(1e-3)
+
+    def test_residency_fraction(self):
+        model = CStateModel(1)
+        model.observe(0, 1.0, 0.0, parked=True)
+        model.observe(0, 1.0, 1.0, parked=False)
+        assert model.residency_fraction(0, CState.C6) == pytest.approx(0.5)
+
+    def test_fresh_core_reports_c0_fraction_one(self):
+        model = CStateModel(1)
+        assert model.residency_fraction(0, CState.C0) == 1.0
+
+    def test_per_core_independence(self):
+        model = CStateModel(2)
+        model.observe(0, 1.0, 1.0, parked=False)
+        model.observe(1, 1.0, 0.0, parked=True)
+        assert model.residency(1, CState.C0) == 0.0
+        assert model.residency(0, CState.C6) == 0.0
+
+
+class TestTransitions:
+    def test_transition_count(self):
+        model = CStateModel(1)
+        model.observe(0, 1e-3, 1.0, parked=False)  # stays C0 (initial)
+        model.observe(0, 1e-3, 0.0, parked=True)   # -> C6
+        model.observe(0, 1e-3, 1.0, parked=False)  # -> C0
+        assert model.transitions(0) == 2
+
+    def test_wakeup_from_c6_costs_efficiency(self):
+        model = CStateModel(1)
+        model.observe(0, 1e-3, 0.0, parked=True)
+        efficiency = model.observe(0, 1e-3, 1.0, parked=False)
+        expected = 1.0 - EXIT_LATENCY_S[CState.C6] / 1e-3
+        assert efficiency == pytest.approx(expected)
+
+    def test_no_wakeup_cost_from_c0(self):
+        model = CStateModel(1)
+        model.observe(0, 1e-3, 1.0, parked=False)
+        assert model.observe(0, 1e-3, 1.0, parked=False) == 1.0
+
+    def test_exit_latencies_ordered(self):
+        assert (
+            EXIT_LATENCY_S[CState.C0]
+            < EXIT_LATENCY_S[CState.C1]
+            < EXIT_LATENCY_S[CState.C6]
+        )
+
+    def test_idle_states_flagged(self):
+        assert not CState.C0.is_idle
+        assert CState.C1.is_idle
+        assert CState.C6.is_idle
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(PlatformError):
+            CStateModel(0)

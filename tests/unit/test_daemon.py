@@ -1,0 +1,169 @@
+"""Tests for the power daemon plumbing (short simulated runs)."""
+
+import pytest
+
+from repro.config import AppSpec, ExperimentConfig, build_stack
+from repro.core.daemon import PowerDaemon
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.rapl_baseline import RaplBaselinePolicy
+from repro.core.types import ManagedApp, Priority
+from repro.errors import ConfigError, UnsupportedFeatureError
+from repro.sched.pinning import pin_apps
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.workloads.spec import spec_app
+
+
+def simple_stack(platform, policy_cls=FrequencySharesPolicy, limit=50.0,
+                 shares=(90.0, 10.0)):
+    chip = Chip(platform, tick_s=5e-3)
+    engine = SimEngine(chip)
+    placements = pin_apps(
+        chip, [spec_app("leela", steady=True), spec_app("cactusBSSN",
+                                                        steady=True)]
+    )
+    managed = [
+        ManagedApp(label=p.label, core_id=p.core_id, shares=s)
+        for p, s in zip(placements, shares)
+    ]
+    policy = policy_cls(platform, managed, limit)
+    daemon = PowerDaemon(chip, policy)
+    return chip, engine, daemon
+
+
+class TestLifecycle:
+    def test_start_applies_initial_distribution(self, skylake):
+        chip, engine, daemon = simple_stack(skylake)
+        daemon.start()
+        assert chip.requested_frequency(0) == 3000.0  # top share at max
+
+    def test_double_start_rejected(self, skylake):
+        _, _, daemon = simple_stack(skylake)
+        daemon.start()
+        with pytest.raises(ConfigError):
+            daemon.start()
+
+    def test_attach_starts_automatically(self, skylake):
+        chip, engine, daemon = simple_stack(skylake)
+        daemon.attach(engine)
+        engine.run(3.0)
+        assert len(daemon.history) == 3
+
+    def test_bad_interval_rejected(self, skylake):
+        chip, _, _ = simple_stack(skylake)
+        policy = RaplBaselinePolicy(
+            skylake, [ManagedApp(label="x", core_id=5)], 50.0
+        )
+        with pytest.raises(ConfigError):
+            PowerDaemon(chip, policy, interval_s=0.0)
+
+    def test_platform_mismatch_rejected(self, skylake, ryzen):
+        chip = Chip(skylake)
+        policy = FrequencySharesPolicy(
+            ryzen, [ManagedApp(label="x", core_id=0)], 50.0
+        )
+        with pytest.raises(ConfigError):
+            PowerDaemon(chip, policy)
+
+
+class TestIterationRecords:
+    def test_history_contents(self, skylake):
+        chip, engine, daemon = simple_stack(skylake)
+        daemon.attach(engine)
+        engine.run(5.0)
+        record = daemon.history[-1]
+        assert record.package_power_w > 0
+        assert set(record.app_frequency_mhz) == {"leela#0", "cactusBSSN#0"}
+        assert record.targets_mhz["leela#0"] > 0
+
+    def test_power_tracks_binding_limit(self, skylake):
+        # two apps flat out draw ~28 W, so a 24 W limit binds
+        chip, engine, daemon = simple_stack(skylake, limit=24.0)
+        daemon.attach(engine)
+        engine.run(30.0)
+        tail = [s.package_power_w for s in daemon.history[-10:]]
+        assert sum(tail) / len(tail) == pytest.approx(24.0, abs=2.0)
+
+    def test_slack_limit_runs_apps_at_max(self, skylake):
+        chip, engine, daemon = simple_stack(skylake, limit=45.0)
+        daemon.attach(engine)
+        engine.run(20.0)
+        record = daemon.history[-1]
+        assert record.package_power_w < 45.0
+        assert record.app_frequency_mhz["leela#0"] == 3000.0
+
+    def test_skylake_core_power_is_none(self, skylake):
+        chip, engine, daemon = simple_stack(skylake)
+        daemon.attach(engine)
+        engine.run(2.0)
+        assert daemon.history[-1].app_power_w["leela#0"] is None
+
+    def test_parking_applied_to_chip(self, skylake):
+        chip = Chip(skylake, tick_s=5e-3)
+        engine = SimEngine(chip)
+        placements = pin_apps(
+            chip,
+            [spec_app("cactusBSSN", steady=True)] * 5
+            + [spec_app("leela", steady=True)] * 5,
+        )
+        managed = [
+            ManagedApp(
+                label=p.label,
+                core_id=p.core_id,
+                priority=Priority.HIGH if i < 5 else Priority.LOW,
+            )
+            for i, p in enumerate(placements)
+        ]
+        from repro.core.priority import PriorityPolicy
+
+        policy = PriorityPolicy(skylake, managed, 40.0)
+        daemon = PowerDaemon(chip, policy)
+        daemon.attach(engine)
+        engine.run(2.0)
+        # LP cores parked during HP convergence
+        assert any(chip.cores[p.core_id].parked for p in placements[5:])
+
+
+class TestHardwareLimitProgramming:
+    def test_rapl_policy_programs_limit(self, skylake):
+        chip, engine, daemon = simple_stack(
+            skylake, policy_cls=RaplBaselinePolicy, limit=50.0
+        )
+        daemon.start()
+        assert chip.rapl.limit_w == 50.0
+
+    def test_software_policy_backstops_at_tdp(self, skylake):
+        chip, engine, daemon = simple_stack(skylake, limit=40.0)
+        daemon.start()
+        assert chip.rapl.limit_w == skylake.power.tdp_watts
+
+    def test_rapl_policy_on_ryzen_rejected(self, ryzen):
+        with pytest.raises(UnsupportedFeatureError):
+            RaplBaselinePolicy(
+                ryzen, [ManagedApp(label="x", core_id=0)], 50.0
+            )
+
+
+class TestRyzenLevelReduction:
+    def test_daemon_never_violates_pstate_budget(self, ryzen):
+        """Eight distinct share levels on Ryzen must be reduced to 3
+        simultaneous P-states before programming — otherwise the chip
+        raises PlatformError."""
+        chip = Chip(ryzen, tick_s=5e-3)
+        engine = SimEngine(chip)
+        placements = pin_apps(
+            chip, [spec_app("leela", steady=True)] * 8
+        )
+        managed = [
+            ManagedApp(label=p.label, core_id=p.core_id,
+                       shares=10.0 * (i + 1))
+            for i, p in enumerate(placements)
+        ]
+        policy = FrequencySharesPolicy(ryzen, managed, 45.0)
+        daemon = PowerDaemon(chip, policy)
+        daemon.attach(engine)
+        engine.run(20.0)  # would raise on violation
+        requested = {
+            chip.requested_frequency(p.core_id) for p in placements
+        }
+        assert len(requested) <= 3

@@ -1,0 +1,101 @@
+"""Tests for the simulation engine and periodic callbacks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+
+
+@pytest.fixture
+def engine(skylake):
+    return SimEngine(Chip(skylake))
+
+
+class TestRun:
+    def test_run_advances_time(self, engine):
+        engine.run(0.05)
+        assert engine.time_s == pytest.approx(0.05)
+
+    def test_run_ticks(self, engine):
+        engine.run_ticks(7)
+        assert engine.time_s == pytest.approx(7e-3)
+
+    def test_negative_duration_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.run(-1.0)
+
+
+class TestPeriodics:
+    def test_callback_cadence(self, engine):
+        calls = []
+        engine.every(0.010, calls.append)
+        engine.run(0.1)
+        assert len(calls) == 10
+
+    def test_callback_sees_sim_time(self, engine):
+        times = []
+        engine.every(0.010, times.append)
+        engine.run(0.03)
+        assert times == pytest.approx([0.01, 0.02, 0.03])
+
+    def test_first_fire_after_one_period(self, engine):
+        calls = []
+        engine.every(0.02, calls.append)
+        engine.run(0.019)
+        assert calls == []
+        engine.run(0.002)
+        assert len(calls) == 1
+
+    def test_phase_delays_first_call(self, engine):
+        calls = []
+        engine.every(0.01, calls.append, phase_s=0.05)
+        engine.run(0.04)
+        assert calls == []
+        engine.run(0.02)
+        assert len(calls) >= 1
+
+    def test_multiple_periodics_independent(self, engine):
+        fast, slow = [], []
+        engine.every(0.01, fast.append)
+        engine.every(0.05, slow.append)
+        engine.run(0.1)
+        assert len(fast) == 10
+        assert len(slow) == 2
+
+    def test_subtick_period_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.every(1e-6, lambda t: None)
+
+    def test_counters_flushed_before_callback(self, skylake):
+        """A periodic reading the MSR file must see fresh counters."""
+        from repro.hw import msr as msrdef
+        from repro.sim.core import BatchCoreLoad
+        from repro.workloads.app import RunningApp
+        from repro.workloads.spec import spec_app
+
+        chip = Chip(skylake)
+        engine = SimEngine(chip)
+        chip.assign_load(
+            0, BatchCoreLoad(RunningApp(spec_app("gcc", steady=True)), 2200.0)
+        )
+        chip.set_requested_frequency(0, 2200.0)
+        seen = []
+        engine.every(
+            0.05,
+            lambda t: seen.append(chip.msr.read(0, msrdef.IA32_FIXED_CTR0)),
+        )
+        engine.run(0.15)
+        assert all(b > a for a, b in zip(seen, seen[1:]))
+
+
+class TestRunUntil:
+    def test_condition_met(self, engine):
+        ok = engine.run_until(lambda: engine.time_s >= 0.01,
+                              max_duration_s=1.0)
+        assert ok
+        assert engine.time_s < 0.02
+
+    def test_timeout(self, engine):
+        ok = engine.run_until(lambda: False, max_duration_s=0.01)
+        assert not ok

@@ -1,0 +1,140 @@
+"""Tests for the paper's discussed extensions: highest-useful-frequency
+(section 4.4), game-ability (section 8), and LP consolidation (section
+4.4's time-slicing alternative to starvation)."""
+
+import pytest
+
+from repro.core.consolidate import plan_lp_consolidation
+from repro.errors import ConfigError
+from repro.sim.perf_model import highest_useful_frequency
+from repro.workloads.gaming import nop_padded, useful_fraction
+from repro.workloads.spec import spec_app
+
+
+class TestHighestUsefulFrequency:
+    def test_compute_bound_gets_max(self, skylake):
+        app = spec_app("exchange2")  # ~pure compute
+        assert highest_useful_frequency(skylake, app) == (
+            skylake.max_frequency_mhz
+        )
+
+    def test_memory_bound_caps_early(self, skylake):
+        app = spec_app("omnetpp")
+        useful = highest_useful_frequency(skylake, app)
+        assert useful < skylake.max_nominal_frequency_mhz
+
+    def test_avx_cap_respected(self, skylake):
+        app = spec_app("cam4")
+        assert highest_useful_frequency(skylake, app) <= (
+            skylake.avx_max_frequency_mhz
+        )
+
+    def test_result_on_grid(self, platform):
+        for name in ("gcc", "omnetpp", "lbm"):
+            useful = highest_useful_frequency(platform, spec_app(name))
+            assert useful in platform.pstates.frequencies_mhz
+
+    def test_stricter_threshold_caps_lower(self, skylake):
+        app = spec_app("perlbench")
+        lenient = highest_useful_frequency(
+            skylake, app, min_speedup_per_step=0.3
+        )
+        strict = highest_useful_frequency(
+            skylake, app, min_speedup_per_step=0.9
+        )
+        assert strict <= lenient
+
+    def test_bad_threshold_rejected(self, skylake):
+        with pytest.raises(ConfigError):
+            highest_useful_frequency(
+                skylake, spec_app("gcc"), min_speedup_per_step=0.0
+            )
+
+    def test_ordering_matches_memory_boundedness(self, skylake):
+        """More memory-bound -> lower useful frequency."""
+        exchange = highest_useful_frequency(skylake, spec_app("exchange2"))
+        omnetpp = highest_useful_frequency(skylake, spec_app("omnetpp"))
+        assert omnetpp < exchange
+
+
+class TestGaming:
+    def test_nop_padding_inflates_apparent_ipc(self):
+        app = spec_app("gcc")
+        gamed = nop_padded(app, 0.5, pipeline_overhead=0.0)
+        assert gamed.base_ipc == pytest.approx(2 * app.base_ipc)
+
+    def test_overhead_costs_real_throughput(self):
+        app = spec_app("gcc")
+        gamed = nop_padded(app, 0.5, pipeline_overhead=0.10)
+        useful_ips = gamed.ips(2200.0, 2200.0) * useful_fraction(0.5)
+        honest_ips = app.ips(2200.0, 2200.0)
+        assert useful_ips < honest_ips
+
+    def test_zero_padding_is_identity(self):
+        app = spec_app("gcc")
+        assert nop_padded(app, 0.0) is app
+
+    def test_instruction_budget_inflated(self):
+        app = spec_app("leela")
+        gamed = nop_padded(app, 0.25, pipeline_overhead=0.0)
+        assert gamed.instructions == pytest.approx(
+            app.instructions / 0.75
+        )
+
+    def test_bad_fractions_rejected(self):
+        app = spec_app("gcc")
+        with pytest.raises(ConfigError):
+            nop_padded(app, 1.0)
+        with pytest.raises(ConfigError):
+            useful_fraction(-0.1)
+
+    def test_gamed_name_distinct(self):
+        gamed = nop_padded(spec_app("gcc"), 0.4)
+        assert gamed.name == "gcc+nop40"
+
+
+class TestConsolidationPlan:
+    LABELS = [f"lp{i}" for i in range(7)]
+
+    def test_zero_budget_starves_all(self):
+        plan = plan_lp_consolidation(self.LABELS, 0.5, 1.5)
+        assert plan.active_core_count == 0
+        assert plan.starved == tuple(self.LABELS)
+
+    def test_partial_budget_packs_round_robin(self):
+        plan = plan_lp_consolidation(self.LABELS, 3.2, 1.5)  # 2 cores
+        assert plan.active_core_count == 2
+        assert plan.starved == ()
+        assert len(plan.assignments) == 2
+        sizes = sorted(len(g) for g in plan.assignments)
+        assert sizes == [3, 4]
+        assert sorted(plan.runnable) == sorted(self.LABELS)
+
+    def test_ample_budget_one_core_each(self):
+        plan = plan_lp_consolidation(self.LABELS, 100.0, 1.5)
+        assert plan.active_core_count == len(self.LABELS)
+        assert all(len(g) == 1 for g in plan.assignments)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            plan_lp_consolidation([], 10.0, 1.0)
+        with pytest.raises(ConfigError):
+            plan_lp_consolidation(["a", "a"], 10.0, 1.0)
+        with pytest.raises(ConfigError):
+            plan_lp_consolidation(["a"], 10.0, 0.0)
+
+
+class TestUsefulFrequencyMode:
+    def test_config_caps_managed_apps(self):
+        from repro import AppSpec, ExperimentConfig, build_stack
+
+        config = ExperimentConfig(
+            platform="skylake", policy="frequency-shares", limit_w=50.0,
+            apps=(AppSpec("omnetpp"), AppSpec("exchange2")),
+            useful_frequency_mode=True, tick_s=5e-3,
+        )
+        stack = build_stack(config)
+        caps = {
+            a.label: a.max_frequency_mhz for a in stack.daemon.policy.apps
+        }
+        assert caps["omnetpp#0"] < caps["exchange2#0"]

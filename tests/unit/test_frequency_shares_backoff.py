@@ -1,0 +1,102 @@
+"""Unit tests for the frequency-shares probe-backoff stabilisation."""
+
+import pytest
+
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.types import AppTelemetry, ManagedApp, PolicyInputs
+
+
+def policy_for(skylake, n=4, limit=45.0):
+    apps = [
+        ManagedApp(label=f"a{i}", core_id=i, shares=1.0) for i in range(n)
+    ]
+    return FrequencySharesPolicy(skylake, apps, limit)
+
+
+def feed(policy, package_w, iteration):
+    telem = tuple(
+        AppTelemetry(
+            label=app.label, active_frequency_mhz=2000.0, ips=1e9,
+            busy_fraction=1.0, power_w=None, parked=False,
+        )
+        for app in policy.apps
+    )
+    return policy.redistribute(PolicyInputs(
+        iteration=iteration, limit_w=policy.limit_w,
+        package_power_w=package_w, apps=telem, current_targets={},
+    ))
+
+
+class TestProbeBackoff:
+    def test_small_overshoot_rolls_back_and_holds(self, skylake):
+        policy = policy_for(skylake)
+        policy.initial_distribution()
+        # settle somewhere mid-range
+        for i in range(1, 15):
+            feed(policy, 60.0, i)
+        base = dict(policy._targets)
+        # tiny headroom -> small (dither-size) probe
+        d_up = feed(policy, 44.0, 20)
+        assert d_up.targets["a0"] > base["a0"]
+        # the probe violates -> full rollback
+        d_back = feed(policy, 47.0, 21)
+        assert d_back.targets["a0"] == pytest.approx(base["a0"], abs=1.0)
+        # and climbing is refused during the hold
+        d_hold = feed(policy, 44.0, 22)
+        assert d_hold.targets["a0"] == pytest.approx(base["a0"], abs=1.0)
+
+    def test_hold_doubles_on_repeat(self, skylake):
+        policy = policy_for(skylake)
+        policy.initial_distribution()
+        for i in range(1, 15):
+            feed(policy, 60.0, i)
+        initial_hold = policy._hold_length
+        feed(policy, 44.0, 20)   # probe
+        feed(policy, 47.0, 21)   # violate
+        assert policy._hold_length == 2 * initial_hold
+
+    def test_large_overshoot_halves_instead_of_discarding(self, skylake):
+        """A genuinely big climb that overshoots keeps half its progress
+        (binary convergence) — critical when the alpha model is badly
+        mis-calibrated."""
+        policy = policy_for(skylake)
+        policy.initial_distribution()
+        for i in range(1, 15):
+            feed(policy, 70.0, i)  # drive down
+        low_pool = policy._pool_mhz
+        # huge headroom -> big climb
+        feed(policy, 20.0, 20)
+        climbed_pool = policy._pool_mhz
+        assert climbed_pool > low_pool + 1200.0
+        # violation: keep half the climb
+        feed(policy, 50.0, 21)
+        assert policy._pool_mhz == pytest.approx(
+            (low_pool + climbed_pool) / 2, rel=0.01
+        )
+
+    def test_genuine_overload_resets_backoff(self, skylake):
+        policy = policy_for(skylake)
+        policy.initial_distribution()
+        for i in range(1, 15):
+            feed(policy, 60.0, i)
+        feed(policy, 44.0, 20)
+        feed(policy, 47.0, 21)   # dither violation: hold doubled
+        assert policy._hold_length > policy.probe_hold_initial
+        # an over-limit iteration NOT preceded by our own up-move means
+        # the workload changed: backoff resets
+        feed(policy, 70.0, 25)
+        assert policy._hold_length == policy.probe_hold_initial
+
+    def test_hold_capped(self, skylake):
+        policy = policy_for(skylake)
+        policy.initial_distribution()
+        iteration = 1
+        for i in range(1, 15):
+            feed(policy, 60.0, iteration)
+            iteration += 1
+        for _ in range(12):  # many probe/violate rounds
+            feed(policy, 44.0, iteration)
+            iteration += policy._hold_length + 1
+            feed(policy, 47.0, iteration)
+            iteration += 1
+        assert policy._hold_length <= policy.probe_hold_max

@@ -1,0 +1,82 @@
+"""Tests for random workload mixes and the Table 3 sets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.generator import (
+    RandomMixGenerator,
+    TABLE3_SETS,
+    table3_set,
+)
+
+
+class TestTable3:
+    def test_set_a_matches_paper(self):
+        assert TABLE3_SETS["A"] == (
+            "deepsjeng", "perlbench", "cactusBSSN", "exchange2", "gcc",
+        )
+
+    def test_set_b_matches_paper(self):
+        assert TABLE3_SETS["B"] == (
+            "deepsjeng", "omnetpp", "perlbench", "cam4", "lbm",
+        )
+
+    def test_set_lookup_case_insensitive(self):
+        names = [a.name for a in table3_set("a")]
+        assert names[0] == "deepsjeng"
+
+    def test_set_b_has_avx_saturators(self):
+        """Fig 11: B3 (cam4) and B4 (lbm) saturate due to AVX."""
+        apps = table3_set("B")
+        assert apps[3].uses_avx and apps[4].uses_avx
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(ConfigError):
+            table3_set("C")
+
+    def test_steady_flag(self):
+        assert all(a.instructions is None for a in table3_set("A"))
+        assert all(
+            a.instructions is not None for a in table3_set("A", steady=False)
+        )
+
+
+class TestGenerator:
+    def test_sample_sizes(self):
+        gen = RandomMixGenerator(seed=3)
+        assert len(gen.sample(5)) == 5
+        assert len(gen.sample(3, copies=2)) == 6
+
+    def test_sample_distinct_benchmarks(self):
+        gen = RandomMixGenerator(seed=3)
+        names = [a.name for a in gen.sample(11)]
+        assert len(set(names)) == 11
+
+    def test_copies_adjacent(self):
+        gen = RandomMixGenerator(seed=3)
+        mix = gen.sample(2, copies=2)
+        assert mix[0].name == mix[1].name
+        assert mix[2].name == mix[3].name
+
+    def test_deterministic_by_seed(self):
+        a = RandomMixGenerator(seed=5).sample_names(4)
+        b = RandomMixGenerator(seed=5).sample_names(4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        draws = {
+            tuple(RandomMixGenerator(seed=s).sample_names(5))
+            for s in range(8)
+        }
+        assert len(draws) > 1
+
+    def test_k_bounds(self):
+        gen = RandomMixGenerator()
+        with pytest.raises(ConfigError):
+            gen.sample(0)
+        with pytest.raises(ConfigError):
+            gen.sample(12)
+
+    def test_copies_positive(self):
+        with pytest.raises(ConfigError):
+            RandomMixGenerator().sample(2, copies=0)

@@ -1,0 +1,195 @@
+"""Tests for the HWP/CPPC controller, thermald daemon, and Watts Up meter."""
+
+import pytest
+
+from repro.core.thermal_daemon import ThermalDaemon, ThermalDaemonConfig
+from repro.errors import ConfigError
+from repro.hw.hwp import (
+    HWP_PERF_MAX,
+    HWP_PERF_MIN,
+    HwpController,
+    HwpRequest,
+)
+from repro.sim.chip import Chip
+from repro.sim.core import BatchCoreLoad
+from repro.sim.engine import SimEngine
+from repro.sim.thermal import ThermalConfig, ThermalModel
+from repro.telemetry.wattsup import (
+    WattsUpConfig,
+    WattsUpMeter,
+    verify_rapl_against_meter,
+)
+from repro.workloads.app import RunningApp
+from repro.workloads.spec import spec_app
+
+
+def loaded_chip(platform, name="gcc", cores=(0,), freq=2200.0):
+    chip = Chip(platform)
+    for i, core_id in enumerate(cores):
+        app = RunningApp(spec_app(name, steady=True), instance=i)
+        chip.assign_load(
+            core_id, BatchCoreLoad(app, platform.reference_frequency_mhz)
+        )
+        chip.set_requested_frequency(core_id, freq)
+    return chip
+
+
+class TestHwpRequest:
+    def test_defaults_valid(self):
+        HwpRequest().validate()
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ConfigError):
+            HwpRequest(min_perf=0).validate()
+        with pytest.raises(ConfigError):
+            HwpRequest(min_perf=200, max_perf=100).validate()
+        with pytest.raises(ConfigError):
+            HwpRequest(min_perf=50, max_perf=100, desired_perf=200).validate()
+
+
+class TestHwpController:
+    def test_perf_scale_maps_frequency_range(self, skylake):
+        hwp = HwpController(Chip(skylake))
+        assert hwp.perf_to_mhz(HWP_PERF_MIN) == skylake.min_frequency_mhz
+        assert hwp.perf_to_mhz(HWP_PERF_MAX) == skylake.max_frequency_mhz
+
+    def test_scale_roundtrip(self, skylake):
+        hwp = HwpController(Chip(skylake))
+        for perf in (1, 64, 128, 255):
+            assert hwp.mhz_to_perf(hwp.perf_to_mhz(perf)) == perf
+
+    def test_desired_perf_is_honoured(self, skylake):
+        chip = loaded_chip(skylake)
+        hwp = HwpController(chip)
+        hwp.set_request(0, HwpRequest(desired_perf=128))
+        hwp.update()
+        expected = skylake.pstates.quantize(
+            hwp.perf_to_mhz(128), nearest=True
+        ).frequency_mhz
+        assert chip.requested_frequency(0) == expected
+
+    def test_autonomous_climbs_compute_bound_app(self, skylake):
+        chip = loaded_chip(skylake, name="exchange2", freq=800.0)
+        engine = SimEngine(chip)
+        hwp = HwpController(chip)
+        hwp.attach(engine, period_s=0.05)
+        engine.run(8.0)
+        assert chip.requested_frequency(0) >= 2600.0
+
+    def test_autonomous_respects_max_hint(self, skylake):
+        chip = loaded_chip(skylake, name="exchange2", freq=800.0)
+        engine = SimEngine(chip)
+        hwp = HwpController(chip)
+        hwp.set_request(0, HwpRequest(max_perf=100))
+        hwp.attach(engine, period_s=0.05)
+        engine.run(5.0)
+        ceiling = hwp.perf_to_mhz(100)
+        assert chip.requested_frequency(0) <= ceiling + 100.0
+
+    def test_autonomous_backs_off_avx_saturated_app(self, skylake):
+        """An AVX app's effective clock pins at the cap, so frequency
+        requests above it buy zero IPS — autonomous HWP should not pin
+        the request at maximum."""
+        chip = loaded_chip(skylake, name="cam4", freq=800.0)
+        engine = SimEngine(chip)
+        hwp = HwpController(chip)
+        hwp.attach(engine, period_s=0.05)
+        engine.run(12.0)
+        # stabilises near the 1700 MHz AVX cap, not at 3000
+        assert chip.requested_frequency(0) < 2400.0
+
+    def test_bad_core_rejected(self, skylake):
+        hwp = HwpController(Chip(skylake))
+        with pytest.raises(Exception):
+            hwp.set_request(99, HwpRequest())
+
+
+class TestWattsUp:
+    def test_meter_samples_at_period(self):
+        meter = WattsUpMeter(WattsUpConfig(sample_period_s=0.5))
+        for _ in range(2000):  # 2 s at 1 ms
+            meter.observe(40.0, 1e-3)
+        assert len(meter.samples_w) == 4
+
+    def test_wall_power_above_package(self):
+        meter = WattsUpMeter()
+        for _ in range(3000):
+            meter.observe(40.0, 1e-3)
+        assert meter.mean_wall_power_w() > 40.0
+
+    def test_implied_package_power_recovers_truth(self):
+        meter = WattsUpMeter()
+        for _ in range(30000):
+            meter.observe(40.0, 1e-3)
+        assert meter.implied_package_power_w() == pytest.approx(
+            40.0, rel=0.02
+        )
+
+    def test_no_samples_raises(self):
+        with pytest.raises(ConfigError):
+            WattsUpMeter().mean_wall_power_w()
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            WattsUpConfig(psu_efficiency=0.0)
+
+    def test_rapl_verifies_against_meter(self, skylake):
+        """Paper section 3.1: RAPL readings verified accurate against a
+        Watts Up meter."""
+        chip = loaded_chip(skylake, cores=(0, 1, 2, 3))
+        error = verify_rapl_against_meter(chip, duration_s=10.0)
+        assert error < 0.02
+
+
+class TestThermalDaemon:
+    def _hot_chip(self, skylake):
+        return loaded_chip(
+            skylake, name="cactusBSSN",
+            cores=tuple(range(10)), freq=2200.0,
+        )
+
+    def test_no_action_below_trip(self, skylake):
+        chip = loaded_chip(skylake)  # one core: cool
+        daemon = ThermalDaemon(chip, ThermalModel())
+        for _ in range(2000):
+            chip.tick()
+            daemon.step()
+        assert daemon.power_target_w == daemon.config.max_target_w
+        assert daemon.trips == 0
+
+    def test_trip_lowers_target(self, skylake):
+        chip = self._hot_chip(skylake)
+        # a toasty enclosure so ~80 W trips the 80 C point
+        thermal = ThermalModel(ThermalConfig(ambient_c=45.0, tau_s=1.0))
+        daemon = ThermalDaemon(chip, thermal)
+        engine = SimEngine(chip)
+        daemon.attach(engine)
+        engine.run(8.0)
+        assert daemon.trips >= 1
+        assert daemon.power_target_w < daemon.config.max_target_w
+
+    def test_enforce_with_rapl_cools_the_chip(self, skylake):
+        chip = self._hot_chip(skylake)
+        thermal = ThermalModel(ThermalConfig(ambient_c=45.0, tau_s=1.0))
+        daemon = ThermalDaemon(chip, thermal)
+        engine = SimEngine(chip)
+        daemon.attach(engine)
+        engine.every(1.0, lambda _t: daemon.enforce_with_rapl())
+        engine.run(25.0)
+        # closed loop: power reduced, temperature pulled back to the trip
+        assert chip.last_package_power_w < 80.0
+        assert daemon.temperature_c == pytest.approx(
+            daemon.config.trip_c, abs=4.0
+        )
+
+    def test_enforce_without_rapl_rejected(self, ryzen):
+        chip = Chip(ryzen)
+        daemon = ThermalDaemon(chip, ThermalModel())
+        with pytest.raises(ConfigError):
+            daemon.enforce_with_rapl()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ThermalDaemonConfig(gain_w_per_c=0)
+        with pytest.raises(ConfigError):
+            ThermalDaemonConfig(min_target_w=90.0, max_target_w=85.0)

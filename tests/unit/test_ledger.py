@@ -1,0 +1,133 @@
+"""Tests for the per-application energy ledger."""
+
+import pytest
+
+from repro.core.daemon import DaemonSample
+from repro.errors import ConfigError
+from repro.telemetry.ledger import AppEnergyAccount, EnergyLedger
+
+
+def sample(iteration, time_s, pkg_w, apps):
+    """apps: label -> (freq, ips, power|None, parked)"""
+    return DaemonSample(
+        iteration=iteration,
+        time_s=time_s,
+        package_power_w=pkg_w,
+        app_frequency_mhz={k: v[0] for k, v in apps.items()},
+        app_ips={k: v[1] for k, v in apps.items()},
+        app_power_w={k: v[2] for k, v in apps.items()},
+        app_parked={k: v[3] for k, v in apps.items()},
+        targets_mhz={k: v[0] for k, v in apps.items()},
+    )
+
+
+class TestMeasuredAttribution:
+    def test_direct_per_core_energy(self):
+        ledger = EnergyLedger()
+        apps = {"a": (2000.0, 1e9, 5.0, False), "b": (1000.0, 5e8, 2.0, False)}
+        for i in range(1, 4):
+            ledger.ingest(sample(i, float(i), 16.0, apps))
+        assert ledger.account("a").energy_j == pytest.approx(15.0)
+        assert ledger.account("b").energy_j == pytest.approx(6.0)
+        assert ledger.account("a").measured
+
+    def test_instructions_and_efficiency(self):
+        ledger = EnergyLedger()
+        apps = {"a": (2000.0, 2e9, 4.0, False)}
+        for i in range(1, 6):
+            ledger.ingest(sample(i, float(i), 11.0, apps))
+        account = ledger.account("a")
+        assert account.instructions == pytest.approx(1e10)
+        assert account.instructions_per_joule == pytest.approx(5e8)
+        assert account.mean_power_w == pytest.approx(4.0)
+
+    def test_package_energy_tracked(self):
+        ledger = EnergyLedger()
+        apps = {"a": (2000.0, 1e9, 5.0, False)}
+        for i in range(1, 4):
+            ledger.ingest(sample(i, float(i), 20.0, apps))
+        assert ledger.package_energy_j == pytest.approx(60.0)
+
+
+class TestModelAttribution:
+    def test_f_cubed_split(self):
+        ledger = EnergyLedger(uncore_estimate_w=7.0)
+        apps = {
+            "fast": (2000.0, 1e9, None, False),
+            "slow": (1000.0, 5e8, None, False),
+        }
+        for i in range(1, 3):
+            ledger.ingest(sample(i, float(i), 16.0, apps))
+        fast = ledger.account("fast")
+        slow = ledger.account("slow")
+        assert not fast.measured
+        # 9 W budget split 8:1 by f^3
+        assert fast.energy_j / slow.energy_j == pytest.approx(8.0)
+        assert fast.energy_j + slow.energy_j == pytest.approx(18.0)
+
+    def test_parked_app_attributed_nothing(self):
+        ledger = EnergyLedger()
+        apps = {
+            "run": (2000.0, 1e9, None, False),
+            "parked": (0.0, 0.0, None, True),
+        }
+        for i in range(1, 3):
+            ledger.ingest(sample(i, float(i), 16.0, apps))
+        assert ledger.account("parked").energy_j == 0.0
+        assert ledger.account("parked").active_s == 0.0
+
+    def test_uncore_floor_never_negative(self):
+        ledger = EnergyLedger(uncore_estimate_w=50.0)
+        apps = {"a": (2000.0, 1e9, None, False)}
+        ledger.ingest(sample(1, 1.0, 16.0, apps))
+        assert ledger.account("a").energy_j == 0.0
+
+
+class TestValidation:
+    def test_time_must_advance(self):
+        ledger = EnergyLedger()
+        apps = {"a": (2000.0, 1e9, 5.0, False)}
+        ledger.ingest(sample(1, 1.0, 16.0, apps))
+        with pytest.raises(ConfigError):
+            ledger.ingest(sample(2, 1.0, 16.0, apps))
+
+    def test_unknown_account(self):
+        with pytest.raises(ConfigError):
+            EnergyLedger().account("ghost")
+
+    def test_empty_account_guards(self):
+        account = AppEnergyAccount("x")
+        with pytest.raises(ConfigError):
+            account.instructions_per_joule
+        with pytest.raises(ConfigError):
+            account.mean_power_w
+
+    def test_negative_uncore_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyLedger(uncore_estimate_w=-1.0)
+
+
+class TestEndToEnd:
+    def test_ledger_over_real_daemon_run(self, skylake):
+        from repro.config import AppSpec, ExperimentConfig, build_stack
+
+        config = ExperimentConfig(
+            platform="ryzen", policy="power-shares", limit_w=40.0,
+            apps=(AppSpec("leela", shares=70),
+                  AppSpec("cactusBSSN", shares=30)),
+            tick_s=5e-3,
+        )
+        stack = build_stack(config)
+        stack.engine.run(20.0)
+        ledger = EnergyLedger()
+        ledger.ingest_history(stack.daemon.history)
+        leela = ledger.account("leela#0")
+        cactus = ledger.account("cactusBSSN#0")
+        assert leela.measured and cactus.measured
+        assert leela.energy_j > 0 and cactus.energy_j > 0
+        # leela is low demand: strictly better instructions per joule
+        assert (
+            leela.instructions_per_joule > cactus.instructions_per_joule
+        )
+        rows = ledger.to_rows()
+        assert rows[0]["energy_j"] >= rows[1]["energy_j"]

@@ -1,0 +1,122 @@
+"""Tests for min-funding revocation distribution."""
+
+import pytest
+
+from repro.core.minfund import (
+    Claim,
+    distribute_min_funding,
+    pool_bounds,
+    proportional_targets,
+    refill_pool,
+)
+from repro.errors import ShareError
+
+
+def claim(label, shares, current=0.0, lo=0.0, hi=100.0):
+    return Claim(label, shares, current, lo, hi)
+
+
+class TestClaim:
+    def test_nonpositive_shares_rejected(self):
+        with pytest.raises(ShareError):
+            claim("a", 0)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ShareError):
+            Claim("a", 1, 0, 10, 5)
+
+
+class TestDistribute:
+    def test_share_proportional_split(self):
+        out = distribute_min_funding(40.0, [claim("a", 3), claim("b", 1)])
+        assert out["a"] == pytest.approx(30.0)
+        assert out["b"] == pytest.approx(10.0)
+
+    def test_negative_delta(self):
+        claims = [claim("a", 1, current=50.0), claim("b", 1, current=50.0)]
+        out = distribute_min_funding(-20.0, claims)
+        assert out["a"] == pytest.approx(40.0)
+        assert out["b"] == pytest.approx(40.0)
+
+    def test_excess_flows_past_saturated(self):
+        claims = [claim("a", 1, hi=5.0), claim("b", 1, hi=100.0)]
+        out = distribute_min_funding(40.0, claims)
+        assert out["a"] == 5.0
+        assert out["b"] == pytest.approx(35.0)
+
+    def test_floor_respected_on_reduction(self):
+        claims = [
+            claim("a", 1, current=10.0, lo=8.0),
+            claim("b", 1, current=10.0, lo=0.0),
+        ]
+        out = distribute_min_funding(-10.0, claims)
+        assert out["a"] == pytest.approx(8.0)
+        assert out["b"] == pytest.approx(2.0)
+
+    def test_total_conserved_when_feasible(self):
+        claims = [claim("a", 2, current=10.0), claim("b", 5, current=20.0)]
+        out = distribute_min_funding(13.0, claims)
+        assert sum(out.values()) == pytest.approx(43.0)
+
+    def test_everything_saturated_places_what_it_can(self):
+        claims = [claim("a", 1, current=9.0, hi=10.0)]
+        out = distribute_min_funding(50.0, claims)
+        assert out["a"] == 10.0
+
+    def test_zero_delta_is_identity(self):
+        claims = [claim("a", 1, current=7.0)]
+        assert distribute_min_funding(0.0, claims) == {"a": 7.0}
+
+    def test_empty_claims(self):
+        assert distribute_min_funding(10.0, []) == {}
+
+    def test_terminates_on_degenerate_bounds(self):
+        claims = [Claim("a", 1, 5.0, 5.0, 5.0), Claim("b", 1, 5.0, 5.0, 5.0)]
+        out = distribute_min_funding(10.0, claims)
+        assert out == {"a": 5.0, "b": 5.0}
+
+
+class TestProportionalTargets:
+    def test_splits_total(self):
+        out = proportional_targets(
+            100.0, [claim("a", 1), claim("b", 4)]
+        )
+        assert out["a"] == pytest.approx(20.0)
+        assert out["b"] == pytest.approx(80.0)
+
+    def test_floors_always_met(self):
+        out = proportional_targets(
+            10.0, [claim("a", 1, lo=8.0), claim("b", 99, lo=8.0, hi=10.0)]
+        )
+        assert out["a"] >= 8.0
+        assert out["b"] >= 8.0
+
+    def test_ignores_current(self):
+        out = proportional_targets(
+            10.0, [claim("a", 1, current=999.0), claim("b", 1)]
+        )
+        assert out["a"] == pytest.approx(5.0)
+
+
+class TestPool:
+    def test_pool_bounds(self):
+        claims = [claim("a", 1, lo=2.0, hi=10.0), claim("b", 1, lo=3.0, hi=5.0)]
+        assert pool_bounds(claims) == (5.0, 15.0)
+
+    def test_refill_reclaims_windfall_first(self):
+        """An app that got excess because others saturated gives the
+        excess back before proportional entitlements shrink."""
+        claims = [
+            claim("big", 90, current=50.0, hi=50.0),
+            claim("small", 10, current=40.0, hi=100.0),  # windfall
+        ]
+        out = refill_pool(80.0, claims)
+        # entitlement at pool 80: big 72 (clamped 50), small 8 + spill 22
+        assert out["big"] == pytest.approx(50.0)
+        assert out["small"] == pytest.approx(30.0)
+
+    def test_refill_preserves_pure_proportions(self):
+        claims = [claim("a", 3, current=30.0), claim("b", 1, current=10.0)]
+        out = refill_pool(20.0, claims)
+        assert out["a"] == pytest.approx(15.0)
+        assert out["b"] == pytest.approx(5.0)

@@ -1,0 +1,85 @@
+"""Tests for closed-form performance helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.perf_model import (
+    effective_frequency_mhz,
+    max_standalone_ips,
+    standalone_ips,
+    standalone_runtime_s,
+)
+from repro.workloads.spec import spec_app
+
+
+class TestEffectiveFrequency:
+    def test_non_avx_unrestricted(self, skylake):
+        app = spec_app("gcc")
+        assert effective_frequency_mhz(skylake, app, 3000.0) == 3000.0
+
+    def test_avx_capped(self, skylake):
+        app = spec_app("cam4")
+        assert (
+            effective_frequency_mhz(skylake, app, 3000.0)
+            == skylake.avx_max_frequency_mhz
+        )
+
+    def test_nonpositive_rejected(self, skylake):
+        with pytest.raises(ConfigError):
+            effective_frequency_mhz(skylake, spec_app("gcc"), 0.0)
+
+
+class TestStandalone:
+    def test_ips_monotonic_in_frequency(self, skylake):
+        app = spec_app("gcc")
+        assert standalone_ips(skylake, app, 2200.0) > standalone_ips(
+            skylake, app, 800.0
+        )
+
+    def test_runtime_inverse_of_ips(self, skylake):
+        app = spec_app("leela")
+        runtime = standalone_runtime_s(skylake, app, 2200.0)
+        assert runtime == pytest.approx(
+            app.instructions / standalone_ips(skylake, app, 2200.0)
+        )
+
+    def test_runtime_of_service_rejected(self, skylake):
+        with pytest.raises(ConfigError):
+            standalone_runtime_s(skylake, spec_app("gcc", steady=True), 2200.0)
+
+    def test_max_ips_is_highest(self, skylake):
+        app = spec_app("leela")
+        assert max_standalone_ips(skylake, app) >= standalone_ips(
+            skylake, app, 2200.0
+        )
+
+    def test_avx_app_max_ips_uses_cap(self, skylake):
+        app = spec_app("cam4")
+        assert max_standalone_ips(skylake, app) == standalone_ips(
+            skylake, app, skylake.avx_max_frequency_mhz
+        )
+
+    def test_performance_dynamic_range(self, skylake):
+        """Paper section 5.2: performance varies by roughly 4x over the
+        DVFS range for frequency-sensitive apps."""
+        app = spec_app("exchange2")  # most frequency sensitive
+        ratio = max_standalone_ips(skylake, app) / standalone_ips(
+            skylake, app, skylake.min_frequency_mhz
+        )
+        assert 3.0 <= ratio <= 5.0
+
+    def test_simulation_matches_closed_form(self, skylake):
+        """The tick simulation and the closed form agree — the analytic
+        baselines the experiments normalize with are trustworthy."""
+        from repro.sim.chip import Chip
+        from repro.sim.core import BatchCoreLoad
+        from repro.workloads.app import RunningApp
+
+        app = spec_app("deepsjeng", steady=True)
+        chip = Chip(skylake)
+        chip.assign_load(0, BatchCoreLoad(RunningApp(app), 2200.0))
+        chip.set_requested_frequency(0, 1600.0)
+        chip.run_ticks(2000)
+        measured = chip.cores[0].total_instructions / chip.time_s
+        expected = standalone_ips(skylake, app, 1600.0)
+        assert measured == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,145 @@
+"""Tests for policy types and the Policy base class."""
+
+import pytest
+
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.policy import PolicyConfig
+from repro.core.types import (
+    AppTelemetry,
+    ManagedApp,
+    PolicyDecision,
+    PolicyInputs,
+    Priority,
+)
+from repro.errors import ConfigError, ShareError
+
+
+def managed(label="a", core=0, **kw):
+    return ManagedApp(label=label, core_id=core, **kw)
+
+
+def telemetry(label, freq=1000.0, ips=1e9, power=None, parked=False):
+    return AppTelemetry(
+        label=label,
+        active_frequency_mhz=freq,
+        ips=ips,
+        busy_fraction=1.0,
+        power_w=power,
+        parked=parked,
+    )
+
+
+class TestManagedApp:
+    def test_defaults(self):
+        app = managed()
+        assert app.priority is Priority.HIGH
+        assert app.shares == 1.0
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ConfigError):
+            managed(label="")
+
+    def test_nonpositive_shares_rejected(self):
+        with pytest.raises(ShareError):
+            managed(shares=0)
+
+    def test_bad_baseline_rejected(self):
+        with pytest.raises(ConfigError):
+            managed(baseline_ips=-1.0)
+
+
+class TestPolicyInputs:
+    def test_telemetry_lookup(self):
+        inputs = PolicyInputs(
+            iteration=0, limit_w=50.0, package_power_w=45.0,
+            apps=(telemetry("a"), telemetry("b")),
+            current_targets={},
+        )
+        assert inputs.telemetry("b").label == "b"
+
+    def test_unknown_label_raises(self):
+        inputs = PolicyInputs(
+            iteration=0, limit_w=50.0, package_power_w=45.0,
+            apps=(), current_targets={},
+        )
+        with pytest.raises(ConfigError):
+            inputs.telemetry("x")
+
+    def test_power_error_sign(self):
+        inputs = PolicyInputs(
+            iteration=0, limit_w=50.0, package_power_w=55.0,
+            apps=(), current_targets={},
+        )
+        assert inputs.power_error_w == -5.0
+
+
+class TestPolicyDecision:
+    def test_validate_ok(self):
+        decision = PolicyDecision(targets={"a": 1000.0}, parked={"b"})
+        decision.validate({"a", "b"})
+
+    def test_unknown_app_rejected(self):
+        decision = PolicyDecision(targets={"x": 1000.0})
+        with pytest.raises(ConfigError):
+            decision.validate({"a"})
+
+    def test_nonpositive_target_rejected(self):
+        decision = PolicyDecision(targets={"a": 0.0})
+        with pytest.raises(ConfigError):
+            decision.validate({"a"})
+
+    def test_parked_app_may_have_any_target(self):
+        decision = PolicyDecision(targets={"a": 0.0}, parked={"a"})
+        decision.validate({"a"})
+
+
+class TestPolicyBase:
+    def test_duplicate_labels_rejected(self, skylake):
+        with pytest.raises(ConfigError):
+            FrequencySharesPolicy(
+                skylake, [managed("a", 0), managed("a", 1)], 50.0
+            )
+
+    def test_duplicate_cores_rejected(self, skylake):
+        with pytest.raises(ConfigError):
+            FrequencySharesPolicy(
+                skylake, [managed("a", 0), managed("b", 0)], 50.0
+            )
+
+    def test_no_apps_rejected(self, skylake):
+        with pytest.raises(ConfigError):
+            FrequencySharesPolicy(skylake, [], 50.0)
+
+    def test_nonpositive_limit_rejected(self, skylake):
+        with pytest.raises(ConfigError):
+            FrequencySharesPolicy(skylake, [managed()], 0.0)
+
+    def test_alpha_uses_max_power(self, skylake):
+        policy = FrequencySharesPolicy(skylake, [managed()], 50.0)
+        assert policy.alpha(8.5) == pytest.approx(8.5 / 85.0)
+
+    def test_deadband_zeroes_small_errors(self, skylake):
+        policy = FrequencySharesPolicy(skylake, [managed()], 50.0)
+        assert policy.scaled_step(0.5) == 0.0
+        assert policy.scaled_step(-0.5) == 0.0
+
+    def test_asymmetric_gain(self, skylake):
+        policy = FrequencySharesPolicy(skylake, [managed()], 50.0)
+        assert policy.scaled_step(4.0) == pytest.approx(2.0)
+        assert policy.scaled_step(-4.0) == pytest.approx(-4.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PolicyConfig(max_power_w=0)
+        with pytest.raises(ConfigError):
+            PolicyConfig(max_power_w=85.0, upward_gain=0.0)
+
+    def test_app_max_frequency_override(self, skylake):
+        policy = FrequencySharesPolicy(
+            skylake, [managed(max_frequency_mhz=1700.0)], 50.0
+        )
+        assert policy.app_max_frequency(policy.apps[0]) == 1700.0
+
+    def test_min_frequency_uses_policy_floor(self, ryzen):
+        policy = FrequencySharesPolicy(ryzen, [managed()], 50.0)
+        assert policy.min_frequency == 800.0

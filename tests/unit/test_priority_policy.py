@@ -1,0 +1,189 @@
+"""Unit tests for the priority policy state machine (hand-fed telemetry)."""
+
+import pytest
+
+from repro.core.priority import PriorityConfig, PriorityPolicy
+from repro.core.types import AppTelemetry, ManagedApp, PolicyInputs, Priority
+
+
+def priority_apps(n_hp=2, n_lp=2):
+    apps = []
+    for i in range(n_hp):
+        apps.append(ManagedApp(label=f"hp{i}", core_id=i,
+                               priority=Priority.HIGH))
+    for i in range(n_lp):
+        apps.append(ManagedApp(label=f"lp{i}", core_id=n_hp + i,
+                               priority=Priority.LOW))
+    return apps
+
+
+def feed(policy, package_w, iteration, granted=None):
+    telem = []
+    for app in policy.apps:
+        parked = app.label in getattr(policy, "_last_parked", set())
+        freq = (granted or {}).get(app.label, 2000.0)
+        telem.append(
+            AppTelemetry(
+                label=app.label,
+                active_frequency_mhz=freq,
+                ips=1e9,
+                busy_fraction=0.0 if parked else 1.0,
+                power_w=None,
+                parked=parked,
+            )
+        )
+    inputs = PolicyInputs(
+        iteration=iteration,
+        limit_w=policy.limit_w,
+        package_power_w=package_w,
+        apps=tuple(telem),
+        current_targets={},
+    )
+    decision = policy.redistribute(inputs)
+    policy._last_parked = decision.parked
+    return decision
+
+
+class TestInitialDistribution:
+    def test_hp_at_max_lp_parked(self, skylake):
+        policy = PriorityPolicy(skylake, priority_apps(), 50.0)
+        decision = policy.initial_distribution()
+        assert decision.targets["hp0"] == skylake.max_frequency_mhz
+        assert decision.parked == {"lp0", "lp1"}
+
+    def test_all_equal_priority_treated_as_hp(self, skylake):
+        apps = [
+            ManagedApp(label=f"a{i}", core_id=i, priority=Priority.LOW)
+            for i in range(3)
+        ]
+        policy = PriorityPolicy(skylake, apps, 50.0)
+        decision = policy.initial_distribution()
+        assert decision.parked == set()
+
+    def test_starts_in_converge_state(self, skylake):
+        policy = PriorityPolicy(skylake, priority_apps(), 50.0)
+        policy.initial_distribution()
+        assert policy.state == "hp-converge"
+
+
+class TestConvergence:
+    def test_over_limit_lowers_hp_level(self, skylake):
+        policy = PriorityPolicy(skylake, priority_apps(), 50.0)
+        first = policy.initial_distribution().targets["hp0"]
+        decision = feed(policy, 70.0, 1, granted={"hp0": 2500.0,
+                                                  "hp1": 2500.0})
+        assert decision.targets["hp0"] < first
+
+    def test_violating_level_blacklisted(self, skylake):
+        policy = PriorityPolicy(skylake, priority_apps(), 50.0)
+        policy.initial_distribution()
+        feed(policy, 70.0, 1, granted={"hp0": 2500.0, "hp1": 2500.0})
+        assert policy._blacklist  # the 2.5 GHz bin is now off-limits
+
+    def test_trial_entered_after_stability(self, skylake):
+        config = PriorityConfig(stable_iterations=2)
+        policy = PriorityPolicy(skylake, priority_apps(), 50.0,
+                                priority_config=config)
+        policy.initial_distribution()
+        for i in range(1, 6):
+            feed(policy, 49.8, i, granted={"hp0": 3000.0, "hp1": 3000.0})
+        assert policy.state in ("trial", "admitted")
+
+    def test_no_lp_stays_in_converge(self, skylake):
+        policy = PriorityPolicy(skylake, priority_apps(n_lp=0), 50.0)
+        policy.initial_distribution()
+        for i in range(1, 8):
+            feed(policy, 49.9, i)
+        assert policy.state == "hp-converge"
+
+
+class TestTrial:
+    def _to_trial(self, skylake, limit=50.0):
+        config = PriorityConfig(stable_iterations=1, trial_iterations=2)
+        policy = PriorityPolicy(skylake, priority_apps(), limit,
+                                priority_config=config)
+        policy.initial_distribution()
+        iteration = 1
+        while policy.state == "hp-converge":
+            feed(policy, limit - 0.2, iteration,
+                 granted={"hp0": 3000.0, "hp1": 3000.0})
+            iteration += 1
+            assert iteration < 20
+        return policy, iteration
+
+    def test_trial_unparks_lp_at_min(self, skylake):
+        policy, _ = self._to_trial(skylake)
+        assert policy.state == "trial"
+        decision = policy._decision()
+        assert decision.parked == set()
+        assert decision.targets["lp0"] == skylake.min_frequency_mhz
+
+    def test_fitting_trial_admits(self, skylake):
+        policy, it = self._to_trial(skylake)
+        feed(policy, 48.0, it)
+        feed(policy, 48.0, it + 1)
+        assert policy.state == "admitted"
+        assert policy.lp_running
+
+    def test_overbudget_trial_starves(self, skylake):
+        policy, it = self._to_trial(skylake)
+        feed(policy, 58.0, it)
+        feed(policy, 58.0, it + 1)
+        assert policy.state == "starved"
+        assert policy._decision().parked == {"lp0", "lp1"}
+
+
+class TestAdmitted:
+    def _admitted(self, skylake):
+        config = PriorityConfig(stable_iterations=1, trial_iterations=1)
+        policy = PriorityPolicy(skylake, priority_apps(), 50.0,
+                                priority_config=config)
+        policy.initial_distribution()
+        it = 1
+        while policy.state != "admitted":
+            feed(policy, 48.0, it, granted={"hp0": 2500.0, "hp1": 2500.0})
+            it += 1
+            assert it < 25
+        return policy, it
+
+    def test_residual_power_raises_lp(self, skylake):
+        policy, it = self._admitted(skylake)
+        before = policy._decision().targets["lp0"]
+        feed(policy, 42.0, it, granted={"hp0": 2500.0, "hp1": 2500.0})
+        after = policy._decision().targets["lp0"]
+        assert after > before
+
+    def test_overage_taken_from_lp_first(self, skylake):
+        policy, it = self._admitted(skylake)
+        # give LP some allocation first
+        feed(policy, 40.0, it, granted={"hp0": 2500.0, "hp1": 2500.0})
+        lp_before = policy._decision().targets["lp0"]
+        hp_before = policy._decision().targets["hp0"]
+        feed(policy, 55.0, it + 1, granted={"hp0": 2500.0, "hp1": 2500.0})
+        decision = policy._decision()
+        assert decision.targets["lp0"] < lp_before
+        assert decision.targets["hp0"] == pytest.approx(hp_before)
+
+
+class TestStarvedRetry:
+    def test_retry_after_interval(self, skylake):
+        config = PriorityConfig(
+            stable_iterations=1, trial_iterations=1, retry_interval=5
+        )
+        policy = PriorityPolicy(skylake, priority_apps(), 50.0,
+                                priority_config=config)
+        policy.initial_distribution()
+        it = 1
+        while policy.state != "starved":
+            # converge, then fail the trial with high power
+            power = 49.8 if policy.state == "hp-converge" else 60.0
+            feed(policy, power, it, granted={"hp0": 2500.0, "hp1": 2500.0})
+            it += 1
+            assert it < 30
+        # stay starved until the retry interval elapses
+        states = set()
+        for _ in range(8):
+            feed(policy, 49.8, it, granted={"hp0": 2500.0, "hp1": 2500.0})
+            states.add(policy.state)
+            it += 1
+        assert "trial" in states or "admitted" in states

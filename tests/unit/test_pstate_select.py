@@ -1,0 +1,70 @@
+"""Tests for the Ryzen three-P-state selection utility."""
+
+import pytest
+
+from repro.core.pstate_select import _kmeans_1d, select_pstate_levels
+from repro.errors import ConfigError
+
+
+class TestKmeans:
+    def test_separates_clear_clusters(self):
+        values = [800.0, 810.0, 2000.0, 2010.0, 3400.0, 3410.0]
+        centroids = sorted(_kmeans_1d(values, 3))
+        assert centroids[0] == pytest.approx(805.0)
+        assert centroids[1] == pytest.approx(2005.0)
+        assert centroids[2] == pytest.approx(3405.0)
+
+    def test_fewer_values_than_k(self):
+        centroids = _kmeans_1d([1000.0], 3)
+        assert 1000.0 in centroids
+
+    def test_deterministic(self):
+        values = [400.0, 1500.0, 2700.0, 3400.0, 900.0]
+        assert _kmeans_1d(values, 3) == _kmeans_1d(values, 3)
+
+
+class TestSelection:
+    def test_passthrough_within_budget(self, ryzen):
+        targets = {"a": 800.0, "b": 2000.0, "c": 3400.0}
+        out = select_pstate_levels(ryzen, targets)
+        assert out == targets
+
+    def test_reduces_to_three_levels(self, ryzen):
+        targets = {f"a{i}": 800.0 + i * 350.0 for i in range(8)}
+        out = select_pstate_levels(ryzen, targets)
+        assert len(set(out.values())) <= 3
+
+    def test_levels_on_grid(self, ryzen):
+        targets = {f"a{i}": 811.0 + i * 333.3 for i in range(8)}
+        out = select_pstate_levels(ryzen, targets)
+        grid = set(ryzen.pstates.frequencies_mhz)
+        assert set(out.values()) <= grid
+
+    def test_each_app_mapped_to_nearest_level(self, ryzen):
+        targets = {"lo": 800.0, "lo2": 850.0, "mid": 2000.0,
+                   "hi": 3400.0, "hi2": 3300.0}
+        out = select_pstate_levels(ryzen, targets)
+        assert out["lo"] < out["mid"] < out["hi"]
+        assert abs(out["lo"] - out["lo2"]) < 300
+        assert abs(out["hi"] - out["hi2"]) < 300
+
+    def test_skylake_only_quantizes(self, skylake):
+        targets = {f"a{i}": 811.0 + i * 211.0 for i in range(10)}
+        out = select_pstate_levels(skylake, targets)
+        assert len(set(out.values())) == len(set(
+            skylake.pstates.quantize(v, nearest=True).frequency_mhz
+            for v in targets.values()
+        ))
+
+    def test_quantizes_off_grid_inputs(self, ryzen):
+        out = select_pstate_levels(ryzen, {"a": 1013.0})
+        assert out["a"] in (1000.0, 1025.0)
+
+    def test_empty_targets_rejected(self, ryzen):
+        with pytest.raises(ConfigError):
+            select_pstate_levels(ryzen, {})
+
+    def test_identical_targets_single_level(self, ryzen):
+        targets = {f"a{i}": 2000.0 for i in range(8)}
+        out = select_pstate_levels(ryzen, targets)
+        assert set(out.values()) == {2000.0}

@@ -1,0 +1,140 @@
+"""Tests for RAPL energy accounting and the firmware limiter."""
+
+import pytest
+
+from repro.errors import ConfigError, UnsupportedFeatureError
+from repro.hw.rapl import RaplController, RaplLimiter, RaplLimiterConfig
+
+
+class TestController:
+    def test_accumulates_package_energy(self, skylake):
+        ctl = RaplController(skylake)
+        ctl.accumulate([1.0] * 10, 20.0, 0.5)
+        assert ctl.package_energy_joules == pytest.approx(10.0)
+        assert ctl.package_energy_uj == 10_000_000
+
+    def test_accumulates_core_energy(self, ryzen):
+        ctl = RaplController(ryzen)
+        ctl.accumulate([2.0] * 8, 25.0, 1.0)
+        assert ctl.core_energy_joules(3) == pytest.approx(2.0)
+        assert ctl.core_energy_uj(3) == 2_000_000
+
+    def test_core_energy_denied_without_feature(self, skylake):
+        ctl = RaplController(skylake)
+        ctl.accumulate([1.0] * 10, 17.0, 1.0)
+        with pytest.raises(UnsupportedFeatureError):
+            ctl.core_energy_uj(0)
+
+    def test_wrong_vector_length_rejected(self, skylake):
+        ctl = RaplController(skylake)
+        with pytest.raises(ConfigError):
+            ctl.accumulate([1.0] * 3, 10.0, 1.0)
+
+    def test_uj_counter_wraps_32_bits(self, skylake):
+        ctl = RaplController(skylake)
+        # ~4295 J pushes the uJ counter past 2^32
+        ctl.accumulate([0.0] * 10, 5000.0, 1.0)
+        assert ctl.package_energy_uj == (5_000_000_000 % (1 << 32))
+        assert ctl.package_energy_joules == pytest.approx(5000.0)
+
+
+class TestLimiterSetup:
+    def test_requires_rapl_platform(self, ryzen):
+        with pytest.raises(UnsupportedFeatureError):
+            RaplLimiter(ryzen)
+
+    def test_unlimited_by_default(self, skylake):
+        limiter = RaplLimiter(skylake)
+        assert limiter.limit_w is None
+        assert limiter.cap_mhz == skylake.max_frequency_mhz
+
+    def test_set_limit_in_range(self, skylake):
+        limiter = RaplLimiter(skylake)
+        limiter.set_limit(50.0)
+        assert limiter.limit_w == 50.0
+
+    def test_set_limit_out_of_range(self, skylake):
+        limiter = RaplLimiter(skylake)
+        with pytest.raises(ConfigError):
+            limiter.set_limit(10.0)
+        with pytest.raises(ConfigError):
+            limiter.set_limit(100.0)
+
+    def test_clear_limit_restores_cap(self, skylake):
+        limiter = RaplLimiter(skylake)
+        limiter.set_limit(40.0)
+        for _ in range(200):
+            limiter.observe(70.0, 1e-3)
+        assert limiter.cap_mhz < skylake.max_frequency_mhz
+        limiter.set_limit(None)
+        assert limiter.cap_mhz == skylake.max_frequency_mhz
+
+
+class TestLimiterControl:
+    def test_over_limit_lowers_cap(self, skylake):
+        limiter = RaplLimiter(skylake)
+        limiter.set_limit(40.0)
+        for _ in range(50):
+            limiter.observe(60.0, 1e-3)
+        assert limiter.cap_mhz < skylake.max_frequency_mhz
+
+    def test_under_limit_raises_cap_back(self, skylake):
+        limiter = RaplLimiter(skylake)
+        limiter.set_limit(40.0)
+        for _ in range(200):
+            limiter.observe(60.0, 1e-3)
+        lowered = limiter.cap_mhz
+        for _ in range(500):
+            limiter.observe(30.0, 1e-3)
+        assert limiter.cap_mhz > lowered
+
+    def test_hysteresis_holds_near_limit(self, skylake):
+        config = RaplLimiterConfig(hysteresis_w=1.0)
+        limiter = RaplLimiter(skylake, config)
+        limiter.set_limit(40.0)
+        for _ in range(100):
+            limiter.observe(80.0, 1e-3)
+        settled = limiter.cap_mhz
+        # power slightly under the limit: inside the hysteresis band
+        for _ in range(100):
+            limiter.observe(39.5, 1e-3)
+        assert limiter.cap_mhz == pytest.approx(settled)
+
+    def test_cap_never_below_min_frequency(self, skylake):
+        limiter = RaplLimiter(skylake)
+        limiter.set_limit(20.0)
+        for _ in range(5000):
+            limiter.observe(200.0, 1e-3)
+        assert limiter.cap_mhz == skylake.min_frequency_mhz
+
+    def test_ewma_smooths_spikes(self, skylake):
+        limiter = RaplLimiter(skylake)
+        limiter.observe(40.0, 1e-3)
+        limiter.observe(400.0, 1e-3)
+        assert limiter.average_power_w < 100.0
+
+    def test_first_observation_primes_average(self, skylake):
+        limiter = RaplLimiter(skylake)
+        limiter.observe(55.0, 1e-3)
+        assert limiter.average_power_w == pytest.approx(55.0)
+
+    def test_observe_rejects_nonpositive_dt(self, skylake):
+        limiter = RaplLimiter(skylake)
+        with pytest.raises(ConfigError):
+            limiter.observe(40.0, 0.0)
+
+    def test_clip_fastest_first(self, skylake):
+        """Cores below the cap are untouched; only fast requests clip —
+        the behaviour behind paper Figs 1 and 4."""
+        limiter = RaplLimiter(skylake)
+        limiter.set_limit(40.0)
+        for _ in range(300):
+            limiter.observe(60.0, 1e-3)
+        cap = limiter.cap_mhz
+        assert limiter.clip(skylake.max_frequency_mhz) == cap
+        slow = skylake.min_frequency_mhz
+        assert limiter.clip(slow) == slow
+
+    def test_unlimited_clip_is_identity(self, skylake):
+        limiter = RaplLimiter(skylake)
+        assert limiter.clip(2500.0) == 2500.0

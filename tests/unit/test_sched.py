@@ -1,0 +1,156 @@
+"""Tests for pinning and single-core time sharing."""
+
+import pytest
+
+from repro.errors import SchedulerError, ShareError
+from repro.sched.pinning import pin_apps
+from repro.sched.timeshare import TimeShareEntry, TimeSharedCoreLoad
+from repro.sim.chip import Chip
+from repro.workloads.app import RunningApp
+from repro.workloads.spec import spec_app
+
+
+class TestPinning:
+    def test_pins_in_order(self, sky_chip):
+        placements = pin_apps(sky_chip, [spec_app("gcc"), spec_app("leela")])
+        assert [p.core_id for p in placements] == [0, 1]
+
+    def test_custom_core_ids(self, sky_chip):
+        placements = pin_apps(
+            sky_chip, [spec_app("gcc")], core_ids=[7]
+        )
+        assert placements[0].core_id == 7
+        assert sky_chip.cores[7].load is placements[0].load
+
+    def test_instances_numbered(self, sky_chip):
+        placements = pin_apps(sky_chip, [spec_app("gcc")] * 3)
+        assert [p.label for p in placements] == ["gcc#0", "gcc#1", "gcc#2"]
+
+    def test_no_apps_rejected(self, sky_chip):
+        with pytest.raises(SchedulerError):
+            pin_apps(sky_chip, [])
+
+    def test_too_many_apps_rejected(self, sky_chip):
+        with pytest.raises(SchedulerError):
+            pin_apps(sky_chip, [spec_app("gcc")] * 11)
+
+    def test_duplicate_cores_rejected(self, sky_chip):
+        with pytest.raises(SchedulerError):
+            pin_apps(sky_chip, [spec_app("gcc")] * 2, core_ids=[1, 1])
+
+    def test_mismatched_lengths_rejected(self, sky_chip):
+        with pytest.raises(SchedulerError):
+            pin_apps(sky_chip, [spec_app("gcc")] * 2, core_ids=[0])
+
+
+def entry(name, shares, instance=0):
+    return TimeShareEntry(
+        app=RunningApp(spec_app(name, steady=True), instance=instance),
+        shares=shares,
+    )
+
+
+class TestTimeShareGroup:
+    def test_relative_shares_fill_core(self):
+        load = TimeSharedCoreLoad([entry("gcc", 3), entry("leela", 1)], 3000.0)
+        split = load.residencies()
+        assert split["gcc#0"] == pytest.approx(0.75)
+        assert split["leela#0"] == pytest.approx(0.25)
+
+    def test_absolute_quotas_leave_idle(self):
+        load = TimeSharedCoreLoad(
+            [entry("gcc", 0.5), entry("leela", 0.2)], 3000.0,
+            absolute_quotas=True,
+        )
+        sample = load.advance(1e-3, 3000.0, 0.0)
+        assert sample.busy_fraction == pytest.approx(0.7)
+
+    def test_absolute_quotas_over_100pct_rejected(self):
+        with pytest.raises(ShareError):
+            TimeSharedCoreLoad(
+                [entry("gcc", 0.7), entry("leela", 0.5)], 3000.0,
+                absolute_quotas=True,
+            )
+
+    def test_set_shares_runtime(self):
+        load = TimeSharedCoreLoad([entry("gcc", 1), entry("leela", 1)], 3000.0)
+        load.set_shares("gcc#0", 3.0)
+        assert load.residencies()["gcc#0"] == pytest.approx(0.75)
+
+    def test_set_shares_unknown_label(self):
+        load = TimeSharedCoreLoad([entry("gcc", 1)], 3000.0)
+        with pytest.raises(SchedulerError):
+            load.set_shares("nosuch#0", 2.0)
+
+    def test_set_shares_quota_overflow_rejected_and_rolled_back(self):
+        load = TimeSharedCoreLoad(
+            [entry("gcc", 0.5), entry("leela", 0.4)], 3000.0,
+            absolute_quotas=True,
+        )
+        with pytest.raises(ShareError):
+            load.set_shares("leela#0", 0.6)
+        assert load.residencies()["leela#0"] == pytest.approx(0.4)
+
+    def test_finished_app_releases_time(self):
+        tiny = spec_app("leela").with_instructions(1e6)
+        entries = [
+            TimeShareEntry(app=RunningApp(tiny), shares=1),
+            entry("gcc", 1),
+        ]
+        load = TimeSharedCoreLoad(entries, 3000.0)
+        load.advance(1.0, 3000.0, 0.0)  # leela finishes
+        split = load.residencies()
+        assert split == {"gcc#0": 1.0}
+
+    def test_done_only_when_all_finish(self):
+        tiny = spec_app("leela").with_instructions(1e6)
+        load = TimeSharedCoreLoad(
+            [TimeShareEntry(app=RunningApp(tiny), shares=1)], 3000.0
+        )
+        sample = load.advance(1.0, 3000.0, 0.0)
+        assert sample.done
+
+    def test_instructions_split_by_share(self):
+        load = TimeSharedCoreLoad([entry("gcc", 3), entry("leela", 1)], 3000.0)
+        load.advance(1.0, 3000.0, 0.0)
+        gcc = load.entries[0].app.retired_instructions
+        leela = load.entries[1].app.retired_instructions
+        gcc_rate = spec_app("gcc").ips(3000.0, 3000.0)
+        leela_rate = spec_app("leela").ips(3000.0, 3000.0)
+        assert gcc / gcc_rate == pytest.approx(3 * (leela / leela_rate),
+                                               rel=0.05)
+
+    def test_c_eff_is_residency_weighted_mixture(self):
+        """The Fig 6 result: core power mixes linearly by residency."""
+        hd = entry("cactusBSSN", 0.5)
+        load_mix = TimeSharedCoreLoad([hd], 3000.0, absolute_quotas=True)
+        sample = load_mix.advance(1e-3, 3000.0, 0.0)
+        alone = TimeSharedCoreLoad(
+            [entry("cactusBSSN", 1.0)], 3000.0, absolute_quotas=True
+        ).advance(1e-3, 3000.0, 0.0)
+        # same per-busy-time c_eff; only the busy fraction differs
+        assert sample.c_eff == pytest.approx(alone.c_eff)
+        assert sample.busy_fraction == pytest.approx(0.5)
+
+    def test_avx_follows_running_apps(self):
+        tiny_avx = spec_app("cam4").with_instructions(1e6)
+        entries = [
+            TimeShareEntry(app=RunningApp(tiny_avx), shares=1),
+            entry("gcc", 1),
+        ]
+        load = TimeSharedCoreLoad(entries, 3000.0)
+        assert load.uses_avx
+        load.advance(1.0, 1700.0, 0.0)  # cam4 finishes
+        assert not load.uses_avx
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(SchedulerError):
+            TimeSharedCoreLoad([], 3000.0)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(SchedulerError):
+            TimeSharedCoreLoad([entry("gcc", 1), entry("gcc", 1)], 3000.0)
+
+    def test_nonpositive_shares_rejected(self):
+        with pytest.raises(ShareError):
+            entry("gcc", 0)

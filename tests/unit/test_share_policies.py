@@ -1,0 +1,203 @@
+"""Unit tests for the three proportional-share policies (no simulator:
+telemetry is hand-fed, which pins down each policy's control contract)."""
+
+import pytest
+
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.performance_shares import PerformanceSharesPolicy
+from repro.core.power_shares import PowerSharesPolicy
+from repro.core.types import AppTelemetry, ManagedApp, PolicyInputs
+from repro.errors import ConfigError, UnsupportedFeatureError
+
+
+def apps_pair(platform, ld_shares=90.0, hd_shares=10.0, baseline=None):
+    return [
+        ManagedApp(label="ld", core_id=0, shares=ld_shares,
+                   baseline_ips=baseline),
+        ManagedApp(label="hd", core_id=1, shares=hd_shares,
+                   baseline_ips=baseline),
+    ]
+
+
+def inputs_for(policy, package_w, telem=None, iteration=1):
+    telem = telem or {}
+    apps = []
+    for app in policy.apps:
+        freq, ips, power = telem.get(app.label, (1000.0, 1e9, 3.0))
+        apps.append(
+            AppTelemetry(
+                label=app.label,
+                active_frequency_mhz=freq,
+                ips=ips,
+                busy_fraction=1.0,
+                power_w=power,
+                parked=False,
+            )
+        )
+    return PolicyInputs(
+        iteration=iteration,
+        limit_w=policy.limit_w,
+        package_power_w=package_w,
+        apps=tuple(apps),
+        current_targets={},
+    )
+
+
+class TestFrequencyShares:
+    def test_initial_top_share_at_max(self, skylake):
+        policy = FrequencySharesPolicy(skylake, apps_pair(skylake), 50.0)
+        decision = policy.initial_distribution()
+        assert decision.targets["ld"] == skylake.max_frequency_mhz
+
+    def test_initial_proportions(self, skylake):
+        policy = FrequencySharesPolicy(
+            skylake, apps_pair(skylake, 100, 50), 50.0
+        )
+        decision = policy.initial_distribution()
+        assert decision.targets["hd"] == pytest.approx(
+            decision.targets["ld"] / 2
+        )
+
+    def test_initial_respects_floor(self, skylake):
+        policy = FrequencySharesPolicy(
+            skylake, apps_pair(skylake, 99, 1), 50.0
+        )
+        decision = policy.initial_distribution()
+        assert decision.targets["hd"] == skylake.min_frequency_mhz
+
+    def test_over_limit_reduces_targets(self, skylake):
+        policy = FrequencySharesPolicy(skylake, apps_pair(skylake), 50.0)
+        before = policy.initial_distribution().targets
+        after = policy.redistribute(inputs_for(policy, 60.0)).targets
+        assert after["ld"] < before["ld"]
+
+    def test_in_deadband_holds(self, skylake):
+        policy = FrequencySharesPolicy(skylake, apps_pair(skylake), 50.0)
+        before = policy.initial_distribution().targets
+        after = policy.redistribute(inputs_for(policy, 50.2)).targets
+        assert after == before
+
+    def test_ratio_preserved_without_clamps(self, skylake):
+        policy = FrequencySharesPolicy(
+            skylake, apps_pair(skylake, 60, 40), 50.0
+        )
+        policy.initial_distribution()
+        decision = policy.redistribute(inputs_for(policy, 58.0))
+        assert decision.targets["ld"] / decision.targets["hd"] == (
+            pytest.approx(1.5, rel=0.01)
+        )
+
+    def test_never_starves(self, skylake):
+        policy = FrequencySharesPolicy(skylake, apps_pair(skylake), 50.0)
+        policy.initial_distribution()
+        for _ in range(30):
+            decision = policy.redistribute(inputs_for(policy, 80.0))
+        assert decision.parked == set()
+        assert all(
+            f >= skylake.min_frequency_mhz
+            for f in decision.targets.values()
+        )
+
+
+class TestPerformanceShares:
+    def test_requires_baseline(self, skylake):
+        with pytest.raises(ConfigError):
+            PerformanceSharesPolicy(skylake, apps_pair(skylake), 50.0)
+
+    def test_initial_distribution_proportional(self, skylake):
+        policy = PerformanceSharesPolicy(
+            skylake, apps_pair(skylake, 60, 40, baseline=1e9), 50.0
+        )
+        decision = policy.initial_distribution()
+        assert decision.targets["ld"] > decision.targets["hd"]
+
+    def test_translation_raises_freq_when_below_target(self, skylake):
+        policy = PerformanceSharesPolicy(
+            skylake, apps_pair(skylake, 50, 50, baseline=1e9), 50.0
+        )
+        first = policy.initial_distribution().targets
+        # both measured far below their perf targets, power under limit
+        telem = {
+            "ld": (first["ld"], 0.05e9, None),
+            "hd": (first["hd"], 0.05e9, None),
+        }
+        decision = policy.redistribute(inputs_for(policy, 30.0, telem))
+        assert decision.targets["ld"] > first["ld"]
+
+    def test_translation_step_bounded(self, skylake):
+        policy = PerformanceSharesPolicy(
+            skylake, apps_pair(skylake, 50, 50, baseline=1e9), 50.0
+        )
+        first = policy.initial_distribution().targets
+        telem = {
+            "ld": (first["ld"], 1e3, None),  # absurdly low measurement
+            "hd": (first["hd"], 1e3, None),
+        }
+        decision = policy.redistribute(inputs_for(policy, 50.0, telem))
+        assert decision.targets["ld"] <= first["ld"] * policy.max_step_up
+
+    def test_insensitive_app_not_cut_under_headroom(self, skylake):
+        policy = PerformanceSharesPolicy(
+            skylake, apps_pair(skylake, 50, 50, baseline=1e9), 50.0
+        )
+        policy.initial_distribution()
+        # iteration 1: running fast, measured high -> policy wants cuts
+        telem = {"ld": (2800.0, 0.9e9, None), "hd": (2800.0, 0.9e9, None)}
+        d1 = policy.redistribute(inputs_for(policy, 30.0, telem, iteration=1))
+        # iteration 2: frequency fell >3% but perf barely moved
+        telem = {"ld": (2300.0, 0.89e9, None), "hd": (2300.0, 0.89e9, None)}
+        d2 = policy.redistribute(inputs_for(policy, 30.0, telem, iteration=2))
+        # iteration 3: cuts are frozen despite measured > target
+        telem = {"ld": (2300.0, 0.89e9, None), "hd": (2300.0, 0.89e9, None)}
+        d3 = policy.redistribute(inputs_for(policy, 30.0, telem, iteration=3))
+        assert d3.targets["ld"] >= d2.targets["ld"] * 0.999
+
+    def test_over_limit_overrides_freeze(self, skylake):
+        policy = PerformanceSharesPolicy(
+            skylake, apps_pair(skylake, 50, 50, baseline=1e9), 50.0
+        )
+        policy.initial_distribution()
+        telem = {"ld": (2800.0, 0.9e9, None), "hd": (2800.0, 0.9e9, None)}
+        policy.redistribute(inputs_for(policy, 45.0, telem, iteration=1))
+        telem = {"ld": (2300.0, 0.89e9, None), "hd": (2300.0, 0.89e9, None)}
+        d2 = policy.redistribute(inputs_for(policy, 45.0, telem, iteration=2))
+        # now way over the limit: the freeze must not hold
+        d3 = policy.redistribute(inputs_for(policy, 70.0, telem, iteration=3))
+        assert d3.targets["ld"] < d2.targets["ld"]
+
+
+class TestPowerShares:
+    def test_requires_per_core_energy(self, skylake):
+        with pytest.raises(UnsupportedFeatureError):
+            PowerSharesPolicy(skylake, apps_pair(skylake), 50.0)
+
+    def test_initial_limits_proportional(self, ryzen):
+        # budget small enough that neither app hits the per-core model cap
+        policy = PowerSharesPolicy(ryzen, apps_pair(ryzen, 60, 40), 20.0)
+        policy.initial_distribution()
+        limits = policy._power_limits
+        assert limits["ld"] / limits["hd"] == pytest.approx(1.5, rel=0.05)
+
+    def test_big_budget_saturates_at_model_cap(self, ryzen):
+        policy = PowerSharesPolicy(ryzen, apps_pair(ryzen, 60, 40), 40.0)
+        policy.initial_distribution()
+        limits = policy._power_limits
+        assert limits["ld"] == policy.model_max_w
+        assert limits["hd"] == policy.model_max_w
+
+    def test_local_feedback_raises_underdrawing_core(self, ryzen):
+        policy = PowerSharesPolicy(ryzen, apps_pair(ryzen, 50, 50), 20.0)
+        first = policy.initial_distribution().targets
+        telem = {
+            "ld": (first["ld"], 1e9, 0.5),   # far below its power limit
+            "hd": (first["hd"], 1e9, 20.0),  # far above
+        }
+        decision = policy.redistribute(inputs_for(policy, 19.9, telem))
+        assert decision.targets["ld"] > first["ld"]
+        assert decision.targets["hd"] < first["hd"]
+
+    def test_budget_excludes_uncore_estimate(self, ryzen):
+        policy = PowerSharesPolicy(ryzen, apps_pair(ryzen), 40.0)
+        assert policy.core_budget_w == pytest.approx(
+            40.0 - policy.config.uncore_estimate_w
+        )

@@ -1,0 +1,125 @@
+"""Tests for simulated cores and core loads."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import (
+    BatchCoreLoad,
+    ClusterCoreLoad,
+    Core,
+    IdleLoad,
+    LoadSample,
+)
+from repro.workloads.app import RunningApp
+from repro.workloads.spec import spec_app
+from repro.workloads.websearch import WebsearchCluster, WebsearchConfig
+
+
+class TestIdleLoad:
+    def test_reports_nothing(self):
+        sample = IdleLoad().advance(1e-3, 2000.0, 0.0)
+        assert sample.instructions == 0
+        assert sample.busy_fraction == 0
+        assert sample.done
+
+
+class TestBatchCoreLoad:
+    def test_runs_app(self):
+        load = BatchCoreLoad(RunningApp(spec_app("gcc", steady=True)), 2200.0)
+        sample = load.advance(1e-3, 2200.0, 0.0)
+        assert sample.instructions > 0
+        assert sample.busy_fraction == 1.0
+        assert not sample.done
+
+    def test_avx_passthrough(self):
+        avx = BatchCoreLoad(RunningApp(spec_app("cam4", steady=True)), 2200.0)
+        plain = BatchCoreLoad(RunningApp(spec_app("gcc", steady=True)), 2200.0)
+        assert avx.uses_avx and not plain.uses_avx
+
+    def test_done_after_completion(self):
+        tiny = spec_app("leela").with_instructions(1e6)
+        load = BatchCoreLoad(RunningApp(tiny), 2200.0)
+        load.advance(1.0, 2200.0, 0.0)
+        sample = load.advance(1e-3, 2200.0, 1.0)
+        assert sample.done
+        assert sample.busy_fraction == 0.0
+
+    def test_c_eff_includes_activity(self):
+        app = spec_app("omnetpp", steady=True)  # memory bound
+        load = BatchCoreLoad(RunningApp(app), 3000.0)
+        sample = load.advance(1e-3, 3000.0, 0.0)
+        assert sample.c_eff < app.c_eff  # stalls discount switching power
+
+    def test_activity_memo_tracks_frequency_changes(self):
+        app = spec_app("omnetpp", steady=True)
+        load = BatchCoreLoad(RunningApp(app), 3000.0)
+        low = load.advance(1e-3, 1000.0, 0.0).c_eff
+        high = load.advance(1e-3, 3400.0, 0.0).c_eff
+        assert low != high
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(SimulationError):
+            BatchCoreLoad(RunningApp(spec_app("gcc")), 0.0)
+
+    def test_name_is_app_label(self):
+        run = RunningApp(spec_app("gcc"), instance=2)
+        assert BatchCoreLoad(run, 2200.0).name == "gcc#2"
+
+
+class TestClusterCoreLoad:
+    def test_must_be_serving_core(self):
+        cluster = WebsearchCluster([0, 1], WebsearchConfig(n_users=10))
+        with pytest.raises(SimulationError):
+            ClusterCoreLoad(cluster, 5)
+
+    def test_collects_cluster_samples(self):
+        cluster = WebsearchCluster([0], WebsearchConfig(n_users=20, seed=3))
+        load = ClusterCoreLoad(cluster, 0)
+        for _ in range(500):
+            cluster.advance(2e-3, {0: 3000.0})
+        sample = load.advance(1.0, 3000.0, 1.0)
+        assert sample.instructions > 0
+        assert 0 < sample.busy_fraction <= 1.0
+        assert not sample.done
+
+
+class TestCore:
+    def test_initially_idle(self):
+        core = Core(0, 800.0)
+        assert not core.active
+        assert isinstance(core.load, IdleLoad)
+
+    def test_active_with_load(self):
+        core = Core(0, 800.0)
+        core.assign(BatchCoreLoad(RunningApp(spec_app("gcc", steady=True)),
+                                  2200.0))
+        assert core.active
+
+    def test_parked_never_active(self):
+        core = Core(0, 800.0)
+        core.assign(BatchCoreLoad(RunningApp(spec_app("gcc", steady=True)),
+                                  2200.0))
+        core.parked = True
+        assert not core.active
+
+    def test_done_load_inactive(self):
+        core = Core(0, 800.0)
+        core.assign(IdleLoad())
+        core.record(LoadSample(0, 0, 0, done=True), 0.1, 1e-3)
+        assert not core.active
+
+    def test_record_accumulates(self):
+        core = Core(0, 800.0)
+        core.record(LoadSample(1000.0, 1.0, 1.0), 5.0, 1e-3)
+        core.record(LoadSample(1000.0, 0.5, 1.0), 5.0, 1e-3)
+        assert core.total_instructions == 2000.0
+        assert core.total_energy_j == pytest.approx(0.01)
+        assert core.total_busy_s == pytest.approx(1.5e-3)
+        assert core.total_time_s == pytest.approx(2e-3)
+
+    def test_clear_resets_load(self):
+        core = Core(0, 800.0)
+        core.assign(BatchCoreLoad(RunningApp(spec_app("gcc", steady=True)),
+                                  2200.0))
+        core.clear()
+        assert isinstance(core.load, IdleLoad)

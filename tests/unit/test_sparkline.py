@@ -1,0 +1,71 @@
+"""Tests for the ASCII sparkline/strip-chart renderers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.sparkline import sparkline, strip_chart
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_extremes_use_extreme_bars(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series_mid_bars(self):
+        line = sparkline([5.0] * 4)
+        assert len(set(line)) == 1
+
+    def test_monotone_series_is_nondecreasing(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(line) == sorted(line)
+
+    def test_downsampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2], width=10)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigError):
+            sparkline([1.0], width=0)
+
+
+class TestStripChart:
+    def test_dimensions(self):
+        chart = strip_chart([1, 5, 3, 8, 2], height=5, width=20)
+        lines = chart.splitlines()
+        assert len(lines) == 5
+        assert "8.0" in lines[0]
+        assert "1.0" in lines[-1]
+
+    def test_label_line(self):
+        chart = strip_chart([1, 2], label="power W")
+        assert chart.splitlines()[0] == "power W"
+
+    def test_reference_line_drawn(self):
+        chart = strip_chart([10.0] * 30, reference=20.0, height=6)
+        assert "-" in chart
+
+    def test_reference_expands_range(self):
+        chart = strip_chart([10.0, 11.0], reference=50.0)
+        assert "50.0" in chart
+
+    def test_stars_present(self):
+        assert "*" in strip_chart([1, 9, 1, 9])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            strip_chart([1, 2], height=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            strip_chart([])

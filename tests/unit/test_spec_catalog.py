@@ -1,0 +1,94 @@
+"""Tests for the SPEC CPU2017-like benchmark catalog."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.spec import (
+    NOMINAL_RUNTIME_S,
+    SPEC_BENCHMARKS,
+    high_demand_names,
+    low_demand_names,
+    spec_app,
+    spec_names,
+)
+
+
+class TestCatalog:
+    def test_eleven_benchmarks(self):
+        """The paper's recommended SPEC CPU2017 subset has 11 entries."""
+        assert len(SPEC_BENCHMARKS) == 11
+
+    def test_expected_names_present(self):
+        expected = {
+            "lbm", "cactusBSSN", "povray", "imagick", "cam4", "gcc",
+            "exchange2", "deepsjeng", "leela", "perlbench", "omnetpp",
+        }
+        assert set(spec_names()) == expected
+
+    def test_avx_apps(self):
+        """lbm, imagick and cam4 are the AVX power outliers (Fig 2)."""
+        avx = {name for name, app in SPEC_BENCHMARKS.items() if app.uses_avx}
+        assert avx == {"lbm", "imagick", "cam4"}
+
+    def test_demand_partition(self):
+        assert set(high_demand_names()) | set(low_demand_names()) == set(
+            spec_names()
+        )
+        assert not set(high_demand_names()) & set(low_demand_names())
+
+    def test_hd_apps_draw_more(self):
+        hd_min = min(SPEC_BENCHMARKS[n].c_eff for n in high_demand_names())
+        ld_max = max(SPEC_BENCHMARKS[n].c_eff for n in low_demand_names())
+        assert hd_min > ld_max
+
+    def test_headline_pairs(self):
+        """cactusBSSN is HD and leela LD (section 6); cam4 HD, gcc LD
+        (Fig 1)."""
+        assert "cactusBSSN" in high_demand_names()
+        assert "leela" in low_demand_names()
+        assert "cam4" in high_demand_names()
+        assert "gcc" in low_demand_names()
+
+    def test_exchange2_most_frequency_sensitive(self):
+        """Fig 11: exchange2 has the highest frequency sensitivity."""
+        assert SPEC_BENCHMARKS["exchange2"].mem_fraction == min(
+            app.mem_fraction for app in SPEC_BENCHMARKS.values()
+        )
+
+    def test_perlbench_less_sensitive_than_exchange(self):
+        assert (
+            SPEC_BENCHMARKS["perlbench"].mem_fraction
+            > SPEC_BENCHMARKS["exchange2"].mem_fraction
+        )
+
+    def test_memory_bound_entries(self):
+        assert SPEC_BENCHMARKS["lbm"].mem_fraction > 0.35
+        assert SPEC_BENCHMARKS["omnetpp"].mem_fraction > 0.35
+
+
+class TestLookup:
+    def test_lookup_canonical(self):
+        assert spec_app("leela").name == "leela"
+
+    def test_paper_aliases(self):
+        assert spec_app("cpugcc").name == "gcc"
+        assert spec_app("exchange").name == "exchange2"
+        assert spec_app("omentpp").name == "omnetpp"
+        assert spec_app("cactuBSSN").name == "cactusBSSN"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            spec_app("doom")
+
+    def test_steady_variant_is_service(self):
+        assert spec_app("gcc", steady=True).instructions is None
+        assert spec_app("gcc").instructions is not None
+
+    def test_sized_for_nominal_runtime(self):
+        """Instruction budgets give ~NOMINAL_RUNTIME_S at 3 GHz."""
+        app = spec_app("leela")
+        runtime = app.instructions / app.ips(3000.0, 3000.0)
+        assert runtime == pytest.approx(NOMINAL_RUNTIME_S, rel=0.01)
+
+    def test_lookup_returns_same_model(self):
+        assert spec_app("gcc") is spec_app("gcc")

@@ -1,0 +1,83 @@
+"""Tests for the optional thermal model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.thermal import ThermalConfig, ThermalModel
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        assert ThermalConfig().ambient_c < ThermalConfig().t_throttle_c
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermalConfig(tau_s=0)
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermalConfig(ambient_c=90.0, t_throttle_c=85.0)
+
+
+class TestDynamics:
+    def test_starts_at_ambient(self):
+        model = ThermalModel()
+        assert model.temperature_c == model.config.ambient_c
+
+    def test_heats_under_power(self):
+        model = ThermalModel()
+        for _ in range(1000):
+            model.step(60.0, 0.01)
+        assert model.temperature_c > model.config.ambient_c
+
+    def test_converges_to_steady_state(self):
+        model = ThermalModel()
+        for _ in range(20000):
+            model.step(60.0, 0.01)
+        assert model.temperature_c == pytest.approx(
+            model.steady_state_c(60.0), abs=0.5
+        )
+
+    def test_cools_when_power_drops(self):
+        model = ThermalModel()
+        for _ in range(5000):
+            model.step(80.0, 0.01)
+        hot = model.temperature_c
+        for _ in range(5000):
+            model.step(10.0, 0.01)
+        assert model.temperature_c < hot
+
+    def test_steady_state_linear_in_power(self):
+        model = ThermalModel()
+        cfg = model.config
+        assert model.steady_state_c(100.0) - model.steady_state_c(0.0) == (
+            pytest.approx(100.0 * cfg.r_th_k_per_w)
+        )
+
+    def test_nonpositive_dt_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermalModel().step(50.0, 0.0)
+
+
+class TestThrottling:
+    def test_no_throttle_below_limit(self):
+        model = ThermalModel()
+        assert model.throttle_factor() == 1.0
+
+    def test_partial_throttle_between_limits(self):
+        model = ThermalModel()
+        model.temperature_c = 92.5  # halfway 85..100
+        assert model.throttle_factor() == pytest.approx(0.5)
+
+    def test_full_throttle_at_critical(self):
+        model = ThermalModel()
+        model.temperature_c = 100.0
+        assert model.throttle_factor() == 0.0
+
+    def test_throttle_monotonic_in_temperature(self):
+        model = ThermalModel()
+        factors = []
+        for temp in (80.0, 87.0, 93.0, 99.0, 105.0):
+            model.temperature_c = temp
+            factors.append(model.throttle_factor())
+        assert all(b <= a for a, b in zip(factors, factors[1:]))

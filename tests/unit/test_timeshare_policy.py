@@ -1,0 +1,116 @@
+"""Tests for the single-core sharing policy (paper section 4.3 cases)."""
+
+import pytest
+
+from repro.core.timeshare_policy import (
+    SingleCoreApp,
+    plan_single_core,
+)
+from repro.core.types import Priority
+from repro.errors import ConfigError
+
+
+def app(label, demand, shares=1.0, priority=Priority.HIGH, power=10.0):
+    return SingleCoreApp(
+        label=label, demand=demand, shares=shares,
+        priority=priority, power_at_max_w=power,
+    )
+
+
+class TestValidation:
+    def test_needs_two_apps(self, ryzen):
+        with pytest.raises(ConfigError):
+            plan_single_core(ryzen, [app("a", 1.0)], 10.0)
+
+    def test_needs_positive_budget(self, ryzen):
+        with pytest.raises(ConfigError):
+            plan_single_core(ryzen, [app("a", 1.0), app("b", 1.0)], 0.0)
+
+    def test_bad_app_spec(self):
+        with pytest.raises(ConfigError):
+            SingleCoreApp("x", 0.0, 1.0, Priority.HIGH, 10.0)
+
+
+class TestCase1EqualDemand:
+    def test_full_budget_runs_max(self, ryzen):
+        plan = plan_single_core(
+            ryzen, [app("a", 1.0, power=8.0), app("b", 1.05, power=8.0)],
+            20.0,
+        )
+        assert plan.case == "equal-demand"
+        assert plan.frequency_mhz == ryzen.max_frequency_mhz
+
+    def test_limited_budget_throttles(self, ryzen):
+        plan = plan_single_core(
+            ryzen, [app("a", 1.0, power=10.0), app("b", 1.0, power=10.0)],
+            4.0,
+        )
+        assert plan.frequency_mhz < ryzen.max_frequency_mhz
+
+    def test_shares_passed_through(self, ryzen):
+        plan = plan_single_core(
+            ryzen, [app("a", 1.0, shares=3.0), app("b", 1.0, shares=1.0)],
+            20.0,
+        )
+        assert plan.cpu_shares == {"a": 3.0, "b": 1.0}
+
+
+class TestCase2MixedDemandEqualPriority:
+    def test_ld_app_gets_compensating_runtime(self, ryzen):
+        plan = plan_single_core(
+            ryzen,
+            [app("hd", 1.6, power=12.0), app("ld", 1.0, power=7.0)],
+            5.0,
+        )
+        assert plan.case == "mixed-demand-equal-priority"
+        # throttled core -> LD app's share boosted above its nominal 1.0
+        assert plan.cpu_shares["ld"] > 1.0
+        assert plan.cpu_shares["hd"] == 1.0
+
+    def test_no_boost_without_throttling(self, ryzen):
+        plan = plan_single_core(
+            ryzen,
+            [app("hd", 1.6, power=8.0), app("ld", 1.0, power=5.0)],
+            20.0,
+        )
+        assert plan.cpu_shares["ld"] == pytest.approx(1.0)
+
+
+class TestCase3MixedPriority:
+    def test_ldhp_runs_max_hdlp_excluded(self, ryzen):
+        plan = plan_single_core(
+            ryzen,
+            [
+                app("ldhp", 1.0, priority=Priority.HIGH, power=6.0),
+                app("hdlp", 1.8, priority=Priority.LOW, power=14.0),
+            ],
+            8.0,
+        )
+        assert plan.case == "mixed-demand-mixed-priority"
+        assert plan.frequency_mhz >= ryzen.max_nominal_frequency_mhz
+        assert "hdlp" in plan.excluded
+        assert "hdlp" not in plan.cpu_shares
+
+    def test_hdhp_drags_ldlp_down(self, ryzen):
+        plan = plan_single_core(
+            ryzen,
+            [
+                app("hdhp", 1.8, priority=Priority.HIGH, power=14.0),
+                app("ldlp", 1.0, priority=Priority.LOW, power=6.0),
+            ],
+            7.0,
+        )
+        assert plan.frequency_mhz < ryzen.max_nominal_frequency_mhz
+        assert plan.excluded == ()
+        assert "ldlp" in plan.cpu_shares
+
+    def test_affordable_lp_not_excluded(self, ryzen):
+        plan = plan_single_core(
+            ryzen,
+            [
+                app("ldhp", 1.0, priority=Priority.HIGH, power=6.0),
+                app("lp", 1.4, priority=Priority.LOW, power=7.0),
+            ],
+            8.0,
+        )
+        assert plan.excluded == ()

@@ -1,0 +1,57 @@
+"""Tests for the opportunistic-scaling (turbo/XFR) model."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.hw.turbo import TurboModel
+
+
+class TestSkylakeTurbo:
+    def test_single_core_gets_max_turbo(self, skylake):
+        assert TurboModel(skylake).ceiling_mhz(1) == 3000.0
+
+    def test_ceiling_steps_down_with_active_cores(self, skylake):
+        turbo = TurboModel(skylake)
+        ceilings = [turbo.ceiling_mhz(n) for n in range(1, 11)]
+        assert all(b <= a for a, b in zip(ceilings, ceilings[1:]))
+
+    def test_all_core_turbo_above_nominal(self, skylake):
+        """The Xeon 4114 sustains 2.5 GHz on all cores (Fig 4 setup)."""
+        assert TurboModel(skylake).ceiling_mhz(10) == 2500.0
+        assert 2500.0 > skylake.max_nominal_frequency_mhz
+
+    def test_three_active_cores(self, skylake):
+        """3 active cores reach 2.8 GHz — the opportunistic boost HP apps
+        get at 40 W in Fig 7 when 7 LP apps are starved."""
+        assert TurboModel(skylake).ceiling_mhz(3) == 2800.0
+
+
+class TestRyzenTurbo:
+    def test_xfr_two_cores(self, ryzen):
+        turbo = TurboModel(ryzen)
+        assert turbo.ceiling_mhz(1) == 3800.0
+        assert turbo.ceiling_mhz(2) == 3800.0
+
+    def test_all_core_boost(self, ryzen):
+        assert TurboModel(ryzen).ceiling_mhz(8) == 3500.0
+
+
+class TestGrant:
+    def test_grant_clips_to_ceiling(self, skylake):
+        turbo = TurboModel(skylake)
+        assert turbo.grant(3000.0, 10) == 2500.0
+
+    def test_grant_passes_low_requests(self, skylake):
+        turbo = TurboModel(skylake)
+        assert turbo.grant(1200.0, 10) == 1200.0
+
+    def test_zero_active_treated_as_one(self, skylake):
+        turbo = TurboModel(skylake)
+        assert turbo.ceiling_mhz(0) == turbo.ceiling_mhz(1)
+
+    def test_negative_active_rejected(self, skylake):
+        with pytest.raises(PlatformError):
+            TurboModel(skylake).ceiling_mhz(-1)
+
+    def test_has_turbo(self, platform):
+        assert TurboModel(platform).has_turbo

@@ -1,0 +1,138 @@
+"""Tests for repro.units: conversions, clamping, quantization, stats."""
+
+import pytest
+
+from repro import units
+from repro.units import (
+    clamp,
+    ghz,
+    joules_to_uj,
+    khz_to_mhz,
+    mhz_to_ghz,
+    mhz_to_khz,
+    normalize,
+    percentile,
+    quantize_down,
+    quantize_nearest,
+    uj_to_joules,
+    weighted_mean,
+)
+
+
+class TestConversions:
+    def test_ghz_to_mhz(self):
+        assert ghz(2.2) == 2200.0
+
+    def test_mhz_to_ghz_roundtrip(self):
+        assert mhz_to_ghz(ghz(3.4)) == pytest.approx(3.4)
+
+    def test_mhz_to_khz_is_integer(self):
+        assert mhz_to_khz(800.0) == 800_000
+        assert isinstance(mhz_to_khz(800.0), int)
+
+    def test_khz_to_mhz_roundtrip(self):
+        assert khz_to_mhz(mhz_to_khz(2250.0)) == pytest.approx(2250.0)
+
+    def test_fractional_mhz_to_khz_rounds(self):
+        assert mhz_to_khz(0.0015) == 2
+
+    def test_joules_to_uj(self):
+        assert joules_to_uj(1.0) == 1_000_000
+
+    def test_uj_to_joules_roundtrip(self):
+        assert uj_to_joules(joules_to_uj(42.5)) == pytest.approx(42.5)
+
+    def test_tick_default_is_one_ms(self):
+        assert units.DEFAULT_TICK_SECONDS == pytest.approx(1e-3)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_below(self):
+        assert clamp(-1.0, 0.0, 10.0) == 0.0
+
+    def test_above(self):
+        assert clamp(11.0, 0.0, 10.0) == 10.0
+
+    def test_at_bounds(self):
+        assert clamp(0.0, 0.0, 10.0) == 0.0
+        assert clamp(10.0, 0.0, 10.0) == 10.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(5.0, 10.0, 0.0)
+
+
+class TestQuantize:
+    GRID = [800.0, 900.0, 1000.0, 1100.0]
+
+    def test_down_exact(self):
+        assert quantize_down(900.0, self.GRID) == 900.0
+
+    def test_down_between(self):
+        assert quantize_down(999.0, self.GRID) == 900.0
+
+    def test_down_below_grid_snaps_to_lowest(self):
+        assert quantize_down(100.0, self.GRID) == 800.0
+
+    def test_down_above_grid_snaps_to_highest(self):
+        assert quantize_down(5000.0, self.GRID) == 1100.0
+
+    def test_nearest_rounds_to_closest(self):
+        assert quantize_nearest(960.0, self.GRID) == 1000.0
+        assert quantize_nearest(940.0, self.GRID) == 900.0
+
+    def test_nearest_tie_prefers_lower(self):
+        assert quantize_nearest(950.0, self.GRID) == 900.0
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            quantize_down(900.0, [])
+        with pytest.raises(ValueError):
+            quantize_nearest(900.0, [])
+
+
+class TestStats:
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_weighted_mean_weights_matter(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_weighted_mean_zero_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_percentile_extremes(self):
+        data = [5.0, 1.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 5.0
+
+    def test_percentile_single_sample(self):
+        assert percentile([7.0], 90) == 7.0
+
+    def test_percentile_unsorted_input(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_normalize(self):
+        assert normalize([1.0, 3.0]) == [0.25, 0.75]
+
+    def test_normalize_zero_total_raises(self):
+        with pytest.raises(ValueError):
+            normalize([0.0, 0.0])

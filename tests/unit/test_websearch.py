@@ -1,0 +1,189 @@
+"""Tests for the closed-loop websearch cluster model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.cpuburn import cpuburn
+from repro.workloads.websearch import WebsearchCluster, WebsearchConfig
+
+
+def small_cluster(**overrides) -> WebsearchCluster:
+    config = dict(n_users=40, think_time_s=0.5, seed=7)
+    config.update(overrides)
+    return WebsearchCluster([0, 1, 2], WebsearchConfig(**config))
+
+
+def drive(cluster, seconds, freq_mhz=3000.0, dt=2e-3):
+    freqs = {c: freq_mhz for c in cluster.core_ids}
+    steps = int(seconds / dt)
+    for _ in range(steps):
+        cluster.advance(dt, freqs)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        assert WebsearchConfig().n_users == 300
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ConfigError):
+            WebsearchConfig(n_users=0)
+
+    def test_negative_mem_rejected(self):
+        with pytest.raises(ConfigError):
+            WebsearchConfig(service_mem_s=-1.0)
+
+    def test_service_time_scales_with_frequency(self):
+        config = WebsearchConfig()
+        assert config.service_time_s(1500.0) > config.service_time_s(3000.0)
+
+    def test_service_time_has_fixed_floor(self):
+        """The memory part does not shrink with frequency."""
+        config = WebsearchConfig()
+        assert config.service_time_s(1e9) >= config.service_mem_s
+
+
+class TestClusterSetup:
+    def test_needs_cores(self):
+        with pytest.raises(ConfigError):
+            WebsearchCluster([])
+
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            WebsearchCluster([1, 1])
+
+    def test_latency_before_completions_raises(self):
+        cluster = small_cluster()
+        with pytest.raises(ConfigError):
+            cluster.latency_percentile()
+
+
+class TestServing:
+    def test_completes_requests(self):
+        cluster = small_cluster()
+        drive(cluster, 5.0)
+        assert cluster.completed_requests > 0
+
+    def test_closed_loop_throughput_bounded_by_users(self):
+        """N users with think time Z cap throughput at N/Z."""
+        cluster = small_cluster()
+        drive(cluster, 10.0)
+        assert cluster.throughput() <= 40 / 0.5 * 1.05
+
+    def test_latency_increases_when_throttled(self):
+        fast = small_cluster()
+        slow = small_cluster()
+        drive(fast, 10.0, freq_mhz=3000.0)
+        drive(slow, 10.0, freq_mhz=900.0)
+        assert (
+            slow.latency_percentile(90.0) > fast.latency_percentile(90.0)
+        )
+
+    def test_parked_core_serves_nothing(self):
+        cluster = small_cluster()
+        freqs = {0: 3000.0, 1: 3000.0}  # core 2 absent = parked
+        for _ in range(1000):
+            cluster.advance(5e-3, freqs)
+        busy, _instr = cluster.take_core_sample(2)
+        assert busy == 0.0
+
+    def test_utilization_rises_when_throttled(self):
+        fast = small_cluster()
+        slow = small_cluster()
+        drive(fast, 10.0, freq_mhz=3000.0)
+        drive(slow, 10.0, freq_mhz=1000.0)
+        assert (
+            slow.core_utilization(0) > fast.core_utilization(0)
+        )
+
+    def test_take_core_sample_consumes(self):
+        cluster = small_cluster()
+        drive(cluster, 2.0)
+        busy1, instr1 = cluster.take_core_sample(0)
+        busy2, instr2 = cluster.take_core_sample(0)
+        assert busy1 > 0 and instr1 > 0
+        assert busy2 == 0 and instr2 == 0
+
+    def test_utilization_survives_sampling(self):
+        cluster = small_cluster()
+        drive(cluster, 2.0)
+        cluster.take_core_sample(0)
+        assert cluster.core_utilization(0) > 0
+
+    def test_reset_latency_window(self):
+        cluster = small_cluster()
+        drive(cluster, 3.0)
+        cluster.reset_latency_window()
+        assert cluster.latencies() == []
+        # completions keep accumulating
+        assert cluster.completed_requests > 0
+
+    def test_deterministic_given_seed(self):
+        a = small_cluster(seed=11)
+        b = small_cluster(seed=11)
+        drive(a, 3.0)
+        drive(b, 3.0)
+        assert a.completed_requests == b.completed_requests
+        assert a.latencies() == b.latencies()
+
+    def test_different_seeds_differ(self):
+        a = small_cluster(seed=1)
+        b = small_cluster(seed=2)
+        drive(a, 3.0)
+        drive(b, 3.0)
+        assert a.latencies() != b.latencies()
+
+    def test_nonpositive_dt_rejected(self):
+        cluster = small_cluster()
+        with pytest.raises(ConfigError):
+            cluster.advance(0.0, {0: 3000.0})
+
+    def test_latency_includes_queueing(self):
+        """Under overload the 90th percentile far exceeds one service
+        time."""
+        cluster = small_cluster(n_users=200, think_time_s=0.2)
+        drive(cluster, 10.0, freq_mhz=800.0)
+        service = cluster.config.service_time_s(800.0)
+        assert cluster.latency_percentile(90.0) > 2 * service
+
+
+class TestCalibration:
+    def test_nine_cores_draw_about_44w_at_3ghz(self, skylake):
+        """Paper section 3.2: websearch consumed 44 W with 9 active cores
+        at 3 GHz.  Check the modelled busy fraction and c_eff land in
+        that neighbourhood through the power model."""
+        from repro.sim.power_model import core_power_watts
+
+        cluster = WebsearchCluster(list(range(9)), WebsearchConfig())
+        freqs = {c: 3000.0 for c in cluster.core_ids}
+        for _ in range(int(20.0 / 5e-3)):
+            cluster.advance(5e-3, freqs)
+        utils = [cluster.core_utilization(c) for c in cluster.core_ids]
+        total = sum(
+            core_power_watts(skylake, 3000.0, cluster.config.c_eff, u)
+            for u in utils
+        )
+        assert 25.0 <= total <= 60.0
+
+
+class TestCpuburn:
+    def test_runs_forever(self):
+        assert cpuburn().instructions is None
+
+    def test_no_memory_stalls(self):
+        assert cpuburn().mem_fraction == 0.0
+
+    def test_highest_demand_in_catalog(self):
+        from repro.workloads.spec import SPEC_BENCHMARKS
+
+        assert cpuburn().c_eff > max(
+            app.c_eff for app in SPEC_BENCHMARKS.values()
+        )
+
+    def test_about_32w_at_3ghz(self, skylake):
+        """Paper: cpuburn drew 32 W on one core at 3 GHz."""
+        from repro.sim.power_model import core_power_watts
+
+        burn = cpuburn()
+        c_eff = burn.c_eff * burn.activity_power_factor(3000.0, 2200.0)
+        power = core_power_watts(skylake, 3000.0, c_eff, 1.0)
+        assert 27.0 <= power <= 37.0
