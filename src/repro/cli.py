@@ -8,9 +8,14 @@ Usage::
                 | fig11 | fig12
     repro-power run --platform skylake --policy frequency-shares \
                 --limit 50 --apps leela:90,cactusBSSN:10 --duration 40
+    repro-power run --faults full-storm --fault-seed 7 --duration 120
+    repro-power faults
 
 ``--quick`` shortens runs for smoke testing; results keep their shape
-but are noisier.
+but are noisier.  ``--faults`` replays a named, seeded fault scenario
+against the daemon (flaky MSRs, garbage counters, dropped ticks, app
+crashes) and reports its health record — holdovers, retries,
+quarantines, and safe-mode transitions.
 """
 
 from __future__ import annotations
@@ -198,6 +203,24 @@ def _cmd_consolidation(args) -> int:
     return 0
 
 
+def _print_health(stack) -> None:
+    """Report daemon degradation for a fault-injected run."""
+    from repro.faults import health_summary
+
+    summary = health_summary(stack.daemon.history)
+    if stack.fault_msr is not None:
+        stats = stack.fault_msr.stats
+        summary["injected_msr_faults"] = stats.total()
+    if stack.tick_gate is not None:
+        summary["dropped_ticks"] = stack.tick_gate.stats.dropped
+        summary["jittered_ticks"] = stack.tick_gate.stats.jittered
+    print()
+    print(render_kv(summary, title=(
+        f"Daemon health — faults={stack.faults.name} "
+        f"(seed {stack.faults.seed})"
+    )))
+
+
 def _cmd_watch(args) -> int:
     from repro.config import build_stack
     from repro.experiments.sparkline import sparkline, strip_chart
@@ -208,6 +231,8 @@ def _cmd_watch(args) -> int:
         limit_w=args.limit,
         apps=_parse_apps(args.apps),
         tick_s=BATCH_TICK_S,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
     )
     stack = build_stack(config)
     stack.engine.run(args.duration)
@@ -227,6 +252,15 @@ def _cmd_watch(args) -> int:
         series = [s.app_frequency_mhz[label] for s in history]
         print(f"{label.ljust(width)}  {sparkline(series, width=60)} "
               f"{series[-1]:6.0f} MHz")
+    if stack.faults is not None:
+        modes = [
+            "S" if s.health.mode == "safe" else
+            ("h" if s.health.holdover else ".")
+            for s in history
+        ]
+        print(f"{'mode'.ljust(width)}  {''.join(modes[-60:])} "
+              "(.=normal h=holdover S=safe)")
+        _print_health(stack)
     return 0
 
 
@@ -244,17 +278,23 @@ def _parse_apps(spec: str) -> tuple[AppSpec, ...]:
 
 
 def _cmd_run(args) -> int:
+    from repro.config import build_stack
+
     config = ExperimentConfig(
         platform=args.platform,
         policy=args.policy,
         limit_w=args.limit,
         apps=_parse_apps(args.apps),
         tick_s=BATCH_TICK_S,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
     )
+    stack = build_stack(config)
     result = run_steady(
         config,
         duration_s=args.duration,
         warmup_s=min(args.duration / 2, 20.0),
+        stack=stack,
     )
     rows = [
         {
@@ -270,6 +310,8 @@ def _cmd_run(args) -> int:
         f"{args.policy} @ {args.limit} W on {args.platform} "
         f"(pkg {result.mean_package_power_w:.1f} W)"
     )))
+    if stack.faults is not None:
+        _print_health(stack)
     return 0
 
 
@@ -306,6 +348,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     list_parser = sub.add_parser("list", help="list available experiments")
+    sub.add_parser(
+        "faults", help="list fault-injection scenarios for --faults"
+    )
     for name in _COMMANDS:
         exp_parser = sub.add_parser(name, help=f"regenerate {name}")
         exp_parser.add_argument("--platform", default="skylake")
@@ -326,10 +371,42 @@ def main(argv: list[str] | None = None) -> int:
             help="comma list of name[:shares[:high|low]]",
         )
         custom.add_argument("--duration", type=float, default=40.0)
+        custom.add_argument(
+            "--faults",
+            default=None,
+            metavar="SCENARIO",
+            help=(
+                "inject a named fault scenario into the daemon "
+                "(see 'repro-power faults')"
+            ),
+        )
+        custom.add_argument(
+            "--fault-seed", type=int, default=0,
+            help="seed for the fault schedule (deterministic replay)",
+        )
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(_COMMANDS) + ["run", "watch"]:
             print(name)
+        return 0
+    if args.command == "faults":
+        from repro.faults import SCENARIOS
+
+        width = max(len(name) for name in SCENARIOS)
+        for name, scenario in sorted(SCENARIOS.items()):
+            active = [
+                f for f in (
+                    "msr_read_fail_rate", "msr_write_fail_rate",
+                    "stuck_counter_rate", "garbage_counter_rate",
+                    "wrap_storm_rate", "tick_drop_rate",
+                    "tick_jitter_rate",
+                ) if getattr(scenario, f) > 0
+            ]
+            if scenario.app_crashes:
+                active.append("app_crashes")
+            if scenario.window_s is not None:
+                active.append(f"window={scenario.window_s}")
+            print(f"{name.ljust(width)}  {', '.join(active) or 'clean'}")
         return 0
     try:
         if args.command == "run":

@@ -11,7 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
-from repro.core.daemon import PowerDaemon
+from repro.core.daemon import PowerDaemon, ResilienceConfig
+from repro.faults import (
+    FaultScenario,
+    FaultyMSRFile,
+    TickFaultGate,
+    get_scenario,
+    schedule_app_crashes,
+)
 from repro.core.frequency_shares import FrequencySharesPolicy
 from repro.core.hwp_hints import HwpHintsPolicy
 from repro.core.performance_shares import PerformanceSharesPolicy
@@ -60,6 +67,11 @@ class ExperimentConfig:
     #: cap each app at its highest *useful* frequency (paper section
     #: 4.4): memory-bound apps stop paying for clock they cannot use.
     useful_frequency_mode: bool = False
+    #: named fault scenario (see :data:`repro.faults.SCENARIOS`) to
+    #: inject into the daemon's view of the hardware; None runs clean.
+    faults: str | None = None
+    #: seed for the fault schedule (deterministic replay).
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_REGISTRY:
@@ -69,6 +81,13 @@ class ExperimentConfig:
             )
         if not self.apps:
             raise ConfigError("experiment needs at least one app")
+        if self.faults is not None:
+            get_scenario(self.faults)  # validate the name early
+
+    def fault_scenario(self) -> FaultScenario | None:
+        if self.faults is None:
+            return None
+        return get_scenario(self.faults, seed=self.fault_seed)
 
 
 @dataclass
@@ -80,9 +99,18 @@ class ExperimentStack:
     engine: SimEngine
     daemon: PowerDaemon
     labels: list[str] = field(default_factory=list)
+    #: fault-injection plumbing, populated when the config names a
+    #: scenario (None on clean runs).
+    faults: FaultScenario | None = None
+    fault_msr: FaultyMSRFile | None = None
+    tick_gate: TickFaultGate | None = None
 
 
-def build_stack(config: ExperimentConfig) -> ExperimentStack:
+def build_stack(
+    config: ExperimentConfig,
+    *,
+    resilience: ResilienceConfig | None = None,
+) -> ExperimentStack:
     """Construct chip + engine + policy + daemon from a config."""
     platform = get_platform(config.platform)
     if len(config.apps) > platform.n_cores:
@@ -122,12 +150,35 @@ def build_stack(config: ExperimentConfig) -> ExperimentStack:
         hwp = HwpController(chip)
         policy.attach_hwp(hwp)
         hwp.attach(engine, period_s=0.05)
-    daemon = PowerDaemon(chip, policy, interval_s=config.interval_s)
-    daemon.attach(engine)
+    scenario = config.fault_scenario()
+    fault_msr = None
+    tick_gate = None
+    if scenario is not None:
+        if scenario.faults_msrs:
+            fault_msr = FaultyMSRFile(
+                chip.msr, scenario, clock=lambda: chip.time_s
+            )
+        if scenario.faults_ticks:
+            tick_gate = TickFaultGate(scenario)
+    daemon = PowerDaemon(
+        chip,
+        policy,
+        interval_s=config.interval_s,
+        msr=fault_msr,
+        resilience=resilience,
+    )
+    daemon.attach(engine, gate=tick_gate)
+    if scenario is not None:
+        schedule_app_crashes(
+            engine, chip, scenario, [p.core_id for p in placements]
+        )
     return ExperimentStack(
         platform=platform,
         chip=chip,
         engine=engine,
         daemon=daemon,
         labels=[p.label for p in placements],
+        faults=scenario,
+        fault_msr=fault_msr,
+        tick_gate=tick_gate,
     )

@@ -38,6 +38,13 @@ class MSRAddressError(MSRError):
     """Access to an MSR address that does not exist on this platform."""
 
 
+class MSRIOError(MSRError):
+    """Transient I/O failure of an ``rdmsr``/``wrmsr`` (the ``EIO`` a
+    flaky msr-tools access returns).  Retrying may succeed; the fault
+    injector (:mod:`repro.faults`) raises these to exercise the daemon's
+    containment paths."""
+
+
 class MSRPermissionError(MSRError):
     """Write to a read-only MSR, or write touching reserved bits."""
 
@@ -61,6 +68,16 @@ class ShareError(PolicyError):
 class StarvationError(PolicyError):
     """Raised when a strict policy cannot admit an application at all and
     the caller requested admission be mandatory."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry is unavailable or failed a plausibility check
+    (negative power, frequency off the grid, impossible IPS)."""
+
+
+class FaultConfigError(ConfigError):
+    """Invalid fault-injection scenario (rates outside [0, 1], unknown
+    scenario name, crash events pointing at missing apps, ...)."""
 
 
 class SimulationError(ReproError):

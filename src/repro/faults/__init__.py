@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the power-delivery substrate.
+
+The daemon the paper builds is a long-running control loop; this package
+makes its failure modes first-class so the chaos suite can prove the
+invariant that matters — package power stays at or below the operator
+limit under *any* injected fault schedule:
+
+* :mod:`repro.faults.scenario` — seeded, declarative fault schedules,
+* :mod:`repro.faults.msr_proxy` — MSR read/write fault injection,
+* :mod:`repro.faults.ticks` — dropped/jittered daemon deadlines,
+* :mod:`repro.faults.harness` — stack wiring + health reporting.
+"""
+
+from repro.faults.harness import health_summary, schedule_app_crashes
+from repro.faults.msr_proxy import FaultStats, FaultyMSRFile
+from repro.faults.scenario import (
+    SCENARIOS,
+    AppCrash,
+    FaultScenario,
+    get_scenario,
+)
+from repro.faults.ticks import TickFaultGate, TickFaultStats
+
+__all__ = [
+    "AppCrash",
+    "FaultScenario",
+    "FaultStats",
+    "FaultyMSRFile",
+    "SCENARIOS",
+    "TickFaultGate",
+    "TickFaultStats",
+    "get_scenario",
+    "health_summary",
+    "schedule_app_crashes",
+]

@@ -1,0 +1,95 @@
+"""Wiring fault scenarios into a built experiment stack.
+
+The stack builder (:func:`repro.config.build_stack`) threads a
+:class:`~repro.faults.scenario.FaultScenario` through three insertion
+points:
+
+* the daemon's MSR handle is replaced by a
+  :class:`~repro.faults.msr_proxy.FaultyMSRFile`,
+* the daemon's periodic registration gets a
+  :class:`~repro.faults.ticks.TickFaultGate`, and
+* application crashes become one-shot engine events that drop the
+  victim core to the idle load (:func:`schedule_app_crashes`).
+
+:func:`health_summary` condenses a chaos run's health records into the
+flat dict the CLI and the smoke script report.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import FaultConfigError
+from repro.faults.scenario import FaultScenario
+from repro.sim.chip import Chip
+from repro.sim.core import IdleLoad
+from repro.sim.engine import SimEngine
+
+if TYPE_CHECKING:  # circular-import guard (daemon imports nothing from us)
+    from repro.core.daemon import DaemonSample
+
+
+def schedule_app_crashes(
+    engine: SimEngine,
+    chip: Chip,
+    scenario: FaultScenario,
+    core_of_app: Sequence[int],
+) -> None:
+    """Register the scenario's app crashes as one-shot engine events.
+
+    ``core_of_app`` maps app index (scenario order = experiment app
+    order) to the pinned core.  A crash replaces the core's load with
+    the idle load — the process exited; the daemon keeps managing the
+    now-idle app, which is exactly what a real daemon would see.
+    """
+    for crash in scenario.app_crashes:
+        if crash.app_index >= len(core_of_app):
+            raise FaultConfigError(
+                f"crash at {crash.time_s}s targets app index "
+                f"{crash.app_index}, but only {len(core_of_app)} apps run"
+            )
+        core_id = core_of_app[crash.app_index]
+
+        def _crash(now_s: float, cid: int = core_id) -> None:
+            chip.assign_load(cid, IdleLoad())
+
+        engine.at(crash.time_s, _crash)
+
+
+def health_summary(history: Iterable["DaemonSample"]) -> dict[str, object]:
+    """Aggregate per-iteration health records over a run."""
+    iterations = 0
+    telemetry_failures = 0
+    holdovers = 0
+    retries = 0
+    failed_writes = 0
+    safe_iterations = 0
+    max_consecutive_failures = 0
+    quarantined: set[int] = set()
+    final = None
+    for sample in history:
+        health = sample.health
+        iterations += 1
+        telemetry_failures += 0 if health.telemetry_ok else 1
+        holdovers += 1 if health.holdover else 0
+        retries += health.retries
+        failed_writes += health.failed_writes
+        safe_iterations += 1 if health.mode == "safe" else 0
+        max_consecutive_failures = max(
+            max_consecutive_failures, health.consecutive_failures
+        )
+        quarantined.update(health.quarantined)
+        final = health
+    return {
+        "iterations": iterations,
+        "telemetry_failures": telemetry_failures,
+        "holdovers": holdovers,
+        "write_retries": retries,
+        "failed_writes": failed_writes,
+        "safe_iterations": safe_iterations,
+        "safe_mode_entries": final.safe_mode_entries if final else 0,
+        "contained_errors": final.contained_errors if final else 0,
+        "max_consecutive_failures": max_consecutive_failures,
+        "cores_ever_quarantined": tuple(sorted(quarantined)),
+        "final_mode": final.mode if final else "normal",
+    }

@@ -1,0 +1,206 @@
+"""Deterministic fault scenarios.
+
+A :class:`FaultScenario` is a declarative, seeded description of what
+goes wrong during a run: transient MSR read/write failures, stuck or
+garbage counter reads, energy-counter wrap storms, dropped or jittered
+daemon ticks, and application crashes.  Everything derives from the one
+seed, so a scenario replays identically — the chaos tests rely on that
+to assert the daemon's health records bit-for-bit.
+
+Named scenarios live in :data:`SCENARIOS`; the CLI's ``--faults`` flag
+and :class:`~repro.config.ExperimentConfig` resolve them through
+:func:`get_scenario`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import FaultConfigError
+
+
+@dataclass(frozen=True)
+class AppCrash:
+    """One application exiting (or crashing) mid-run.
+
+    ``app_index`` refers to the position in the experiment's app list;
+    the harness resolves it to a pinned core when the stack is built.
+    """
+
+    time_s: float
+    app_index: int
+
+    def __post_init__(self) -> None:
+        if self.time_s <= 0:
+            raise FaultConfigError("crash time must be positive")
+        if self.app_index < 0:
+            raise FaultConfigError("crash app index cannot be negative")
+
+
+_RATE_FIELDS = (
+    "msr_read_fail_rate",
+    "msr_write_fail_rate",
+    "stuck_counter_rate",
+    "garbage_counter_rate",
+    "wrap_storm_rate",
+    "tick_drop_rate",
+    "tick_jitter_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """Seeded description of one fault-injection schedule.
+
+    All rates are per-opportunity probabilities in [0, 1]: the MSR rates
+    per ``rdmsr``/``wrmsr`` issued by *software* (the simulator's own
+    counter publishing is never faulted), the tick rates per daemon
+    deadline.
+    """
+
+    name: str = "custom"
+    seed: int = 0
+    #: probability a software ``rdmsr`` raises a transient ``EIO``.
+    msr_read_fail_rate: float = 0.0
+    #: probability a software ``wrmsr`` raises a transient ``EIO``.
+    msr_write_fail_rate: float = 0.0
+    #: probability a telemetry-counter read returns the previous value.
+    stuck_counter_rate: float = 0.0
+    #: probability a telemetry-counter read returns random garbage.
+    garbage_counter_rate: float = 0.0
+    #: probability an energy-counter read is thrown near its 32-bit
+    #: wrap point, so consecutive deltas wrap repeatedly.
+    wrap_storm_rate: float = 0.0
+    #: probability a daemon deadline is missed outright (no iteration).
+    tick_drop_rate: float = 0.0
+    #: probability a daemon deadline slips by scheduler jitter.
+    tick_jitter_rate: float = 0.0
+    #: maximum jitter per slipped deadline, seconds.
+    tick_max_jitter_s: float = 0.0
+    #: applications that exit mid-run.
+    app_crashes: tuple[AppCrash, ...] = ()
+    #: restrict MSR/tick faults to ``[start_s, end_s)`` of simulated
+    #: time; None keeps them active for the whole run.  A bounded storm
+    #: is how the chaos tests prove the daemon *recovers* (safe mode
+    #: exits, quarantines lift) once the hardware calms down.
+    window_s: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise FaultConfigError("seed cannot be negative")
+        for field_name in _RATE_FIELDS:
+            rate = getattr(self, field_name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultConfigError(
+                    f"{field_name} must be in [0, 1], got {rate}"
+                )
+        if self.tick_max_jitter_s < 0:
+            raise FaultConfigError("tick_max_jitter_s cannot be negative")
+        if self.tick_jitter_rate > 0 and self.tick_max_jitter_s == 0:
+            raise FaultConfigError(
+                "tick_jitter_rate needs a positive tick_max_jitter_s"
+            )
+        if self.window_s is not None:
+            start, end = self.window_s
+            if start < 0 or end <= start:
+                raise FaultConfigError(
+                    f"fault window [{start}, {end}) is not a valid "
+                    "time range"
+                )
+
+    def active_at(self, time_s: float) -> bool:
+        """Whether injected faults are live at this simulated time."""
+        if self.window_s is None:
+            return True
+        start, end = self.window_s
+        return start <= time_s < end
+
+    @property
+    def faults_msrs(self) -> bool:
+        return any(
+            getattr(self, f) > 0.0
+            for f in _RATE_FIELDS
+            if not f.startswith("tick_")
+        )
+
+    @property
+    def faults_ticks(self) -> bool:
+        return self.tick_drop_rate > 0.0 or self.tick_jitter_rate > 0.0
+
+    def with_seed(self, seed: int) -> "FaultScenario":
+        """The same schedule shape replayed from a different seed."""
+        return dataclasses.replace(self, seed=seed)
+
+
+#: Named scenarios, mild to severe.  ``full-storm`` is the acceptance
+#: scenario: every fault class at once, at or above the 5 % floor the
+#: chaos invariant is stated for.
+SCENARIOS: dict[str, FaultScenario] = {
+    "none": FaultScenario(name="none"),
+    "flaky-msr": FaultScenario(
+        name="flaky-msr",
+        msr_read_fail_rate=0.05,
+        msr_write_fail_rate=0.05,
+    ),
+    "garbage-telemetry": FaultScenario(
+        name="garbage-telemetry",
+        stuck_counter_rate=0.05,
+        garbage_counter_rate=0.04,
+    ),
+    "wrap-storm": FaultScenario(
+        name="wrap-storm",
+        wrap_storm_rate=0.25,
+    ),
+    "tick-storm": FaultScenario(
+        name="tick-storm",
+        tick_drop_rate=0.20,
+        tick_jitter_rate=0.30,
+        tick_max_jitter_s=0.5,
+    ),
+    "app-crash": FaultScenario(
+        name="app-crash",
+        app_crashes=(AppCrash(time_s=15.0, app_index=0),),
+    ),
+    "full-storm": FaultScenario(
+        name="full-storm",
+        msr_read_fail_rate=0.06,
+        msr_write_fail_rate=0.06,
+        stuck_counter_rate=0.05,
+        garbage_counter_rate=0.03,
+        wrap_storm_rate=0.10,
+        tick_drop_rate=0.08,
+        tick_jitter_rate=0.15,
+        tick_max_jitter_s=0.4,
+        app_crashes=(AppCrash(time_s=25.0, app_index=0),),
+    ),
+    # full-storm intensity, but bounded in time: the daemon must
+    # degrade during the storm and *recover* — exit safe mode, lift
+    # quarantines, resume policy control — once it passes.
+    "transient-storm": FaultScenario(
+        name="transient-storm",
+        msr_read_fail_rate=0.06,
+        msr_write_fail_rate=0.06,
+        stuck_counter_rate=0.05,
+        garbage_counter_rate=0.03,
+        wrap_storm_rate=0.10,
+        tick_drop_rate=0.08,
+        tick_jitter_rate=0.15,
+        tick_max_jitter_s=0.4,
+        window_s=(15.0, 45.0),
+    ),
+}
+
+
+def get_scenario(name: str, *, seed: int | None = None) -> FaultScenario:
+    """Resolve a named scenario, optionally re-seeded."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise FaultConfigError(
+            f"unknown fault scenario {name!r}; known: {known}"
+        ) from None
+    if seed is not None:
+        scenario = scenario.with_seed(seed)
+    return scenario

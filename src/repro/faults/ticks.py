@@ -1,0 +1,54 @@
+"""Scheduling faults for the daemon's monitoring loop.
+
+A real daemon's 1 Hz loop misses deadlines: the process gets preempted,
+the machine stalls in firmware (SMIs), ``sleep(1)`` oversleeps.
+:class:`TickFaultGate` plugs into :meth:`repro.sim.engine.SimEngine.every`
+as the ``gate`` hook and converts a seeded schedule into the engine's
+gate protocol — fire, drop, or defer by jitter seconds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.faults.scenario import FaultScenario
+from repro.sim.engine import GateResult
+
+
+@dataclass
+class TickFaultStats:
+    """Counts of scheduling faults injected (deterministic per seed)."""
+
+    fired: int = 0
+    dropped: int = 0
+    jittered: int = 0
+
+
+class TickFaultGate:
+    """Seeded drop/jitter gate for one periodic callback."""
+
+    #: seed salt so the tick schedule is independent of the MSR fault
+    #: stream drawn from the same scenario seed.
+    _SEED_SALT = 0x5EED71C5
+
+    def __init__(self, scenario: FaultScenario):
+        self.scenario = scenario
+        self._rng = random.Random(scenario.seed ^ self._SEED_SALT)
+        self.stats = TickFaultStats()
+
+    def __call__(self, now_s: float) -> GateResult:
+        s = self.scenario
+        if not s.active_at(now_s):
+            self.stats.fired += 1
+            return "fire"
+        roll = self._rng.random()
+        if roll < s.tick_drop_rate:
+            self.stats.dropped += 1
+            return "drop"
+        roll -= s.tick_drop_rate
+        if roll < s.tick_jitter_rate:
+            self.stats.jittered += 1
+            return self._rng.uniform(0.0, s.tick_max_jitter_s)
+        self.stats.fired += 1
+        return "fire"

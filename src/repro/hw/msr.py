@@ -147,6 +147,19 @@ class MSRFile:
         self._values[slot] = (self._values[slot] + delta) & wrap_mask
 
 
+def read_counter_delta(
+    prev_raw: int, curr_raw: int, *, wrap_mask: int = U64_MASK
+) -> int:
+    """Difference between two reads of a free-running wrapping counter.
+
+    Modular subtraction is how turbostat diffs every monotone counter
+    (APERF/MPERF/FIXED_CTR0 at 64 bits, energy status at 32): a read
+    taken just after the counter wraps must still yield the small
+    forward movement, never a negative number.
+    """
+    return (curr_raw - prev_raw) & wrap_mask
+
+
 def read_energy_delta(prev_raw: int, curr_raw: int) -> int:
     """Difference between two reads of a 32-bit wrapping energy counter."""
-    return (curr_raw - prev_raw) & ENERGY_COUNTER_MASK
+    return read_counter_delta(prev_raw, curr_raw, wrap_mask=ENERGY_COUNTER_MASK)

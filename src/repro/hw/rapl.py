@@ -35,6 +35,32 @@ class RaplDomain(enum.Enum):
     CORE = "core"
 
 
+#: Simplified MSR_PKG_POWER_LIMIT layout: enable bit 15, limit in 1/8 W
+#: units in bits [14:0].  Shared by the chip's convenience wrapper and
+#: the daemon's safe-mode backstop programming, which must build the
+#: raw register value itself (its MSR handle may be fault-injected).
+PKG_POWER_LIMIT_ENABLE_BIT = 1 << 15
+PKG_POWER_LIMIT_MASK = 0x7FFF
+
+
+def encode_pkg_power_limit(limit_w: float | None) -> int:
+    """Encode a package power limit into the PKG_POWER_LIMIT register."""
+    if limit_w is None:
+        return 0
+    if limit_w < 0:
+        raise ConfigError("power limit cannot be negative")
+    return PKG_POWER_LIMIT_ENABLE_BIT | (
+        int(round(limit_w * 8)) & PKG_POWER_LIMIT_MASK
+    )
+
+
+def decode_pkg_power_limit(value: int) -> float | None:
+    """Inverse of :func:`encode_pkg_power_limit` (None when disabled)."""
+    if not value & PKG_POWER_LIMIT_ENABLE_BIT:
+        return None
+    return (value & PKG_POWER_LIMIT_MASK) / 8.0
+
+
 class RaplController:
     """Energy accounting for RAPL domains.
 

@@ -23,7 +23,13 @@ from repro.hw import msr as msrdef
 from repro.hw.cstates import CStateModel
 from repro.hw.msr import MSRDef, MSRFile
 from repro.hw.platform import PlatformSpec
-from repro.hw.rapl import RaplController, RaplLimiter, RaplLimiterConfig
+from repro.hw.rapl import (
+    RaplController,
+    RaplLimiter,
+    RaplLimiterConfig,
+    decode_pkg_power_limit,
+    encode_pkg_power_limit,
+)
 from repro.hw.turbo import TurboModel
 from repro.sim.core import Core, CoreLoad, IdleLoad, LoadSample
 from repro.sim.power_model import core_power_watts, package_power_watts
@@ -119,9 +125,7 @@ class Chip:
         # PKG_POWER_LIMIT layout: enable bit 15, limit bits [14:0]).
         if self.rapl is None:
             raise PlatformError("no RAPL limiter on this platform")
-        enabled = bool(value & (1 << 15))
-        limit_eighth_w = value & 0x7FFF
-        self.rapl.set_limit(limit_eighth_w / 8.0 if enabled else None)
+        self.rapl.set_limit(decode_pkg_power_limit(value))
 
     # -- software-facing controls ---------------------------------------------
 
@@ -159,11 +163,9 @@ class Chip:
             raise PlatformError(
                 f"{self.platform.name} has no RAPL power limiting"
             )
-        if limit_w is None:
-            value = 0
-        else:
-            value = (1 << 15) | (int(round(limit_w * 8)) & 0x7FFF)
-        self.msr.write(0, msrdef.MSR_PKG_POWER_LIMIT, value)
+        self.msr.write(
+            0, msrdef.MSR_PKG_POWER_LIMIT, encode_pkg_power_limit(limit_w)
+        )
 
     # -- simulation ------------------------------------------------------------
 

@@ -6,15 +6,30 @@ daemon's 1 s control iteration (paper section 5) and the telemetry
 sampler.  Callbacks fire *after* the ticks covering their period have
 run, which matches a real daemon waking from ``sleep(1)`` and reading
 counters that accumulated while it slept.
+
+Periodic callbacks accept an optional *gate* — a scheduling-fault hook
+consulted at every deadline that can let the callback fire, drop the
+deadline outright (a missed wakeup; the next deadline is a full period
+later), or defer it by some seconds (scheduler jitter).  The fault
+injector (:mod:`repro.faults.ticks`) uses this to model a daemon that
+oversleeps or gets preempted past its deadline.  One-shot events
+(:meth:`SimEngine.at`) model externally-timed happenings such as an
+application crashing mid-run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Union
 
 from repro.errors import SimulationError
 from repro.sim.chip import Chip
+
+#: What a gate may return: ``"fire"`` (or ``None``) runs the callback,
+#: ``"drop"`` skips this deadline entirely, a positive float defers the
+#: deadline by that many seconds (at least one tick).
+GateResult = Union[str, float, None]
+TickGate = Callable[[float], GateResult]
 
 
 @dataclass
@@ -22,6 +37,14 @@ class _Periodic:
     period_ticks: int
     callback: Callable[[float], None]
     next_due: int
+    gate: TickGate | None = None
+
+
+@dataclass
+class _OneShot:
+    due_tick: int
+    callback: Callable[[float], None]
+    fired: bool = False
 
 
 class SimEngine:
@@ -30,6 +53,7 @@ class SimEngine:
     def __init__(self, chip: Chip):
         self.chip = chip
         self._periodics: list[_Periodic] = []
+        self._oneshots: list[_OneShot] = []
         self._ticks_run = 0
 
     @property
@@ -39,11 +63,17 @@ class SimEngine:
     def every(
         self, period_s: float, callback: Callable[[float], None], *,
         phase_s: float | None = None,
+        gate: TickGate | None = None,
     ) -> None:
         """Register ``callback(sim_time_s)`` to run every ``period_s``.
 
         ``phase_s`` delays the first invocation (default: one full
-        period, like a daemon that sleeps before its first sample).
+        period, like a daemon that sleeps before its first sample).  A
+        phase of exactly zero fires at the next tick boundary; a
+        non-zero phase below one tick cannot be honoured and raises
+        rather than being silently rewritten.
+
+        ``gate`` is consulted at every deadline; see :data:`GateResult`.
         """
         period_ticks = int(round(period_s / self.chip.tick_s))
         if period_ticks <= 0:
@@ -57,8 +87,28 @@ class SimEngine:
             phase_ticks = int(round(phase_s / self.chip.tick_s))
             if phase_ticks < 0:
                 raise SimulationError("phase cannot be negative")
-            first = self._ticks_run + max(phase_ticks, 1)
-        self._periodics.append(_Periodic(period_ticks, callback, first))
+            if phase_ticks == 0 and phase_s != 0.0:
+                raise SimulationError(
+                    f"phase {phase_s}s is below one tick "
+                    f"({self.chip.tick_s}s); use phase_s=0 for the next "
+                    "tick boundary"
+                )
+            first = self._ticks_run + phase_ticks
+        self._periodics.append(_Periodic(period_ticks, callback, first, gate))
+
+    def at(self, time_s: float, callback: Callable[[float], None]) -> None:
+        """Schedule a one-shot ``callback(sim_time_s)`` at ``time_s``.
+
+        Fires after the tick covering ``time_s`` has run, alongside any
+        periodic callbacks due on the same boundary.
+        """
+        due_tick = int(round(time_s / self.chip.tick_s))
+        if due_tick <= self._ticks_run:
+            raise SimulationError(
+                f"one-shot at {time_s}s is not in the future "
+                f"(simulated time is {self.time_s}s)"
+            )
+        self._oneshots.append(_OneShot(due_tick, callback))
 
     def run(self, duration_s: float) -> None:
         """Advance simulated time by ``duration_s``."""
@@ -67,20 +117,56 @@ class SimEngine:
             raise SimulationError("duration cannot be negative")
         self.run_ticks(n_ticks)
 
+    def _delay_ticks(self, delay_s: float) -> int:
+        if delay_s < 0:
+            raise SimulationError("gate returned a negative deferral")
+        return max(1, int(round(delay_s / self.chip.tick_s)))
+
     def run_ticks(self, n_ticks: int) -> None:
         for _ in range(n_ticks):
             self.chip.tick()
             self._ticks_run += 1
             flushed = False
             for periodic in self._periodics:
-                if self._ticks_run >= periodic.next_due:
-                    if not flushed:
-                        # counters are published lazily; latch them so
-                        # software callbacks read fresh values
-                        self.chip.flush_counters()
-                        flushed = True
-                    periodic.callback(self.chip.time_s)
-                    periodic.next_due = self._ticks_run + periodic.period_ticks
+                if self._ticks_run < periodic.next_due:
+                    continue
+                verdict: GateResult = "fire"
+                if periodic.gate is not None:
+                    verdict = periodic.gate(self.chip.time_s)
+                if verdict == "drop":
+                    # missed deadline: the wakeup never happens and the
+                    # next one is a full period out
+                    periodic.next_due = (
+                        self._ticks_run + periodic.period_ticks
+                    )
+                    continue
+                if isinstance(verdict, (int, float)) and not isinstance(
+                    verdict, bool
+                ):
+                    # jitter: the wakeup slips by the returned seconds
+                    periodic.next_due = (
+                        self._ticks_run + self._delay_ticks(float(verdict))
+                    )
+                    continue
+                if not flushed:
+                    # counters are published lazily; latch them so
+                    # software callbacks read fresh values
+                    self.chip.flush_counters()
+                    flushed = True
+                periodic.callback(self.chip.time_s)
+                periodic.next_due = self._ticks_run + periodic.period_ticks
+            for oneshot in self._oneshots:
+                if oneshot.fired or self._ticks_run < oneshot.due_tick:
+                    continue
+                if not flushed:
+                    self.chip.flush_counters()
+                    flushed = True
+                oneshot.callback(self.chip.time_s)
+                oneshot.fired = True
+            if any(o.fired for o in self._oneshots):
+                self._oneshots = [
+                    o for o in self._oneshots if not o.fired
+                ]
         self.chip.flush_counters()
 
     def run_until(

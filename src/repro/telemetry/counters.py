@@ -4,8 +4,10 @@ Everything the monitoring loop consumes derives from differences of
 free-running hardware counters: APERF/MPERF for average active frequency,
 IA32_FIXED_CTR0 for retired instructions, and the RAPL energy-status
 counters for power.  Energy counters are 32-bit and wrap every few hours
-at server power draw; :func:`CounterSnapshot.delta` handles the wrap the
-same way turbostat does.
+at server power draw; the cycle/instruction counters are 64-bit and wrap
+too (rarely in practice, constantly under injected wrap storms).
+:func:`CounterSnapshot.delta` diffs *every* counter modulo its width,
+the same way turbostat does.
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.errors import PlatformError
 from repro.hw import msr as msrdef
-from repro.hw.msr import MSRFile, read_energy_delta
+from repro.hw.msr import MSRFile, read_counter_delta, read_energy_delta
 from repro.hw.platform import PlatformSpec
 
 
@@ -42,10 +44,17 @@ class CounterSnapshot:
             )
         return CounterDelta(
             dt_s=dt,
-            aperf=tuple(b - a for a, b in zip(self.aperf, later.aperf)),
-            mperf=tuple(b - a for a, b in zip(self.mperf, later.mperf)),
+            aperf=tuple(
+                read_counter_delta(a, b)
+                for a, b in zip(self.aperf, later.aperf)
+            ),
+            mperf=tuple(
+                read_counter_delta(a, b)
+                for a, b in zip(self.mperf, later.mperf)
+            ),
             instructions=tuple(
-                b - a for a, b in zip(self.instructions, later.instructions)
+                read_counter_delta(a, b)
+                for a, b in zip(self.instructions, later.instructions)
             ),
             pkg_energy_uj=read_energy_delta(
                 self.pkg_energy_uj, later.pkg_energy_uj

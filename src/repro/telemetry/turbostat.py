@@ -62,21 +62,23 @@ class Turbostat:
         """Take the initial snapshot without emitting a sample."""
         self._previous = read_snapshot(self.platform, self.msr, timestamp_s)
 
+    @property
+    def primed(self) -> bool:
+        return self._previous is not None
+
     def sample(self, timestamp_s: float) -> TurbostatSample:
-        """Read counters and report the interval since the last call."""
-        current = read_snapshot(self.platform, self.msr, timestamp_s)
+        """Read counters and report the interval since the last call.
+
+        Requires a prior :meth:`prime` (or a previous successful sample):
+        an unprimed sampler has no baseline snapshot, and fabricating a
+        zero-interval sample would silently feed zeros into whatever
+        control loop called us.  Raises :class:`PlatformError` instead.
+        """
         if self._previous is None:
-            self._previous = current
-            empty = TurbostatSample(
-                timestamp_s=timestamp_s,
-                interval_s=0.0,
-                package_power_w=0.0,
-                cores=tuple(
-                    CoreStats(cpu, 0.0, 0.0, 0.0, None)
-                    for cpu in self.platform.core_ids()
-                ),
+            raise PlatformError(
+                "turbostat sampler not primed: call prime() before sample()"
             )
-            return empty
+        current = read_snapshot(self.platform, self.msr, timestamp_s)
         delta = self._previous.delta(current)
         self._previous = current
         cores = []

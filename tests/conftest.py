@@ -8,6 +8,24 @@ from repro.hw.platform import ryzen_1700x, skylake_xeon_4114
 from repro.sim.chip import Chip
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--soak",
+        action="store_true",
+        default=False,
+        help="run the long chaos/soak tests (tier-1 skips them)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--soak"):
+        return
+    skip_soak = pytest.mark.skip(reason="soak run: pass --soak to enable")
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip_soak)
+
+
 @pytest.fixture(scope="session")
 def skylake():
     return skylake_xeon_4114()

@@ -1,0 +1,367 @@
+"""Tests for the daemon's error containment, retry, holdover, and safe mode."""
+
+import pytest
+
+from repro.core.daemon import (
+    DaemonMode,
+    HealthRecord,
+    PowerDaemon,
+    ResilienceConfig,
+)
+from repro.core.frequency_shares import FrequencySharesPolicy
+from repro.core.types import ManagedApp
+from repro.errors import ConfigError, MSRIOError
+from repro.faults import FaultScenario, FaultyMSRFile
+from repro.sched.pinning import pin_apps
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+from repro.telemetry.turbostat import CoreStats, TurbostatSample
+from repro.workloads.spec import spec_app
+
+
+class SwitchableMSR:
+    """MSR wrapper with deterministically togglable read/write failures.
+
+    Fault-rate proxies are great for storms but awkward for unit tests;
+    this wrapper makes every failure explicit.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.fail_reads = False
+        self.fail_writes = False
+        self.fail_write_cores: set[int] | None = None  # None = all
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def read(self, cpu, address):
+        value = self._inner.read(cpu, address)
+        if self.fail_reads:
+            raise MSRIOError(f"injected read failure cpu {cpu}")
+        return value
+
+    def write(self, cpu, address, value):
+        if self.fail_writes and (
+            self.fail_write_cores is None or cpu in self.fail_write_cores
+        ):
+            raise MSRIOError(f"injected write failure cpu {cpu}")
+        self._inner.write(cpu, address, value)
+
+
+def build_daemon(platform, *, msr_factory=SwitchableMSR, resilience=None,
+                 limit=50.0):
+    chip = Chip(platform, tick_s=5e-3)
+    engine = SimEngine(chip)
+    placements = pin_apps(
+        chip,
+        [spec_app("leela", steady=True), spec_app("cactusBSSN", steady=True)],
+    )
+    managed = [
+        ManagedApp(label=p.label, core_id=p.core_id, shares=s)
+        for p, s in zip(placements, (90.0, 10.0))
+    ]
+    policy = FrequencySharesPolicy(platform, managed, limit)
+    msr = msr_factory(chip.msr)
+    daemon = PowerDaemon(chip, policy, msr=msr, resilience=resilience)
+    return chip, engine, daemon, msr
+
+
+class TestResilienceConfig:
+    def test_defaults_valid(self):
+        ResilienceConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_write_retries": -1},
+            {"safe_mode_after": 0},
+            {"recover_after": 0},
+            {"quarantine_after": 0},
+            {"quarantine_probe_every": 0},
+            {"frequency_slack": 0.9},
+            {"max_plausible_power_factor": 0.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(**kwargs)
+
+
+class TestRetryAndParking:
+    def test_clean_run_reports_healthy(self, skylake):
+        chip, engine, daemon, _ = build_daemon(skylake)
+        daemon.attach(engine)
+        engine.run(3.0)
+        for record in daemon.history:
+            h = record.health
+            assert h.mode == "normal"
+            assert h.telemetry_ok and not h.holdover
+            assert h.retries == 0 and h.failed_writes == 0
+            assert h.quarantined == ()
+
+    def test_write_retries_counted(self, skylake):
+        chip, engine, daemon, msr = build_daemon(skylake)
+        daemon.attach(engine)
+        msr.fail_writes = True
+        engine.run(1.0)
+        h = daemon.history[-1].health
+        # two managed cores, each write retried max_write_retries times
+        cfg = daemon.resilience
+        assert h.retries == 2 * cfg.max_write_retries
+        assert h.failed_writes == 2
+
+    def test_abandoned_write_parks_core(self, skylake):
+        chip, engine, daemon, msr = build_daemon(skylake)
+        daemon.attach(engine)
+        msr.fail_writes = True
+        msr.fail_write_cores = {0}
+        engine.run(1.0)
+        assert chip.cores[0].parked
+        assert daemon.history[-1].app_parked["leela#0"]
+        # the other app is untouched
+        assert not daemon.history[-1].app_parked["cactusBSSN#0"]
+
+    def test_recovered_write_unparks_core(self, skylake):
+        chip, engine, daemon, msr = build_daemon(skylake)
+        daemon.attach(engine)
+        msr.fail_writes = True
+        msr.fail_write_cores = {0}
+        engine.run(1.0)
+        assert chip.cores[0].parked
+        msr.fail_writes = False
+        engine.run(1.0)
+        assert not chip.cores[0].parked
+        assert not daemon.history[-1].app_parked["leela#0"]
+
+
+class TestHoldover:
+    def test_failed_reads_hold_last_good_sample(self, skylake):
+        chip, engine, daemon, msr = build_daemon(skylake)
+        daemon.attach(engine)
+        engine.run(2.0)
+        good = daemon.history[-1]
+        targets_before = dict(good.targets_mhz)
+        msr.fail_reads = True
+        engine.run(1.0)
+        record = daemon.history[-1]
+        assert record.health.holdover
+        assert not record.health.telemetry_ok
+        # the stale sample is re-reported, targets are held
+        assert record.package_power_w == good.package_power_w
+        assert record.targets_mhz == targets_before
+
+    def test_garbage_sample_rejected_and_held(self, skylake):
+        scenario = FaultScenario(garbage_counter_rate=1.0, seed=3)
+        chip, engine, daemon, _ = build_daemon(
+            skylake,
+            msr_factory=lambda inner: FaultyMSRFile(inner, scenario),
+        )
+        daemon.attach(engine)
+        engine.run(2.0)
+        assert all(not r.health.telemetry_ok for r in daemon.history)
+
+    def test_no_sample_at_all_records_blind_iteration(self, skylake):
+        chip, engine, daemon, msr = build_daemon(skylake)
+        msr.fail_reads = True  # prime fails too
+        daemon.attach(engine)
+        engine.run(1.0)
+        record = daemon.history[-1]
+        assert not record.health.telemetry_ok
+        assert not record.health.holdover
+        assert record.package_power_w == 0.0
+        assert record.app_power_w["leela#0"] is None
+
+
+class TestValidation:
+    def make_sample(self, daemon, **overrides):
+        power = daemon.chip.platform.power
+        core_kwargs = {
+            "active_frequency_mhz": 2000.0,
+            "busy_fraction": 0.9,
+            "ips": 2e9,
+            "power_w": None,
+        }
+        core_kwargs.update(
+            {k: overrides.pop(k) for k in list(overrides)
+             if k in core_kwargs}
+        )
+        sample_kwargs = {
+            "timestamp_s": 1.0,
+            "interval_s": 1.0,
+            "package_power_w": power.tdp_watts,
+        }
+        sample_kwargs.update(overrides)
+        cores = tuple(
+            CoreStats(core_id=cpu, **core_kwargs)
+            for cpu in daemon.chip.platform.core_ids()
+        )
+        return TurbostatSample(cores=cores, **sample_kwargs)
+
+    @pytest.fixture
+    def daemon(self, skylake):
+        return build_daemon(skylake)[2]
+
+    def test_plausible_sample_accepted(self, daemon):
+        assert daemon._validate(self.make_sample(daemon))
+
+    def test_zero_interval_rejected(self, daemon):
+        assert not daemon._validate(
+            self.make_sample(daemon, interval_s=0.0)
+        )
+
+    def test_power_too_high_rejected(self, daemon):
+        tdp = daemon.chip.platform.power.tdp_watts
+        assert not daemon._validate(
+            self.make_sample(daemon, package_power_w=4.0 * tdp)
+        )
+
+    def test_power_too_low_rejected(self, daemon):
+        # a stuck energy counter reads as 0 W; the uncore always draws
+        assert not daemon._validate(
+            self.make_sample(daemon, package_power_w=0.0)
+        )
+
+    def test_impossible_frequency_rejected(self, daemon):
+        max_mhz = daemon.chip.platform.max_frequency_mhz
+        assert not daemon._validate(
+            self.make_sample(daemon, active_frequency_mhz=2.0 * max_mhz)
+        )
+
+    def test_busy_fraction_out_of_range_rejected(self, daemon):
+        assert not daemon._validate(
+            self.make_sample(daemon, busy_fraction=1.5)
+        )
+
+    def test_impossible_ips_rejected(self, daemon):
+        assert not daemon._validate(self.make_sample(daemon, ips=1e15))
+
+
+class TestQuarantine:
+    def test_repeated_failures_quarantine_core(self, skylake):
+        cfg = ResilienceConfig(quarantine_after=2, quarantine_probe_every=3)
+        chip, engine, daemon, msr = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        msr.fail_writes = True
+        msr.fail_write_cores = {0}
+        engine.run(2.0)  # two abandoned writes -> quarantine
+        assert daemon.quarantined_cores == (0,)
+        assert daemon.history[-1].health.quarantined == (0,)
+        assert chip.cores[0].parked
+
+    def test_quarantined_core_not_written(self, skylake):
+        cfg = ResilienceConfig(quarantine_after=1, quarantine_probe_every=50)
+        chip, engine, daemon, msr = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        msr.fail_writes = True
+        msr.fail_write_cores = {0}
+        engine.run(1.0)
+        assert daemon.quarantined_cores == (0,)
+        failed_before = daemon.history[-1].health.failed_writes
+        assert failed_before == 1
+        engine.run(2.0)
+        # no further write attempts (and thus no failures) on core 0
+        assert all(
+            r.health.failed_writes == 0 for r in daemon.history[-2:]
+        )
+
+    def test_probe_releases_recovered_core(self, skylake):
+        cfg = ResilienceConfig(quarantine_after=1, quarantine_probe_every=2)
+        chip, engine, daemon, msr = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        msr.fail_writes = True
+        msr.fail_write_cores = {0}
+        engine.run(1.0)
+        assert daemon.quarantined_cores == (0,)
+        msr.fail_writes = False
+        engine.run(2.0)  # countdown reaches 0, probe lands
+        assert daemon.quarantined_cores == ()
+        assert not chip.cores[0].parked
+
+    def test_failed_probe_backs_off(self, skylake):
+        cfg = ResilienceConfig(quarantine_after=1, quarantine_probe_every=2)
+        chip, engine, daemon, msr = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        msr.fail_writes = True
+        msr.fail_write_cores = {0}
+        engine.run(3.0)  # quarantined at t=1, probe fails at t=3
+        assert daemon.quarantined_cores == (0,)
+        entry = daemon._quarantine[0]
+        assert entry.interval == 4  # doubled from 2
+
+    def test_backoff_is_capped(self, skylake):
+        cfg = ResilienceConfig(quarantine_after=1, quarantine_probe_every=2)
+        chip, engine, daemon, msr = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        msr.fail_writes = True
+        msr.fail_write_cores = {0}
+        engine.run(120.0)
+        assert daemon._quarantine[0].interval <= 2 * 8
+
+
+class TestSafeMode:
+    def force_safe(self, skylake, **cfg_kwargs):
+        cfg = ResilienceConfig(safe_mode_after=3, recover_after=2,
+                               **cfg_kwargs)
+        chip, engine, daemon, msr = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        msr.fail_reads = True
+        engine.run(3.0)
+        return chip, engine, daemon, msr
+
+    def test_consecutive_failures_escalate(self, skylake):
+        chip, engine, daemon, _ = self.force_safe(skylake)
+        assert daemon.mode is DaemonMode.SAFE
+        assert daemon.history[-1].health.mode == "safe"
+        assert daemon.history[-1].health.safe_mode_entries == 1
+
+    def test_safe_mode_arms_rapl_backstop(self, skylake):
+        chip, engine, daemon, _ = self.force_safe(skylake)
+        # software policies normally run with the limiter at TDP; safe
+        # mode pulls it down to the operator limit.
+        assert chip.rapl.limit_w == daemon.policy.limit_w
+
+    def test_safe_mode_floors_frequencies(self, skylake):
+        chip, engine, daemon, _ = self.force_safe(skylake)
+        floor = skylake.policy_floor_mhz
+        for core_id in daemon._core_of.values():
+            assert chip.requested_frequency(core_id) == floor
+
+    def test_recovery_restores_normal_operation(self, skylake):
+        chip, engine, daemon, msr = self.force_safe(skylake)
+        msr.fail_reads = False
+        engine.run(4.0)
+        assert daemon.mode is DaemonMode.NORMAL
+        assert daemon.history[-1].health.mode == "normal"
+        # the TDP backstop is restored for software policies
+        assert chip.rapl.limit_w == skylake.power.tdp_watts
+        # and the initial distribution is re-applied (top share at max)
+        assert chip.requested_frequency(0) > skylake.policy_floor_mhz
+
+    def test_ryzen_safe_mode_floors_without_rapl(self, ryzen):
+        cfg = ResilienceConfig(safe_mode_after=3)
+        chip, engine, daemon, msr = build_daemon(ryzen, resilience=cfg,
+                                                 limit=60.0)
+        daemon.attach(engine)
+        msr.fail_reads = True
+        engine.run(3.0)
+        assert chip.rapl is None
+        assert daemon.mode is DaemonMode.SAFE
+        floor = ryzen.policy_floor_mhz
+        for core_id in daemon._core_of.values():
+            assert chip.requested_frequency(core_id) == floor
+
+    def test_iteration_never_raises_under_total_failure(self, skylake):
+        chip, engine, daemon, msr = build_daemon(skylake)
+        daemon.attach(engine)
+        msr.fail_reads = True
+        msr.fail_writes = True
+        engine.run(10.0)  # would raise long before this if uncontained
+        assert len(daemon.history) == 10
+        assert daemon.mode is DaemonMode.SAFE
+
+    def test_default_health_record_is_clean(self):
+        h = HealthRecord()
+        assert h.mode == "normal"
+        assert h.telemetry_ok and not h.holdover
+        assert h.safe_mode_entries == 0

@@ -113,13 +113,24 @@ class TestTurbostat:
             1800.0, rel=0.02
         )
 
-    def test_first_unprimed_sample_is_empty(self, skylake):
+    def test_unprimed_sample_raises(self, skylake):
         chip = busy_chip(skylake)
         stat = Turbostat(skylake, chip.msr)
         chip.run_ticks(10)
-        sample = stat.sample(chip.time_s)
-        assert sample.interval_s == 0.0
-        assert sample.package_power_w == 0.0
+        assert not stat.primed
+        with pytest.raises(PlatformError):
+            stat.sample(chip.time_s)
+        stat.prime(chip.time_s)
+        assert stat.primed
+
+    def test_every_emitted_sample_lands_in_history(self, skylake):
+        chip = busy_chip(skylake)
+        stat = Turbostat(skylake, chip.msr)
+        stat.prime(chip.time_s)
+        chip.run_ticks(100)
+        first = stat.sample(chip.time_s)
+        assert first.interval_s > 0.0
+        assert stat.history == [first]
 
     def test_history_recorded(self, skylake):
         chip = busy_chip(skylake)
