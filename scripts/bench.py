@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Simulator benchmark: ticks/sec and quick-report wall time.
+
+Measures two numbers that bound every workflow in this repo:
+
+* **ticks_per_sec** — simulated ticks per wall second on a
+  representative stack (priority and shares policies, Table-2-style mix
+  on the 10-core Skylake, daemon attached), averaged over both
+  policies.  This is the hot path :mod:`repro.sim.chip` /
+  :mod:`repro.sim.engine` optimise.
+* **report_quick_s** — wall time of ``generate_report(quick=True)``
+  with a cold cache and one worker: the end-to-end cost of the thing a
+  user actually runs.
+
+``python scripts/bench.py`` writes the committed baseline
+``BENCH_sim.json``; ``--check`` re-measures ticks/sec only and exits
+nonzero when it regresses more than 30 % against that baseline (the
+chaos-smoke CI path runs this).  ``--skip-report`` skips the slow
+report measurement and carries the previous value forward.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.config import AppSpec, ExperimentConfig, Priority, build_stack
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_sim.json"
+
+#: fail --check when ticks/sec drops more than this vs the baseline.
+REGRESSION_TOLERANCE = 0.30
+
+#: simulated seconds per policy for the ticks/sec measurement.
+SIM_SECONDS = 20.0
+TICK_S = 5e-3
+
+
+def _bench_config(policy: str) -> ExperimentConfig:
+    """A representative stack: 4 HP + 4 LP apps under a 50 W limit."""
+    specs = (
+        (AppSpec("cactusBSSN", shares=75.0, priority=Priority.HIGH),) * 2
+        + (AppSpec("leela", shares=100.0, priority=Priority.HIGH),) * 2
+        + (AppSpec("cactusBSSN", shares=25.0, priority=Priority.LOW),) * 2
+        + (AppSpec("leela", shares=50.0, priority=Priority.LOW),) * 2
+    )
+    return ExperimentConfig(
+        platform="skylake",
+        policy=policy,
+        limit_w=50.0,
+        apps=specs,
+        tick_s=TICK_S,
+    )
+
+
+def measure_ticks_per_sec(
+    sim_seconds: float = SIM_SECONDS,
+) -> float:
+    """Mean ticks/sec across a priority and a frequency-shares stack."""
+    rates = []
+    for policy in ("priority", "frequency-shares"):
+        stack = build_stack(_bench_config(policy))
+        # warm up allocations and caches outside the timed region
+        stack.engine.run(1.0)
+        n_ticks = int(round(sim_seconds / TICK_S))
+        start = time.perf_counter()
+        stack.engine.run_ticks(n_ticks)
+        rates.append(n_ticks / (time.perf_counter() - start))
+    return sum(rates) / len(rates)
+
+
+def measure_report_quick_s() -> float:
+    """Wall time of a quick report, cold cache, one worker."""
+    from repro.experiments.full_report import generate_report
+
+    os.environ["REPRO_NO_CACHE"] = "1"
+    try:
+        start = time.perf_counter()
+        generate_report(quick=True, use_cache=False)
+        return time.perf_counter() - start
+    finally:
+        os.environ.pop("REPRO_NO_CACHE", None)
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def check_regression(baseline_path: Path = BASELINE_PATH) -> int:
+    """Exit code 0 when ticks/sec is within tolerance of the baseline."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        baseline_rate = float(baseline["ticks_per_sec"])
+    except (OSError, KeyError, ValueError, TypeError) as exc:
+        print(f"bench: no usable baseline at {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    rate = measure_ticks_per_sec()
+    floor = baseline_rate * (1.0 - REGRESSION_TOLERANCE)
+    status = "ok" if rate >= floor else "FAIL"
+    print(f"[{status}] ticks/sec {rate:,.0f} vs baseline "
+          f"{baseline_rate:,.0f} (floor {floor:,.0f}, "
+          f"git {baseline.get('git', '?')})")
+    return 0 if rate >= floor else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare ticks/sec against the committed "
+                             "baseline; fail on >30%% regression")
+    parser.add_argument("--skip-report", action="store_true",
+                        help="skip the quick-report timing (reuse the "
+                             "baseline's value)")
+    parser.add_argument("--output", type=Path, default=BASELINE_PATH,
+                        help="where to write the result JSON")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check_regression()
+
+    result = {
+        "ticks_per_sec": round(measure_ticks_per_sec(), 1),
+        "report_quick_s": None,
+        "git": git_revision(),
+    }
+    print(f"ticks/sec: {result['ticks_per_sec']:,.0f}")
+    if args.skip_report:
+        try:
+            previous = json.loads(args.output.read_text())
+            result["report_quick_s"] = previous.get("report_quick_s")
+        except (OSError, ValueError):
+            pass
+    else:
+        result["report_quick_s"] = round(measure_report_quick_s(), 1)
+        print(f"quick report: {result['report_quick_s']:.0f} s")
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,6 +95,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="simulated seconds per platform (default 60)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scenario", default="full-storm")
+    parser.add_argument("--skip-bench", action="store_true",
+                        help="skip the ticks/sec regression check")
     args = parser.parse_args(argv)
     rc = 0
     for platform, limit_w in PLATFORM_LIMITS.items():
@@ -105,6 +107,12 @@ def main(argv: list[str] | None = None) -> int:
         except FaultConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if not args.skip_bench:
+        # guard the simulator's throughput alongside its safety: fail
+        # when ticks/sec regresses >30% against the committed baseline.
+        import bench
+
+        rc |= bench.check_regression()
     return rc
 
 

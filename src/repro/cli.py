@@ -9,10 +9,16 @@ Usage::
     repro-power run --platform skylake --policy frequency-shares \
                 --limit 50 --apps leela:90,cactusBSSN:10 --duration 40
     repro-power run --faults full-storm --fault-seed 7 --duration 120
+    repro-power report --quick --jobs 4
+    repro-power sweep --seeds 10 --jobs 4
     repro-power faults
 
 ``--quick`` shortens runs for smoke testing; results keep their shape
-but are noisier.  ``--faults`` replays a named, seeded fault scenario
+but are noisier.  ``--jobs N`` (report/sweep) fans independent runs
+across N worker processes; results are deterministic and input-ordered
+regardless of N.  Completed runs are cached on disk keyed by their full
+config — ``--no-cache`` (or ``REPRO_NO_CACHE=1``) bypasses the cache.
+``--faults`` replays a named, seeded fault scenario
 against the daemon (flaky MSRs, garbage counters, dropped ticks, app
 crashes) and reports its health record — holdovers, retries,
 quarantines, and safe-mode transitions.
@@ -171,7 +177,40 @@ def _cmd_fig12(args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.full_report import generate_report
 
-    generate_report(quick=args.quick, stream=sys.stdout)
+    generate_report(
+        quick=args.quick,
+        stream=sys.stdout,
+        jobs=getattr(args, "jobs", None),
+        use_cache=not getattr(args, "no_cache", False),
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.random_sweep import run_random_sweep
+
+    cache = ResultCache.from_env(enabled=not args.no_cache)
+    result = run_random_sweep(
+        policy=args.policy,
+        limit_w=args.limit,
+        n_seeds=args.seeds,
+        **(
+            {"duration_s": 20.0, "warmup_s": 9.0} if args.quick else {}
+        ),
+        jobs=args.jobs,
+        cache=cache,
+    )
+    print(render_table(result.to_rows(), title=(
+        f"Random sweep — {result.policy} @ {result.limit_w:.0f} W, "
+        f"{args.seeds} seeds"
+    )))
+    print(f"total ordering violations: "
+          f"{result.total_ordering_violations()}")
+    if cache is not None:
+        print(f"cache: {cache.stats.hits} hits, "
+              f"{cache.stats.misses} misses, "
+              f"{cache.stats.stores} stored")
     return 0
 
 
@@ -338,7 +377,7 @@ _COMMANDS = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-power",
         description=(
@@ -357,6 +396,32 @@ def main(argv: list[str] | None = None) -> int:
         exp_parser.add_argument(
             "--quick", action="store_true", help="shorter, noisier runs"
         )
+        if name == "report":
+            exp_parser.add_argument(
+                "--jobs", type=int, default=None, metavar="N",
+                help="fan independent runs across N worker processes",
+            )
+            exp_parser.add_argument(
+                "--no-cache", action="store_true",
+                help="bypass the on-disk result cache",
+            )
+    sweep = sub.add_parser(
+        "sweep", help="seeded random-mix sweep (generalized Fig 11)"
+    )
+    sweep.add_argument("--policy", default="frequency-shares")
+    sweep.add_argument("--limit", type=float, default=45.0)
+    sweep.add_argument("--seeds", type=int, default=5)
+    sweep.add_argument(
+        "--quick", action="store_true", help="shorter, noisier runs"
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan independent runs across N worker processes",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache",
+    )
     for name, helptext in (
         ("run", "run a custom configuration"),
         ("watch", "run a custom configuration and chart its dynamics"),
@@ -384,9 +449,13 @@ def main(argv: list[str] | None = None) -> int:
             "--fault-seed", type=int, default=0,
             help="seed for the fault schedule (deterministic replay)",
         )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     if args.command == "list":
-        for name in sorted(_COMMANDS) + ["run", "watch"]:
+        for name in sorted(_COMMANDS) + ["run", "sweep", "watch"]:
             print(name)
         return 0
     if args.command == "faults":
@@ -413,6 +482,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "watch":
             return _cmd_watch(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

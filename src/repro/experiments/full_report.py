@@ -11,18 +11,29 @@ from __future__ import annotations
 import io
 import time
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.report import render_kv, render_table
 from repro.experiments import tables as tables_mod
 
 
-def generate_report(*, quick: bool = True, stream=None) -> str:
+def generate_report(
+    *,
+    quick: bool = True,
+    stream=None,
+    jobs: int | None = None,
+    use_cache: bool = True,
+) -> str:
     """Run all experiments and render the combined report.
 
     ``quick=True`` shortens every run (noisier but minutes, not tens of
-    minutes).  Returns the report text; also writes progressively to
-    ``stream`` if given.
+    minutes).  ``jobs`` fans each experiment's independent steady-state
+    runs across that many worker processes; ``use_cache`` round-trips
+    them through the on-disk result cache so a re-run skips completed
+    configs (hit/miss counts land in the footer).  Returns the report
+    text; also writes progressively to ``stream`` if given.
     """
     out = io.StringIO()
+    cache = ResultCache.from_env(enabled=use_cache)
 
     def emit(text: str = "") -> None:
         out.write(text + "\n")
@@ -33,6 +44,7 @@ def generate_report(*, quick: bool = True, stream=None) -> str:
     durations = (
         dict(duration_s=30.0, warmup_s=12.0) if quick else {}
     )
+    batch = dict(durations, jobs=jobs, cache=cache)
     started = time.time()
     emit("# Per-Application Power Delivery — reproduction report")
     emit(f"mode: {'quick' if quick else 'full'}")
@@ -113,11 +125,11 @@ def generate_report(*, quick: bool = True, stream=None) -> str:
         run_fig8_priority_ryzen,
     )
 
-    result = run_fig7_priority_skylake(**durations)
+    result = run_fig7_priority_skylake(**batch)
     emit(render_table(result.to_rows(),
                       title="## Fig 7 — priority vs RAPL (Skylake)"))
     emit()
-    result = run_fig8_priority_ryzen(**durations)
+    result = run_fig8_priority_ryzen(**batch)
     emit(render_table(result.to_rows(),
                       title="## Fig 8 — priority (Ryzen)"))
     emit()
@@ -127,16 +139,16 @@ def generate_report(*, quick: bool = True, stream=None) -> str:
         run_fig10_shares_ryzen,
     )
 
-    result = run_fig9_shares_skylake(**durations)
+    result = run_fig9_shares_skylake(**batch)
     emit(render_table(result.to_rows(), title="## Fig 9 — shares (Skylake)"))
     emit()
-    result = run_fig10_shares_ryzen(**durations)
+    result = run_fig10_shares_ryzen(**batch)
     emit(render_table(result.to_rows(), title="## Fig 10 — shares (Ryzen)"))
     emit()
 
     from repro.experiments.random_exp import run_fig11_random_skylake
 
-    result = run_fig11_random_skylake(**durations)
+    result = run_fig11_random_skylake(**batch)
     emit(render_table(result.to_rows(), title="## Fig 11 — random mixes"))
     emit()
 
@@ -160,5 +172,14 @@ def generate_report(*, quick: bool = True, stream=None) -> str:
                 continue
     emit(render_table(rows, title="normalized 90th-percentile latency"))
     emit()
-    emit(f"(generated in {time.time() - started:.0f} s)")
+    footer = f"(generated in {time.time() - started:.0f} s"
+    if jobs is not None:
+        footer += f"; jobs={jobs}"
+    if cache is not None:
+        footer += (
+            f"; cache: {cache.stats.hits} hits, "
+            f"{cache.stats.misses} misses, "
+            f"{cache.stats.stores} stored"
+        )
+    emit(footer + ")")
     return out.getvalue()

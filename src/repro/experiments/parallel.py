@@ -1,0 +1,118 @@
+"""Process-pool fan-out for independent steady-state runs.
+
+Every figure/table in the evaluation is a batch of independent
+:func:`~repro.experiments.runner.run_steady` calls over frozen configs,
+so they parallelize embarrassingly: :func:`run_tasks` fans a task list
+out across worker processes and returns results in **input order**, so
+callers' post-processing is identical to the serial loop they replaced.
+Determinism is preserved — each run's randomness is seeded from its
+config, never from worker identity or scheduling.
+
+Workers are bounded in memory via ``max_tasks_per_child`` (a worker is
+recycled after a fixed number of runs, so per-run allocations cannot
+accumulate) and the pool is only spun up when there is more than one
+uncached task to run.
+
+An optional :class:`~repro.experiments.cache.ResultCache` short-circuits
+tasks whose results are already on disk; fresh results are stored back,
+so a re-run after an unrelated code change skips completed configs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+from repro.config import ExperimentConfig
+from repro.errors import ConfigError
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import SteadyRunResult, run_steady
+
+#: recycle a worker after this many runs (bounds per-worker memory).
+MAX_TASKS_PER_CHILD = 16
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One steady-state run: a config plus its measurement window."""
+
+    config: ExperimentConfig
+    duration_s: float = 60.0
+    warmup_s: float = 20.0
+
+
+def _run_task(task: ExperimentTask) -> SteadyRunResult:
+    """Worker entry point (module-level so it pickles)."""
+    return run_steady(
+        task.config,
+        duration_s=task.duration_s,
+        warmup_s=task.warmup_s,
+    )
+
+
+def _make_pool(n_workers: int):
+    """Build the worker pool with bounded per-worker memory.
+
+    ``multiprocessing.Pool`` (rather than ``ProcessPoolExecutor``)
+    because it supports ``maxtasksperchild`` together with the cheap
+    ``fork`` start method: workers are recycled after a fixed number of
+    runs without re-importing ``__main__`` the way ``spawn`` and
+    ``forkserver`` do.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        ctx = multiprocessing.get_context()
+    return ctx.Pool(
+        processes=n_workers, maxtasksperchild=MAX_TASKS_PER_CHILD
+    )
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/0 -> serial, <0 -> all cores."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_tasks(
+    tasks: list[ExperimentTask],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[SteadyRunResult]:
+    """Run every task and return results in input order.
+
+    ``jobs`` workers run uncached tasks in a process pool (``None``/``0``
+    /``1`` runs them serially in-process, with no pool overhead).
+    ``cache`` short-circuits completed configs and stores fresh results.
+    """
+    if any(not isinstance(task, ExperimentTask) for task in tasks):
+        raise ConfigError("run_tasks expects ExperimentTask items")
+    results: list[SteadyRunResult | None] = [None] * len(tasks)
+    pending: list[int] = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            hit = cache.get(task.config, task.duration_s, task.warmup_s)
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+    n_workers = min(resolve_jobs(jobs), len(pending))
+    if n_workers <= 1:
+        fresh = [_run_task(tasks[index]) for index in pending]
+    else:
+        with _make_pool(n_workers) as pool:
+            # map() yields in submission order: deterministic results
+            fresh = list(
+                pool.map(_run_task, [tasks[index] for index in pending])
+            )
+    for index, result in zip(pending, fresh):
+        results[index] = result
+        if cache is not None:
+            task = tasks[index]
+            cache.put(task.config, task.duration_s, task.warmup_s, result)
+    return results  # type: ignore[return-value]

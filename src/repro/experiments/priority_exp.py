@@ -21,7 +21,9 @@ from dataclasses import dataclass
 from repro.config import AppSpec, ExperimentConfig
 from repro.core.types import Priority
 from repro.errors import ConfigError
-from repro.experiments.runner import BATCH_TICK_S, SteadyRunResult, run_steady
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ExperimentTask, run_tasks
+from repro.experiments.runner import BATCH_TICK_S, SteadyRunResult
 
 #: Table 2 of the paper: Skylake workload mixes.  Tuples are counts of
 #: (cactusBSSN-HP, leela-HP, cactusBSSN-LP, leela-LP).
@@ -164,10 +166,13 @@ def run_fig7_priority_skylake(
     mixes: dict[str, tuple[int, int, int, int]] | None = None,
     duration_s: float = 60.0,
     warmup_s: float = 25.0,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> PriorityResult:
     """Priority vs RAPL on Skylake across Table 2 mixes (Fig 7)."""
     mixes = mixes or TABLE2_MIXES
-    cells: list[PriorityCell] = []
+    keys: list[tuple[str, tuple[AppSpec, ...], float, str]] = []
+    tasks: list[ExperimentTask] = []
     for mix_name, mix in mixes.items():
         specs = mix_app_specs(mix)
         for limit in limits_w:
@@ -179,14 +184,16 @@ def run_fig7_priority_skylake(
                     apps=specs,
                     tick_s=BATCH_TICK_S,
                 )
-                result = run_steady(
-                    config, duration_s=duration_s, warmup_s=warmup_s
+                keys.append((mix_name, specs, limit, policy))
+                tasks.append(
+                    ExperimentTask(config, duration_s, warmup_s)
                 )
-                cells.append(
-                    _cell_from_run(
-                        result, specs, mix_name, limit, policy, False
-                    )
-                )
+    results = run_tasks(tasks, jobs=jobs, cache=cache)
+    cells = [
+        _cell_from_run(result, specs, mix_name, limit, policy, False)
+        for result, (mix_name, specs, limit, policy)
+        in zip(results, keys)
+    ]
     return PriorityResult(platform="skylake", cells=tuple(cells))
 
 
@@ -196,6 +203,8 @@ def run_fig8_priority_ryzen(
     mixes: dict[str, tuple[int, int, int, int]] | None = None,
     duration_s: float = 60.0,
     warmup_s: float = 25.0,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> PriorityResult:
     """Priority policy on Ryzen (Fig 8); includes per-class core power.
 
@@ -204,7 +213,8 @@ def run_fig8_priority_ryzen(
     in software — exactly the paper's setup.
     """
     mixes = mixes or RYZEN_MIXES
-    cells: list[PriorityCell] = []
+    keys: list[tuple[str, tuple[AppSpec, ...], float]] = []
+    tasks: list[ExperimentTask] = []
     for mix_name, mix in mixes.items():
         specs = mix_app_specs(mix)
         for limit in limits_w:
@@ -215,12 +225,11 @@ def run_fig8_priority_ryzen(
                 apps=specs,
                 tick_s=BATCH_TICK_S,
             )
-            result = run_steady(
-                config, duration_s=duration_s, warmup_s=warmup_s
-            )
-            cells.append(
-                _cell_from_run(
-                    result, specs, mix_name, limit, "priority", True
-                )
-            )
+            keys.append((mix_name, specs, limit))
+            tasks.append(ExperimentTask(config, duration_s, warmup_s))
+    results = run_tasks(tasks, jobs=jobs, cache=cache)
+    cells = [
+        _cell_from_run(result, specs, mix_name, limit, "priority", True)
+        for result, (mix_name, specs, limit) in zip(results, keys)
+    ]
     return PriorityResult(platform="ryzen", cells=tuple(cells))

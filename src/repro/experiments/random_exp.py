@@ -23,7 +23,9 @@ from dataclasses import dataclass
 
 from repro.config import AppSpec, ExperimentConfig
 from repro.errors import ConfigError
-from repro.experiments.runner import BATCH_TICK_S, run_steady
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ExperimentTask, run_tasks
+from repro.experiments.runner import BATCH_TICK_S
 from repro.workloads.generator import TABLE3_SETS
 
 #: share level of app #k (paper: {20, 40, 60, 80, 100}).
@@ -92,9 +94,12 @@ def run_fig11_random_skylake(
     copies: int = 2,
     duration_s: float = 60.0,
     warmup_s: float = 25.0,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> RandomResult:
     """Random experiments on Skylake (Fig 11)."""
-    cells: list[RandomCell] = []
+    keys: list[tuple[str, tuple[str, ...], str, float]] = []
+    tasks: list[ExperimentTask] = []
     for set_name in sets:
         names = TABLE3_SETS[set_name.upper()]
         specs: list[AppSpec] = []
@@ -111,45 +116,47 @@ def run_fig11_random_skylake(
                     apps=tuple(specs),
                     tick_s=BATCH_TICK_S,
                 )
-                result = run_steady(
-                    config, duration_s=duration_s, warmup_s=warmup_s
-                )
-                freq_total = sum(
-                    r.mean_frequency_mhz for r in result.apps
-                )
-                perf_total = sum(
-                    r.normalized_performance for r in result.apps
-                )
-                for index, name in enumerate(names):
-                    instances = result.by_benchmark(name)
-                    mean_freq = sum(
-                        r.mean_frequency_mhz for r in instances
-                    ) / len(instances)
-                    mean_perf = sum(
-                        r.normalized_performance for r in instances
-                    ) / len(instances)
-                    cells.append(
-                        RandomCell(
-                            app_set=set_name,
-                            app_index=index,
-                            benchmark=name,
-                            policy=policy,
-                            limit_w=limit,
-                            shares=SHARE_LEVELS[index],
-                            frequency_fraction=(
-                                sum(r.mean_frequency_mhz for r in instances)
-                                / freq_total
-                            ),
-                            performance_fraction=(
-                                sum(
-                                    r.normalized_performance
-                                    for r in instances
-                                )
-                                / perf_total
-                            ),
-                            norm_perf=mean_perf,
-                            mean_frequency_mhz=mean_freq,
-                            package_power_w=result.mean_package_power_w,
+                keys.append((set_name, names, policy, limit))
+                tasks.append(ExperimentTask(config, duration_s, warmup_s))
+    results = run_tasks(tasks, jobs=jobs, cache=cache)
+    cells: list[RandomCell] = []
+    for result, (set_name, names, policy, limit) in zip(results, keys):
+        freq_total = sum(
+            r.mean_frequency_mhz for r in result.apps
+        )
+        perf_total = sum(
+            r.normalized_performance for r in result.apps
+        )
+        for index, name in enumerate(names):
+            instances = result.by_benchmark(name)
+            mean_freq = sum(
+                r.mean_frequency_mhz for r in instances
+            ) / len(instances)
+            mean_perf = sum(
+                r.normalized_performance for r in instances
+            ) / len(instances)
+            cells.append(
+                RandomCell(
+                    app_set=set_name,
+                    app_index=index,
+                    benchmark=name,
+                    policy=policy,
+                    limit_w=limit,
+                    shares=SHARE_LEVELS[index],
+                    frequency_fraction=(
+                        sum(r.mean_frequency_mhz for r in instances)
+                        / freq_total
+                    ),
+                    performance_fraction=(
+                        sum(
+                            r.normalized_performance
+                            for r in instances
                         )
-                    )
+                        / perf_total
+                    ),
+                    norm_perf=mean_perf,
+                    mean_frequency_mhz=mean_freq,
+                    package_power_w=result.mean_package_power_w,
+                )
+            )
     return RandomResult(cells=tuple(cells))

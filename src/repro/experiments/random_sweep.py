@@ -14,7 +14,9 @@ from dataclasses import dataclass
 
 from repro.config import AppSpec, ExperimentConfig
 from repro.errors import ConfigError
-from repro.experiments.runner import BATCH_TICK_S, run_steady
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ExperimentTask, run_tasks
+from repro.experiments.runner import BATCH_TICK_S
 from repro.workloads.generator import RandomMixGenerator
 
 #: same ascending share levels as Fig 11.
@@ -78,14 +80,17 @@ def run_random_sweep(
     n_seeds: int = 5,
     duration_s: float = 40.0,
     warmup_s: float = 18.0,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> RandomSweepResult:
     """Fig 11 methodology over ``n_seeds`` random benchmark subsets."""
     if n_seeds <= 0:
         raise ConfigError("need at least one seed")
-    mixes: list[SweepMixResult] = []
+    seeds_names: list[tuple[int, list[str], list[AppSpec]]] = []
+    tasks: list[ExperimentTask] = []
     for seed in range(n_seeds):
         names = RandomMixGenerator(seed=seed).sample_names(5)
-        specs = []
+        specs: list[AppSpec] = []
         for index, name in enumerate(names):
             specs.extend(
                 [AppSpec(name, shares=SHARE_LEVELS[index])] * 2
@@ -94,9 +99,11 @@ def run_random_sweep(
             platform="skylake", policy=policy, limit_w=limit_w,
             apps=tuple(specs), tick_s=BATCH_TICK_S,
         )
-        result = run_steady(
-            config, duration_s=duration_s, warmup_s=warmup_s
-        )
+        seeds_names.append((seed, names, specs))
+        tasks.append(ExperimentTask(config, duration_s, warmup_s))
+    results = run_tasks(tasks, jobs=jobs, cache=cache)
+    mixes: list[SweepMixResult] = []
+    for result, (seed, names, specs) in zip(results, seeds_names):
         freqs = []
         for index, name in enumerate(names):
             instances = [

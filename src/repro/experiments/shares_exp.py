@@ -23,7 +23,9 @@ from dataclasses import dataclass
 
 from repro.config import AppSpec, ExperimentConfig
 from repro.errors import ConfigError
-from repro.experiments.runner import BATCH_TICK_S, SteadyRunResult, run_steady
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ExperimentTask, run_tasks
+from repro.experiments.runner import BATCH_TICK_S, SteadyRunResult
 
 #: share ratios from the paper's figures: (LD shares, HD shares).
 DEFAULT_RATIOS: tuple[tuple[float, float], ...] = (
@@ -151,6 +153,8 @@ def run_shares_experiment(
     ratios: tuple[tuple[float, float], ...] = DEFAULT_RATIOS,
     duration_s: float = 60.0,
     warmup_s: float = 25.0,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> ShareResult:
     """Fig 9 (skylake) / Fig 10 (ryzen) proportional-share sweep."""
     if policies is None:
@@ -159,7 +163,8 @@ def run_shares_experiment(
             if platform == "ryzen"
             else ("frequency-shares", "performance-shares")
         )
-    cells: list[ShareCell] = []
+    keys: list[tuple[str, float, float, float]] = []
+    tasks: list[ExperimentTask] = []
     for policy in policies:
         for limit in limits_w:
             for ld_shares, hd_shares in ratios:
@@ -170,12 +175,14 @@ def run_shares_experiment(
                     apps=_share_specs(platform, ld_shares, hd_shares),
                     tick_s=BATCH_TICK_S,
                 )
-                result = run_steady(
-                    config, duration_s=duration_s, warmup_s=warmup_s
-                )
-                cells.append(
-                    _cell_from_run(result, policy, limit, ld_shares, hd_shares)
-                )
+                keys.append((policy, limit, ld_shares, hd_shares))
+                tasks.append(ExperimentTask(config, duration_s, warmup_s))
+    results = run_tasks(tasks, jobs=jobs, cache=cache)
+    cells = [
+        _cell_from_run(result, policy, limit, ld_shares, hd_shares)
+        for result, (policy, limit, ld_shares, hd_shares)
+        in zip(results, keys)
+    ]
     return ShareResult(platform=platform, cells=tuple(cells))
 
 

@@ -65,6 +65,16 @@ class PStateTable:
         self._frequencies: tuple[float, ...] = tuple(freqs)
         self._voltage_cache: dict[float, float] = {}
 
+    def __eq__(self, other: object) -> bool:
+        # value equality so PlatformSpec (a frozen dataclass holding a
+        # table) compares by content; registry lookups rebuild specs
+        if not isinstance(other, PStateTable):
+            return NotImplemented
+        return self._pstates == other._pstates
+
+    def __hash__(self) -> int:
+        return hash(self._pstates)
+
     @classmethod
     def from_range(
         cls,

@@ -14,6 +14,18 @@
 Software never touches chip internals directly: frequency requests come
 in through MSR writes (:meth:`_on_perf_ctl_write`), exactly like a real
 userspace daemon driving ``/dev/cpu/*/msr``.
+
+Hot-path note: requests, parking, and load placement change at *daemon*
+cadence (roughly once a second) while the chip ticks at millisecond
+cadence, so the P-state validity check and the turbo-ceiling/AVX
+resolution are cached behind a dirty flag and only re-run when one of
+the chip's mutators (:meth:`set_requested_frequency`, :meth:`park`,
+:meth:`assign_load`) actually changed something, or when a load finished
+(which changes the active-core count and hence the turbo ceiling).
+Mutating ``chip.cores[i]`` directly bypasses the flag — always go
+through the chip's methods.  ``dirty_caching=False`` disables the cache
+and recomputes everything every tick (the equivalence tests' reference
+mode).
 """
 
 from __future__ import annotations
@@ -83,6 +95,12 @@ class Chip:
         self._aperf_cycles = [0.0] * n
         self._mperf_cycles = [0.0] * n
         self._instr_total = [0.0] * n
+        #: set False to re-resolve the P-state check and turbo ceiling
+        #: every tick (reference mode for the fast-path equivalence tests)
+        self.dirty_caching = True
+        self._dirty = True
+        self._base_effective_mhz = [0.0] * n
+        self._prev_sample_done = [False] * n
         self._register_msrs()
 
     # -- MSR surface ---------------------------------------------------------
@@ -133,7 +151,10 @@ class Chip:
         """Program a core's P-state request (must be on the DVFS grid)."""
         self.platform.validate_core(core_id)
         pstate = self.platform.pstates.pstate_for_frequency(frequency_mhz)
-        self.cores[core_id].requested_mhz = pstate.frequency_mhz
+        core = self.cores[core_id]
+        if core.requested_mhz != pstate.frequency_mhz:
+            core.requested_mhz = pstate.frequency_mhz
+            self._dirty = True
 
     def requested_frequency(self, core_id: int) -> float:
         self.platform.validate_core(core_id)
@@ -146,11 +167,15 @@ class Chip:
     def assign_load(self, core_id: int, load: CoreLoad) -> None:
         self.platform.validate_core(core_id)
         self.cores[core_id].assign(load)
+        self._dirty = True
 
     def park(self, core_id: int, parked: bool = True) -> None:
         """Force a core into (or out of) deep idle (C6)."""
         self.platform.validate_core(core_id)
-        self.cores[core_id].parked = parked
+        core = self.cores[core_id]
+        if core.parked != parked:
+            core.parked = parked
+            self._dirty = True
 
     def attach_cluster(self, cluster: WebsearchCluster) -> None:
         for core_id in cluster.core_ids:
@@ -186,41 +211,72 @@ class Chip:
                 f"({sorted(distinct)})"
             )
 
-    def tick(self) -> None:
-        """Advance the chip by one tick."""
-        dt = self.tick_s
+    def _refresh_pstate_view(self) -> None:
+        """Re-run the P-state validity check and turbo/AVX resolution.
+
+        The result — the pre-RAPL *base* effective frequency per core —
+        only changes when a request, a parking decision, a load
+        placement, or the active-core count changes, all of which mark
+        the chip dirty; between those events every tick reuses the
+        cached view (the RAPL cap moves every tick and is applied on
+        top, uncached).
+        """
         self._check_simultaneous_pstates()
         active_count = self.active_core_count()
         ceiling = self.turbo.ceiling_mhz(active_count)
-        # 1. resolve effective frequencies
+        avx_cap = self.platform.avx_max_frequency_mhz
+        base = self._base_effective_mhz
+        for core in self.cores:
+            if core.parked:
+                base[core.core_id] = 0.0
+                continue
+            eff = min(core.requested_mhz, ceiling)
+            if core.load.uses_avx:
+                eff = min(eff, avx_cap)
+            base[core.core_id] = eff
+        self._dirty = False
+
+    def tick(self) -> None:
+        """Advance the chip by one tick."""
+        dt = self.tick_s
+        if self._dirty or not self.dirty_caching:
+            self._refresh_pstate_view()
+        # 1. resolve effective frequencies (cached base + live RAPL cap)
+        base = self._base_effective_mhz
+        rapl = self.rapl
         for core in self.cores:
             if core.parked:
                 core.effective_mhz = 0.0
                 continue
-            eff = min(core.requested_mhz, ceiling)
-            if core.load.uses_avx:
-                eff = min(eff, self.platform.avx_max_frequency_mhz)
-            if self.rapl is not None:
-                eff = self.rapl.clip(eff)
+            eff = base[core.core_id]
+            if rapl is not None:
+                eff = rapl.clip(eff)
             core.effective_mhz = max(eff, 0.0)
         # 2. advance clusters with a consistent view of serving cores
-        freq_view = {
-            core.core_id: core.effective_mhz
-            for core in self.cores
-            if not core.parked
-        }
-        for cluster in self.clusters:
-            cluster.advance(dt, freq_view)
-        # 3. advance loads and compute power
+        if self.clusters:
+            freq_view = {
+                core.core_id: core.effective_mhz
+                for core in self.cores
+                if not core.parked
+            }
+            for cluster in self.clusters:
+                cluster.advance(dt, freq_view)
+        # 3. advance loads, compute power, accumulate counters
         core_powers: list[float] = []
+        aperf = self._aperf_cycles
+        mperf = self._mperf_cycles
+        instr = self._instr_total
+        prev_done = self._prev_sample_done
+        tsc_mhz = self._tsc_mhz
         for core in self.cores:
+            cpu = core.core_id
             if core.parked:
                 sample = IdleLoad().advance(dt, 0.0, self.time_s)
-                efficiency = self.cstates.observe(core.core_id, dt, 0.0, True)
+                efficiency = self.cstates.observe(cpu, dt, 0.0, True)
             else:
                 sample = core.load.advance(dt, core.effective_mhz, self.time_s)
                 efficiency = self.cstates.observe(
-                    core.core_id, dt, sample.busy_fraction, False
+                    cpu, dt, sample.busy_fraction, False
                 )
                 if efficiency < 1.0 and sample.instructions > 0:
                     sample = _scale_sample(sample, efficiency)
@@ -234,23 +290,24 @@ class Chip:
             )
             core.record(sample, power, dt)
             core_powers.append(power)
+            # free-running counters (published lazily by flush_counters)
+            busy = sample.busy_fraction
+            if busy > 0.0:
+                aperf[cpu] += core.effective_mhz * 1e6 * dt * busy
+                mperf[cpu] += tsc_mhz * 1e6 * dt * busy
+                instr[cpu] += sample.instructions
+            if sample.done != prev_done[cpu]:
+                # a load finishing (or restarting) changes the active
+                # count and hence the turbo ceiling next tick
+                prev_done[cpu] = sample.done
+                self._dirty = True
         pkg_power = package_power_watts(self.platform, core_powers)
         self.last_core_powers_w = core_powers
         self.last_package_power_w = pkg_power
         # 4. energy accounting + limiter feedback
         self.energy.accumulate(core_powers, pkg_power, dt)
-        if self.rapl is not None:
-            self.rapl.observe(pkg_power, dt)
-        # 5. accumulate free-running counters (published lazily)
-        for core in self.cores:
-            sample = core.last_sample
-            busy = sample.busy_fraction if sample else 0.0
-            if busy > 0.0:
-                cpu = core.core_id
-                self._aperf_cycles[cpu] += core.effective_mhz * 1e6 * dt * busy
-                self._mperf_cycles[cpu] += self._tsc_mhz * 1e6 * dt * busy
-                if sample is not None:
-                    self._instr_total[cpu] += sample.instructions
+        if rapl is not None:
+            rapl.observe(pkg_power, dt)
         self.time_s += dt
 
     def flush_counters(self) -> None:
@@ -292,13 +349,23 @@ class Chip:
                     self.energy.core_energy_uj(cpu),
                 )
 
+    def advance_ticks(self, n: int) -> None:
+        """Advance ``n`` ticks back-to-back *without* flushing counters.
+
+        This is the engine's batched fast path: one call covers the
+        whole gap to the next software deadline instead of one Python
+        dispatch round per tick.
+        """
+        if n < 0:
+            raise SimulationError("cannot run negative ticks")
+        tick = self.tick
+        for _ in range(n):
+            tick()
+
     def run_ticks(self, n: int) -> None:
         """Advance ``n`` ticks and flush counters (helper for tests;
         experiments use :class:`repro.sim.engine.SimEngine`)."""
-        if n < 0:
-            raise SimulationError("cannot run negative ticks")
-        for _ in range(n):
-            self.tick()
+        self.advance_ticks(n)
         self.flush_counters()
 
 

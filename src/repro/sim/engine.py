@@ -15,6 +15,20 @@ injector (:mod:`repro.faults.ticks`) uses this to model a daemon that
 oversleeps or gets preempted past its deadline.  One-shot events
 (:meth:`SimEngine.at`) model externally-timed happenings such as an
 application crashing mid-run.
+
+The tick loop has two execution paths with identical semantics:
+
+* **batched fast path** (default): compute the next pending deadline
+  across all periodic and one-shot callbacks and let the chip advance
+  the whole gap in one :meth:`~repro.sim.chip.Chip.advance_ticks` call,
+  skipping the per-tick callback scan entirely;
+* **per-tick slow path**: the original tick-by-tick dispatch.
+
+Any registered *gate* forces the slow path: gates must be consulted at
+every deadline with the fault stream drawn in per-deadline order, so
+fault-injected runs keep PR 1's chaos semantics bit-identical.  Setting
+``engine.batching = False`` also forces the slow path (the equivalence
+tests' reference mode).
 """
 
 from __future__ import annotations
@@ -55,6 +69,10 @@ class SimEngine:
         self._periodics: list[_Periodic] = []
         self._oneshots: list[_OneShot] = []
         self._ticks_run = 0
+        #: set False to force the per-tick slow path (reference mode).
+        self.batching = True
+        #: number of batched chip advances taken (observability/tests).
+        self.batched_segments = 0
 
     @property
     def time_s(self) -> float:
@@ -122,51 +140,88 @@ class SimEngine:
             raise SimulationError("gate returned a negative deferral")
         return max(1, int(round(delay_s / self.chip.tick_s)))
 
+    def _process_due_callbacks(self) -> None:
+        """Fire every periodic/one-shot due at the current tick count."""
+        flushed = False
+        for periodic in self._periodics:
+            if self._ticks_run < periodic.next_due:
+                continue
+            verdict: GateResult = "fire"
+            if periodic.gate is not None:
+                verdict = periodic.gate(self.chip.time_s)
+            if verdict == "drop":
+                # missed deadline: the wakeup never happens and the
+                # next one is a full period out
+                periodic.next_due = (
+                    self._ticks_run + periodic.period_ticks
+                )
+                continue
+            if isinstance(verdict, (int, float)) and not isinstance(
+                verdict, bool
+            ):
+                # jitter: the wakeup slips by the returned seconds
+                periodic.next_due = (
+                    self._ticks_run + self._delay_ticks(float(verdict))
+                )
+                continue
+            if not flushed:
+                # counters are published lazily; latch them so
+                # software callbacks read fresh values
+                self.chip.flush_counters()
+                flushed = True
+            periodic.callback(self.chip.time_s)
+            periodic.next_due = self._ticks_run + periodic.period_ticks
+        any_fired = False
+        for oneshot in self._oneshots:
+            if oneshot.fired or self._ticks_run < oneshot.due_tick:
+                continue
+            if not flushed:
+                self.chip.flush_counters()
+                flushed = True
+            oneshot.callback(self.chip.time_s)
+            oneshot.fired = True
+            any_fired = True
+        if any_fired:
+            self._oneshots = [
+                o for o in self._oneshots if not o.fired
+            ]
+
+    def _gap_to_next_deadline(self, remaining: int) -> int:
+        """Ticks until the earliest pending deadline, capped and >= 1."""
+        gap: int | None = None
+        now = self._ticks_run
+        for periodic in self._periodics:
+            delta = periodic.next_due - now
+            if gap is None or delta < gap:
+                gap = delta
+        for oneshot in self._oneshots:
+            if oneshot.fired:
+                continue
+            delta = oneshot.due_tick - now
+            if gap is None or delta < gap:
+                gap = delta
+        if gap is None:
+            return remaining
+        return max(1, min(remaining, gap))
+
     def run_ticks(self, n_ticks: int) -> None:
-        for _ in range(n_ticks):
-            self.chip.tick()
-            self._ticks_run += 1
-            flushed = False
-            for periodic in self._periodics:
-                if self._ticks_run < periodic.next_due:
-                    continue
-                verdict: GateResult = "fire"
-                if periodic.gate is not None:
-                    verdict = periodic.gate(self.chip.time_s)
-                if verdict == "drop":
-                    # missed deadline: the wakeup never happens and the
-                    # next one is a full period out
-                    periodic.next_due = (
-                        self._ticks_run + periodic.period_ticks
-                    )
-                    continue
-                if isinstance(verdict, (int, float)) and not isinstance(
-                    verdict, bool
-                ):
-                    # jitter: the wakeup slips by the returned seconds
-                    periodic.next_due = (
-                        self._ticks_run + self._delay_ticks(float(verdict))
-                    )
-                    continue
-                if not flushed:
-                    # counters are published lazily; latch them so
-                    # software callbacks read fresh values
-                    self.chip.flush_counters()
-                    flushed = True
-                periodic.callback(self.chip.time_s)
-                periodic.next_due = self._ticks_run + periodic.period_ticks
-            for oneshot in self._oneshots:
-                if oneshot.fired or self._ticks_run < oneshot.due_tick:
-                    continue
-                if not flushed:
-                    self.chip.flush_counters()
-                    flushed = True
-                oneshot.callback(self.chip.time_s)
-                oneshot.fired = True
-            if any(o.fired for o in self._oneshots):
-                self._oneshots = [
-                    o for o in self._oneshots if not o.fired
-                ]
+        remaining = n_ticks
+        while remaining > 0:
+            if not self.batching or any(
+                p.gate is not None for p in self._periodics
+            ):
+                # slow path: gates draw from a seeded fault stream at
+                # every deadline, so chaos runs stay bit-identical
+                self.chip.tick()
+                self._ticks_run += 1
+                remaining -= 1
+            else:
+                gap = self._gap_to_next_deadline(remaining)
+                self.chip.advance_ticks(gap)
+                self._ticks_run += gap
+                remaining -= gap
+                self.batched_segments += 1
+            self._process_due_callbacks()
         self.chip.flush_counters()
 
     def run_until(

@@ -15,15 +15,26 @@ def pytest_addoption(parser):
         default=False,
         help="run the long chaos/soak tests (tier-1 skips them)",
     )
+    parser.addoption(
+        "--bench",
+        action="store_true",
+        default=False,
+        help="run the performance measurements (tier-1 skips them)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--soak"):
-        return
-    skip_soak = pytest.mark.skip(reason="soak run: pass --soak to enable")
+    gates = []
+    if not config.getoption("--soak"):
+        gates.append(("soak", pytest.mark.skip(
+            reason="soak run: pass --soak to enable")))
+    if not config.getoption("--bench"):
+        gates.append(("bench", pytest.mark.skip(
+            reason="perf measurement: pass --bench to enable")))
     for item in items:
-        if "soak" in item.keywords:
-            item.add_marker(skip_soak)
+        for keyword, marker in gates:
+            if keyword in item.keywords:
+                item.add_marker(marker)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,52 @@
+"""Performance measurements (``--bench`` only; tier-1 skips these).
+
+These are measurements, not assertions about absolute speed — they keep
+``scripts/bench.py`` importable/runnable and sanity-check its output
+schema so the chaos-smoke regression gate cannot rot.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import bench as module
+        yield module
+    finally:
+        sys.path.remove(str(SCRIPTS))
+
+
+@pytest.mark.bench
+def test_ticks_per_sec_measures(bench):
+    rate = bench.measure_ticks_per_sec(sim_seconds=2.0)
+    assert rate > 0
+
+
+@pytest.mark.bench
+def test_writes_baseline_schema(bench, tmp_path, capsys):
+    out = tmp_path / "BENCH_sim.json"
+    assert bench.main(["--skip-report", "--output", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert set(data) == {"ticks_per_sec", "report_quick_s", "git"}
+    assert data["ticks_per_sec"] > 0
+
+
+@pytest.mark.bench
+def test_check_passes_against_fresh_baseline(bench, monkeypatch, tmp_path):
+    out = tmp_path / "BENCH_sim.json"
+    assert bench.main(["--skip-report", "--output", str(out)]) == 0
+    monkeypatch.setattr(bench, "BASELINE_PATH", out)
+    assert bench.check_regression(out) == 0
+
+
+@pytest.mark.bench
+def test_check_fails_without_baseline(bench, tmp_path):
+    assert bench.check_regression(tmp_path / "missing.json") == 2

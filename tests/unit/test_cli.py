@@ -68,3 +68,36 @@ class TestCommands:
             "run", "--apps", "doom", "--duration", "6",
         ])
         assert code == 1
+
+    def test_list_includes_sweep(self, capsys):
+        assert main(["list"]) == 0
+        assert "sweep" in capsys.readouterr().out
+
+    def test_sweep_quick(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        code = main(["sweep", "--seeds", "1", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Random sweep" in out
+        assert "1 stored" in out
+        # second invocation is served from the cache
+        assert main(["sweep", "--seeds", "1", "--quick"]) == 0
+        assert "1 hit" in capsys.readouterr().out
+
+    def test_sweep_no_cache(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["sweep", "--seeds", "1", "--quick", "--no-cache"])
+        assert code == 0
+        assert "cache" not in capsys.readouterr().out
+        assert not list(tmp_path.rglob("*.json"))
+
+    def test_report_accepts_jobs_and_no_cache(self):
+        # parse-only: a full report is minutes of work
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["report", "--quick", "--jobs", "4", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True

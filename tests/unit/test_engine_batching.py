@@ -1,0 +1,91 @@
+"""Tests for the engine's batched fast path.
+
+The batched path must be an invisible optimisation: callbacks fire at
+the same simulated times with the same chip state as the per-tick slow
+path, and anything that could observe per-tick ordering (a fault gate)
+must force the slow path.
+"""
+
+import pytest
+
+from repro.sim.chip import Chip
+from repro.sim.engine import SimEngine
+
+
+def make_engine(skylake, *, batching=True):
+    engine = SimEngine(Chip(skylake))
+    engine.batching = batching
+    return engine
+
+
+class TestBatchingEquivalence:
+    def test_callback_times_match_slow_path(self, skylake):
+        traces = []
+        for batching in (True, False):
+            engine = make_engine(skylake, batching=batching)
+            calls = []
+            engine.every(0.01, calls.append)
+            engine.every(0.025, calls.append)
+            engine.run(0.2)
+            traces.append(calls)
+        assert traces[0] == traces[1]
+
+    def test_oneshot_fires_once_at_its_tick(self, skylake):
+        engine = make_engine(skylake)
+        calls = []
+        engine.at(0.037, calls.append)
+        engine.run(0.1)
+        assert calls == pytest.approx([0.037])
+        assert engine.batched_segments > 0
+
+    def test_chip_state_matches_slow_path(self, skylake):
+        chips = []
+        for batching in (True, False):
+            engine = make_engine(skylake, batching=batching)
+            # a callback that mutates the chip, like the daemon does
+            freqs = skylake.pstates.frequencies_mhz
+
+            def retune(now, chip=engine.chip):
+                index = int(now * 100) % len(freqs)
+                chip.set_requested_frequency(0, freqs[index])
+                chip.park(1, int(now * 100) % 2 == 0)
+
+            engine.every(0.01, retune)
+            engine.run(0.3)
+            chips.append(engine.chip)
+        fast, slow = chips
+        assert fast.time_s == slow.time_s
+        assert [c.effective_mhz for c in fast.cores] == [
+            c.effective_mhz for c in slow.cores
+        ]
+        assert (
+            fast.energy.package_energy_uj == slow.energy.package_energy_uj
+        )
+
+    def test_callbackless_run_is_one_segment(self, skylake):
+        engine = make_engine(skylake)
+        engine.run_ticks(500)
+        assert engine.batched_segments == 1
+
+
+class TestSlowPathForcing:
+    def test_batching_false_never_batches(self, skylake):
+        engine = make_engine(skylake, batching=False)
+        engine.every(0.05, lambda now: None)
+        engine.run(0.2)
+        assert engine.batched_segments == 0
+
+    def test_gate_forces_slow_path(self, skylake):
+        engine = make_engine(skylake)
+        fired = []
+        engine.every(0.05, fired.append, gate=lambda now: "fire")
+        engine.run(0.2)
+        assert engine.batched_segments == 0
+        assert len(fired) == 4
+
+    def test_ungated_engine_batches(self, skylake):
+        engine = make_engine(skylake)
+        engine.every(0.05, lambda now: None)
+        engine.run(0.2)
+        # one segment per 0.05 s deadline at a 1 ms tick
+        assert engine.batched_segments == 4
