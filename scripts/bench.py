@@ -8,15 +8,19 @@ Measures two numbers that bound every workflow in this repo:
   on the 10-core Skylake, daemon attached), averaged over both
   policies.  This is the hot path :mod:`repro.sim.chip` /
   :mod:`repro.sim.engine` optimise.
+* **cluster_ticks_per_sec** — aggregate node-ticks per wall second of
+  the canonical four-node cluster under the arbiter's epoch loop
+  (:mod:`repro.cluster`), serial stepping.  Guards the cluster path's
+  per-epoch node rebuild/condense overhead.
 * **report_quick_s** — wall time of ``generate_report(quick=True)``
   with a cold cache and one worker: the end-to-end cost of the thing a
   user actually runs.
 
 ``python scripts/bench.py`` writes the committed baseline
-``BENCH_sim.json``; ``--check`` re-measures ticks/sec only and exits
-nonzero when it regresses more than 30 % against that baseline (the
-chaos-smoke CI path runs this).  ``--skip-report`` skips the slow
-report measurement and carries the previous value forward.
+``BENCH_sim.json``; ``--check`` re-measures the two ticks/sec metrics
+and exits nonzero when either regresses more than 30 % against that
+baseline (the chaos-smoke CI path runs this).  ``--skip-report`` skips
+the slow report measurement and carries the previous value forward.
 """
 
 from __future__ import annotations
@@ -40,6 +44,10 @@ REGRESSION_TOLERANCE = 0.30
 #: simulated seconds per policy for the ticks/sec measurement.
 SIM_SECONDS = 20.0
 TICK_S = 5e-3
+
+#: simulated seconds for the cluster measurement (two arbiter epochs
+#: at the default 10 s epoch).
+CLUSTER_SIM_SECONDS = 20.0
 
 
 def _bench_config(policy: str) -> ExperimentConfig:
@@ -75,6 +83,24 @@ def measure_ticks_per_sec(
     return sum(rates) / len(rates)
 
 
+def measure_cluster_ticks_per_sec(
+    sim_seconds: float = CLUSTER_SIM_SECONDS,
+) -> float:
+    """Aggregate node-ticks/sec of the canonical 4-node cluster.
+
+    Serial stepping so the number measures per-node simulation plus
+    arbiter/condense overhead, not fork fan-out.
+    """
+    from repro.cluster import run_cluster
+    from repro.experiments.cluster_exp import default_cluster_config
+
+    config = default_cluster_config()
+    node_ticks = len(config.nodes) * int(round(sim_seconds / config.tick_s))
+    start = time.perf_counter()
+    run_cluster(config, sim_seconds, jobs=1)
+    return node_ticks / (time.perf_counter() - start)
+
+
 def measure_report_quick_s() -> float:
     """Wall time of a quick report, cold cache, one worker."""
     from repro.experiments.full_report import generate_report
@@ -99,21 +125,32 @@ def git_revision() -> str:
 
 
 def check_regression(baseline_path: Path = BASELINE_PATH) -> int:
-    """Exit code 0 when ticks/sec is within tolerance of the baseline."""
+    """Exit code 0 when both ticks/sec metrics are within tolerance."""
     try:
         baseline = json.loads(baseline_path.read_text())
-        baseline_rate = float(baseline["ticks_per_sec"])
+        baselines = {
+            "ticks/sec": float(baseline["ticks_per_sec"]),
+            "cluster ticks/sec": float(baseline["cluster_ticks_per_sec"]),
+        }
     except (OSError, KeyError, ValueError, TypeError) as exc:
         print(f"bench: no usable baseline at {baseline_path}: {exc}",
               file=sys.stderr)
         return 2
-    rate = measure_ticks_per_sec()
-    floor = baseline_rate * (1.0 - REGRESSION_TOLERANCE)
-    status = "ok" if rate >= floor else "FAIL"
-    print(f"[{status}] ticks/sec {rate:,.0f} vs baseline "
-          f"{baseline_rate:,.0f} (floor {floor:,.0f}, "
-          f"git {baseline.get('git', '?')})")
-    return 0 if rate >= floor else 1
+    measured = {
+        "ticks/sec": measure_ticks_per_sec(),
+        "cluster ticks/sec": measure_cluster_ticks_per_sec(),
+    }
+    rc = 0
+    for name, baseline_rate in baselines.items():
+        rate = measured[name]
+        floor = baseline_rate * (1.0 - REGRESSION_TOLERANCE)
+        status = "ok" if rate >= floor else "FAIL"
+        print(f"[{status}] {name} {rate:,.0f} vs baseline "
+              f"{baseline_rate:,.0f} (floor {floor:,.0f}, "
+              f"git {baseline.get('git', '?')})")
+        if rate < floor:
+            rc = 1
+    return rc
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -133,10 +170,12 @@ def main(argv: list[str] | None = None) -> int:
 
     result = {
         "ticks_per_sec": round(measure_ticks_per_sec(), 1),
+        "cluster_ticks_per_sec": round(measure_cluster_ticks_per_sec(), 1),
         "report_quick_s": None,
         "git": git_revision(),
     }
     print(f"ticks/sec: {result['ticks_per_sec']:,.0f}")
+    print(f"cluster ticks/sec: {result['cluster_ticks_per_sec']:,.0f}")
     if args.skip_report:
         try:
             previous = json.loads(args.output.read_text())

@@ -12,8 +12,13 @@ truth* power (not the daemon's possibly-lying telemetry):
 
 Exits nonzero on any violation.  Intended for CI::
 
-    PYTHONPATH=src python scripts/chaos_smoke.py
+    PYTHONPATH=src python scripts/chaos_smoke.py --check
     PYTHONPATH=src python scripts/chaos_smoke.py --duration 600 --seed 11
+
+``--check`` is the CI gate: storm invariants plus the committed
+``BENCH_sim.json`` throughput floors (single-socket *and* cluster
+ticks/sec, via ``bench.check_regression``).  Without it the bench gate
+still runs by default; ``--skip-bench`` drops it for quick local runs.
 """
 
 from __future__ import annotations
@@ -97,7 +102,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scenario", default="full-storm")
     parser.add_argument("--skip-bench", action="store_true",
                         help="skip the ticks/sec regression check")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: enforce every gate, including the "
+                             "bench throughput floors (single-socket and "
+                             "cluster ticks/sec)")
     args = parser.parse_args(argv)
+    if args.check and args.skip_bench:
+        parser.error("--check enforces the bench gate; drop --skip-bench")
     rc = 0
     for platform, limit_w in PLATFORM_LIMITS.items():
         try:

@@ -214,6 +214,64 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    from repro.cluster import ClusterConfig, NodeSpec
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.cluster_exp import run_cluster_experiment
+
+    if args.shares:
+        shares = [float(part) for part in args.shares.split(",")]
+    else:
+        shares = [2.0 if i < args.nodes // 2 else 1.0
+                  for i in range(args.nodes)]
+    apps = _parse_apps(args.apps)
+    nodes = []
+    for i, node_shares in enumerate(shares):
+        name = f"node{i}"
+        crash = (
+            args.crash_at
+            if args.crash_node is not None and args.crash_node == i
+            else None
+        )
+        nodes.append(NodeSpec(
+            name=name,
+            apps=apps,
+            platform=args.platform,
+            policy=args.policy,
+            shares=node_shares,
+            crashes_at_s=crash,
+            faults=args.faults,
+        ))
+    config = ClusterConfig(
+        budget_w=args.budget,
+        nodes=tuple(nodes),
+        epoch_ticks=args.epoch_ticks,
+        seed=args.seed,
+    )
+    cache = ResultCache.from_env(enabled=not args.no_cache)
+    result = run_cluster_experiment(
+        config,
+        duration_s=args.duration,
+        warmup_s=min(args.duration / 3, 40.0),
+        jobs=args.jobs,
+        cache=cache,
+    )
+    print(render_table(result.to_rows(), title=(
+        f"Cluster — {len(nodes)} nodes, {args.policy} @ "
+        f"{args.budget:.0f} W facility budget, "
+        f"epoch {args.epoch_ticks} ticks"
+    )))
+    print(f"mean cluster power {result.mean_total_power_w:.1f} W; "
+          f"max cap sum {result.max_cap_sum_w:.1f} W of "
+          f"{args.budget:.0f} W budget; "
+          f"cap violations {result.cap_violations}")
+    if cache is not None:
+        print(f"cache: {cache.stats.hits} hits, "
+              f"{cache.stats.misses} misses, "
+              f"{cache.stats.stores} stored")
+    return 0
+
+
 def _cmd_gaming(args) -> int:
     from repro.experiments.gaming_exp import run_gaming_experiment
 
@@ -405,6 +463,54 @@ def build_parser() -> argparse.ArgumentParser:
                 "--no-cache", action="store_true",
                 help="bypass the on-disk result cache",
             )
+    cluster = sub.add_parser(
+        "cluster",
+        help="N simulated nodes under one facility budget "
+             "(hierarchical arbitration)",
+    )
+    cluster.add_argument("--nodes", type=int, default=4, metavar="N",
+                         help="number of nodes (default 4)")
+    cluster.add_argument("--budget", type=float, default=150.0,
+                         help="facility power budget, watts")
+    cluster.add_argument(
+        "--shares", default=None, metavar="S0,S1,...",
+        help="per-node shares (overrides --nodes; default 2:...:1:...)",
+    )
+    cluster.add_argument("--platform", default="skylake")
+    cluster.add_argument("--policy", default="frequency-shares")
+    cluster.add_argument(
+        "--apps",
+        default="leela:50,cactusBSSN:50,leela:50,cactusBSSN:50,"
+                "leela:50,cactusBSSN:50",
+        help="per-node app list, name[:shares[:high|low]] comma list",
+    )
+    cluster.add_argument("--epoch-ticks", type=int, default=10,
+                         help="daemon iterations per arbitration epoch")
+    cluster.add_argument("--duration", type=float, default=120.0,
+                         help="simulated seconds")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--crash-node", type=int, default=None, metavar="I",
+        help="index of a node to crash mid-run",
+    )
+    cluster.add_argument(
+        "--crash-at", type=float, default=60.0, metavar="T",
+        help="cluster time of the crash (with --crash-node)",
+    )
+    cluster.add_argument(
+        "--faults", default=None, metavar="SCENARIO",
+        help="inject a named fault scenario into every node's daemon "
+             "(per-node schedules derive from --seed)",
+    )
+    cluster.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="step nodes across N worker processes (byte-identical "
+             "to serial)",
+    )
+    cluster.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache",
+    )
     sweep = sub.add_parser(
         "sweep", help="seeded random-mix sweep (generalized Fig 11)"
     )
@@ -455,7 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        for name in sorted(_COMMANDS) + ["run", "sweep", "watch"]:
+        for name in sorted(_COMMANDS) + ["cluster", "run", "sweep", "watch"]:
             print(name)
         return 0
     if args.command == "faults":
@@ -484,6 +590,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_watch(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

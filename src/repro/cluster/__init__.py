@@ -1,0 +1,55 @@
+"""Cluster power arbitration: hierarchical budgets across many nodes.
+
+The paper delivers per-application power on one socket; this package
+generalizes its min-funding redistribution one level up.  N simulated
+nodes — each a full :func:`repro.config.build_stack` stack with its own
+hardened :class:`~repro.core.daemon.PowerDaemon` — run under a
+:class:`~repro.cluster.arbiter.ClusterArbiter` that owns a facility
+watt budget and, on a slower epoch loop, re-splits per-node power caps
+from a two-level shares tree driven by each node's demand signals
+(throttle pressure, headroom, parked/quarantined cores).
+
+* :mod:`repro.cluster.config`  — declarative fleet description,
+* :mod:`repro.cluster.node`    — one node stepped in epochs,
+* :mod:`repro.cluster.arbiter` — the epoch redistribution,
+* :mod:`repro.cluster.stepper` — serial / fork-parallel node stepping,
+* :mod:`repro.cluster.trace`   — per-node + global telemetry roll-up,
+* :mod:`repro.cluster.runtime` — the epoch loop tying it together.
+"""
+
+from repro.cluster.arbiter import Arbitration, ClusterArbiter, DEMAND_SLACK
+from repro.cluster.config import (
+    ClusterConfig,
+    GroupSpec,
+    NodeSpec,
+    cluster_config_from_jsonable,
+    cluster_config_to_jsonable,
+)
+from repro.cluster.node import ClusterNode, NodeEpochReport
+from repro.cluster.runtime import ClusterRun, ClusterSim, run_cluster
+from repro.cluster.stepper import (
+    ParallelNodeStepper,
+    SerialNodeStepper,
+    make_stepper,
+)
+from repro.cluster.trace import ClusterTrace
+
+__all__ = [
+    "Arbitration",
+    "ClusterArbiter",
+    "ClusterConfig",
+    "ClusterNode",
+    "ClusterRun",
+    "ClusterSim",
+    "ClusterTrace",
+    "DEMAND_SLACK",
+    "GroupSpec",
+    "NodeEpochReport",
+    "NodeSpec",
+    "ParallelNodeStepper",
+    "SerialNodeStepper",
+    "cluster_config_from_jsonable",
+    "cluster_config_to_jsonable",
+    "make_stepper",
+    "run_cluster",
+]

@@ -1,0 +1,218 @@
+"""Cluster-level power arbitration: min-funding one level up.
+
+The paper's daemon spreads one socket's watts across applications with
+min-funding revocation; :class:`ClusterArbiter` applies the same
+primitive one level up, spreading a facility budget across node caps
+through a two-level shares tree (groups, then nodes — see
+:mod:`repro.cluster.config`).  Each node's ``PowerDaemon`` is a leaf:
+the cap the arbiter grants becomes the ``limit_w`` that daemon enforces
+locally, so the hierarchy composes without any node-level changes.
+
+Per epoch the arbiter turns each node's :class:`~repro.cluster.node.
+NodeEpochReport` into a :class:`~repro.core.minfund.Claim`:
+
+* ``lo`` is the node's configured cap floor (nodes are floored, never
+  starved — the paper's no-starvation rule, one level up);
+* ``hi`` is the node's *demand ceiling*: measured power, pulled toward
+  the node's cap maximum by its throttle pressure (a throttled node
+  would convert more watts into work), scaled down by the fraction of
+  its cores that are quarantined (capacity it cannot spend), and padded
+  with slack so a node capped low can still climb;
+* ``shares`` come from the config.
+
+:func:`~repro.core.minfund.refill_pool` then water-fills the budget:
+group shares split the facility budget into group pools, node shares
+split each pool into caps.  Saturated nodes (at ``hi``) release budget
+to the others and the fill re-runs — exactly the revocation cascade the
+paper runs over apps.
+
+**Invariant** (checked, and exactly enforced by a deterministic trim of
+the bisection residue): the caps granted to live nodes always sum to at
+most the facility budget.  Crashed nodes keep their cap until the epoch
+boundary where their report goes missing — the realistic detection lag —
+but a dead node draws nothing, so the physical envelope holds through
+the lag too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.config import ClusterConfig, NodeSpec
+from repro.cluster.node import NodeEpochReport
+from repro.core.minfund import Claim, refill_pool
+from repro.errors import ConfigError
+
+#: multiplicative slack on a node's demand ceiling: lets an unthrottled
+#: node's claim grow past what it measured, so caps can climb back after
+#: a quiet spell instead of ratcheting down.
+DEMAND_SLACK = 1.25
+
+#: numeric tolerance on the cap-sum invariant before trimming.
+_SUM_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Arbitration:
+    """One epoch's grant: per-node caps plus bookkeeping."""
+
+    epoch: int
+    caps_w: dict[str, float]
+    group_pools_w: dict[str, float]
+
+    @property
+    def total_w(self) -> float:
+        return sum(self.caps_w.values())
+
+
+class ClusterArbiter:
+    """Owns the facility budget and the node membership set."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.budget_w = config.budget_w
+        #: names of nodes currently granted caps.
+        self._members: set[str] = set()
+        #: the caps of the last arbitration round.
+        self._caps: dict[str, float] = {}
+        #: last usable demand report per node (held over when a tick
+        #: storm produces an empty epoch).
+        self._last_report: dict[str, NodeEpochReport] = {}
+
+    # -- membership --------------------------------------------------------------
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(sorted(self._members))
+
+    def caps(self) -> dict[str, float]:
+        return dict(self._caps)
+
+    def admit(self, names: list[str]) -> None:
+        """Add joining nodes to the membership set."""
+        for name in names:
+            self.config.node(name)  # validates the name
+            self._members.add(name)
+
+    def retire(self, names: list[str]) -> None:
+        """Remove announced leavers / detected crashers."""
+        for name in names:
+            self._members.discard(name)
+            self._caps.pop(name, None)
+            self._last_report.pop(name, None)
+
+    # -- the epoch redistribution ------------------------------------------------
+
+    def rebalance(
+        self, epoch: int, reports: dict[str, NodeEpochReport]
+    ) -> Arbitration:
+        """Grant next-epoch caps from this epoch's demand reports.
+
+        ``reports`` covers the nodes that stepped the finished epoch;
+        crashed reporters are retired before their demand is considered.
+        Members without a report this round (a just-admitted node, or a
+        tick-stormed epoch) fall back to their last known demand or, if
+        none exists, to an unconstrained claim — a new node gets to bid
+        for its full share immediately.
+        """
+        crashed = [r.name for r in reports.values() if r.crashed]
+        self.retire(crashed)
+        for name, report in reports.items():
+            if name in self._members and report.samples > 0:
+                self._last_report[name] = report
+        if not self._members:
+            self._caps = {}
+            return Arbitration(epoch, {}, {})
+
+        claims_by_group: dict[str, list[Claim]] = {}
+        for name in sorted(self._members):
+            spec = self.config.node(name)
+            claim = self._claim(spec, self._last_report.get(name))
+            group = self.config.group_of(spec)
+            claims_by_group.setdefault(group, []).append(claim)
+
+        group_pools = self._split_groups(claims_by_group)
+        caps: dict[str, float] = {}
+        for group, claims in claims_by_group.items():
+            caps.update(refill_pool(group_pools[group], claims))
+        self._trim(caps)
+        self._caps = caps
+        return Arbitration(epoch, dict(caps), group_pools)
+
+    def _claim(
+        self, spec: NodeSpec, report: NodeEpochReport | None
+    ) -> Claim:
+        lo = spec.min_cap_w
+        hi_cap = spec.resolved_max_cap_w()
+        if report is None:
+            # no demand history: an unconstrained bid, bounded only by
+            # the node's configured cap range
+            hi = hi_cap
+        else:
+            wants = report.mean_power_w + report.throttle_pressure * max(
+                hi_cap - report.mean_power_w, 0.0
+            )
+            n_apps = len(spec.apps)
+            healthy = max(n_apps - report.quarantined_cores, 0) / n_apps
+            hi = min(wants * DEMAND_SLACK * healthy, hi_cap)
+        hi = max(hi, lo)
+        current = self._caps.get(spec.name, lo)
+        return Claim(
+            label=spec.name,
+            shares=spec.shares,
+            current=min(max(current, lo), hi),
+            lo=lo,
+            hi=hi,
+        )
+
+    def _split_groups(
+        self, claims_by_group: dict[str, list[Claim]]
+    ) -> dict[str, float]:
+        """Split the facility budget across groups by group shares.
+
+        A group's claim aggregates its members: floor = sum of member
+        floors, ceiling = sum of member demand ceilings.  With one
+        group the split is the whole budget and the tree is flat.
+        """
+        shares = self.config.group_shares()
+        group_claims = [
+            Claim(
+                label=group,
+                shares=shares[group],
+                current=sum(c.current for c in claims),
+                lo=sum(c.lo for c in claims),
+                hi=sum(c.hi for c in claims),
+            )
+            for group, claims in sorted(claims_by_group.items())
+        ]
+        return refill_pool(self.budget_w, group_claims)
+
+    def _trim(self, caps: dict[str, float]) -> None:
+        """Shave the water-filling bisection residue so the cap sum is
+        *exactly* at or under budget, largest caps first (never below a
+        node's floor)."""
+        excess = sum(caps.values()) - self.budget_w
+        if excess <= _SUM_TOLERANCE:
+            return
+        for name in sorted(caps, key=lambda n: (-caps[n], n)):
+            floor = self.config.node(name).min_cap_w
+            give = min(excess, caps[name] - floor)
+            if give > 0:
+                caps[name] -= give
+                excess -= give
+            if excess <= 0:
+                return
+        if excess > _SUM_TOLERANCE:  # pragma: no cover - config validation
+            raise ConfigError(
+                "cap floors exceed the cluster budget; config validation "
+                "should have rejected this"
+            )
+
+    def check_invariant(self) -> None:
+        """Raise unless live caps sum to at most the budget."""
+        total = sum(self._caps.values())
+        if total > self.budget_w + _SUM_TOLERANCE:
+            raise ConfigError(
+                f"cap invariant violated: {total:.6f} W granted against "
+                f"a {self.budget_w:.6f} W budget"
+            )

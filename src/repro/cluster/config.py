@@ -1,0 +1,242 @@
+"""Declarative cluster configuration.
+
+A :class:`ClusterConfig` describes a fleet of simulated nodes — each one
+a full single-socket stack (chip + engine + policy + ``PowerDaemon``)
+exactly as :func:`repro.config.build_stack` builds it — plus the global
+facility budget the :class:`~repro.cluster.arbiter.ClusterArbiter`
+spreads across them.
+
+The shares tree is two-level: the budget splits across *groups* by group
+shares, then within each group across *nodes* by node shares, both with
+the same min-funding primitive the paper uses inside one socket.  When
+no groups are declared every node lives in one implicit root group and
+the tree degenerates to the flat case.
+
+Node lifecycle is part of the config so runs replay deterministically:
+``joins_at_s`` admits a node mid-run, ``leaves_at_s`` is an announced
+departure (the arbiter reclaims its cap at the same epoch boundary), and
+``crashes_at_s`` is an unannounced death the arbiter only notices when
+the node's epoch report stops arriving.  Per-node fault scenarios reuse
+:data:`repro.faults.SCENARIOS` unchanged — cluster chaos is node chaos,
+replicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.config import AppSpec, POLICY_REGISTRY
+from repro.core.types import Priority
+from repro.errors import ConfigError
+from repro.faults import get_scenario
+from repro.hw.platform import get_platform
+
+#: root group used when the config declares no explicit groups.
+ROOT_GROUP = ""
+
+#: default lowest cap the arbiter may squeeze a node down to, watts.
+#: Roughly uncore draw plus a floored core or two: a live node can never
+#: usefully run below it, and the paper's no-starvation rule holds one
+#: level up — member nodes are floored, not revoked to zero.
+DEFAULT_MIN_CAP_W = 15.0
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One interior vertex of the shares tree."""
+
+    name: str
+    shares: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("group needs a non-empty name")
+        if self.shares <= 0:
+            raise ConfigError(f"group {self.name}: shares must be positive")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node (socket + daemon) in the cluster."""
+
+    name: str
+    apps: tuple[AppSpec, ...]
+    platform: str = "skylake"
+    policy: str = "frequency-shares"
+    shares: float = 1.0
+    group: str = ROOT_GROUP
+    #: cap bounds the arbiter honours for this node; ``max_cap_w=None``
+    #: defaults to the platform TDP.
+    min_cap_w: float = DEFAULT_MIN_CAP_W
+    max_cap_w: float | None = None
+    #: lifecycle (cluster time, seconds); see module docstring.
+    joins_at_s: float = 0.0
+    leaves_at_s: float | None = None
+    crashes_at_s: float | None = None
+    #: named fault scenario injected into *this node's* daemon.
+    faults: str | None = None
+    #: explicit fault seed; None derives one from the cluster seed and
+    #: the node's position, so every node draws a distinct schedule.
+    fault_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("node needs a non-empty name")
+        if not self.apps:
+            raise ConfigError(f"node {self.name}: needs at least one app")
+        if self.policy not in POLICY_REGISTRY:
+            known = ", ".join(sorted(POLICY_REGISTRY))
+            raise ConfigError(
+                f"node {self.name}: unknown policy {self.policy!r}; "
+                f"known: {known}"
+            )
+        if self.shares <= 0:
+            raise ConfigError(f"node {self.name}: shares must be positive")
+        if self.min_cap_w <= 0:
+            raise ConfigError(
+                f"node {self.name}: min_cap_w must be positive"
+            )
+        if self.max_cap_w is not None and self.max_cap_w < self.min_cap_w:
+            raise ConfigError(
+                f"node {self.name}: max_cap_w {self.max_cap_w} below "
+                f"min_cap_w {self.min_cap_w}"
+            )
+        if self.joins_at_s < 0:
+            raise ConfigError(f"node {self.name}: joins_at_s is negative")
+        for attr in ("leaves_at_s", "crashes_at_s"):
+            when = getattr(self, attr)
+            if when is not None and when <= self.joins_at_s:
+                raise ConfigError(
+                    f"node {self.name}: {attr}={when} is not after "
+                    f"joins_at_s={self.joins_at_s}"
+                )
+        if self.leaves_at_s is not None and self.crashes_at_s is not None:
+            raise ConfigError(
+                f"node {self.name}: cannot both leave and crash"
+            )
+        if self.faults is not None:
+            get_scenario(self.faults)  # validate the name early
+
+    def resolved_max_cap_w(self) -> float:
+        if self.max_cap_w is not None:
+            return self.max_cap_w
+        return get_platform(self.platform).power.tdp_watts
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The whole fleet: budget, shares tree, epoch cadence, seed."""
+
+    budget_w: float
+    nodes: tuple[NodeSpec, ...]
+    groups: tuple[GroupSpec, ...] = ()
+    #: arbiter epoch length in *daemon iterations* (the slower loop the
+    #: issue calls for: default 10 daemon ticks per arbitration round).
+    epoch_ticks: int = 10
+    #: per-node daemon interval, seconds (1 s in the paper).
+    interval_s: float = 1.0
+    #: simulator tick; the coarse batch tick is safe at daemon cadence.
+    tick_s: float = 5e-3
+    #: master seed; per-node fault seeds derive from it.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget_w <= 0:
+            raise ConfigError("cluster budget must be positive")
+        if not self.nodes:
+            raise ConfigError("cluster needs at least one node")
+        if self.epoch_ticks < 1:
+            raise ConfigError("epoch_ticks must be at least 1")
+        if self.interval_s <= 0 or self.tick_s <= 0:
+            raise ConfigError("interval_s and tick_s must be positive")
+        if self.seed < 0:
+            raise ConfigError("seed cannot be negative")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ConfigError("duplicate node names")
+        group_names = [group.name for group in self.groups]
+        if len(set(group_names)) != len(group_names):
+            raise ConfigError("duplicate group names")
+        if self.groups:
+            known = set(group_names)
+            for node in self.nodes:
+                if node.group not in known:
+                    raise ConfigError(
+                        f"node {node.name}: unknown group "
+                        f"{node.group!r}; known: {sorted(known)}"
+                    )
+        elif any(node.group != ROOT_GROUP for node in self.nodes):
+            raise ConfigError(
+                "nodes reference groups but the config declares none"
+            )
+        # The hierarchy invariant (sum of node caps <= budget at all
+        # times) needs the all-nodes floor sum to fit: min-funding
+        # floors members rather than starving them, so an over-committed
+        # floor set could never be honoured.
+        floor_sum = sum(node.min_cap_w for node in self.nodes)
+        if floor_sum > self.budget_w:
+            raise ConfigError(
+                f"sum of node cap floors ({floor_sum:.1f} W) exceeds the "
+                f"cluster budget ({self.budget_w:.1f} W)"
+            )
+
+    @property
+    def epoch_s(self) -> float:
+        """Arbitration epoch length in seconds."""
+        return self.epoch_ticks * self.interval_s
+
+    def node(self, name: str) -> NodeSpec:
+        for spec in self.nodes:
+            if spec.name == name:
+                return spec
+        raise ConfigError(f"no node {name!r} in cluster config")
+
+    def node_fault_seed(self, index: int) -> int:
+        """Deterministic per-node fault seed derived from the master."""
+        spec = self.nodes[index]
+        if spec.fault_seed is not None:
+            return spec.fault_seed
+        return self.seed * 1000003 + index
+
+    def group_of(self, node: NodeSpec) -> str:
+        return node.group if self.groups else ROOT_GROUP
+
+    def group_shares(self) -> dict[str, float]:
+        if self.groups:
+            return {group.name: group.shares for group in self.groups}
+        return {ROOT_GROUP: 1.0}
+
+
+# -- cache serialization ---------------------------------------------------------
+#
+# The result cache keys cluster runs by a stable JSON form of the full
+# config (mirroring what repro.experiments.cache does for single-socket
+# configs); these helpers own the round trip so the cache module never
+# reaches into cluster internals.
+
+
+def cluster_config_to_jsonable(config: ClusterConfig) -> dict:
+    raw = asdict(config)
+    for node in raw["nodes"]:
+        for app in node["apps"]:
+            app["priority"] = app["priority"].name
+    return raw
+
+
+def cluster_config_from_jsonable(data: dict) -> ClusterConfig:
+    nodes = []
+    for node in data["nodes"]:
+        apps = tuple(
+            AppSpec(
+                benchmark=a["benchmark"],
+                shares=a["shares"],
+                priority=Priority[a["priority"]],
+                steady=a["steady"],
+            )
+            for a in node["apps"]
+        )
+        nodes.append(NodeSpec(**{**node, "apps": apps}))
+    groups = tuple(GroupSpec(**group) for group in data.get("groups", ()))
+    return ClusterConfig(
+        **{**data, "nodes": tuple(nodes), "groups": groups}
+    )

@@ -1,0 +1,117 @@
+"""The cluster epoch loop: arbitrate, step, report, repeat.
+
+:class:`ClusterSim` drives the whole fleet:
+
+1. at each epoch boundary it admits nodes whose join time has arrived
+   and retires announced leavers,
+2. the :class:`~repro.cluster.arbiter.ClusterArbiter` turns the previous
+   epoch's demand reports into next caps (detecting crashed nodes by
+   their missing/flagged reports — one epoch of lag, like a real
+   heartbeat timeout),
+3. the stepper advances every live node through the epoch under its
+   granted cap (serially or across fork workers — byte-identical either
+   way), and
+4. the :class:`~repro.cluster.trace.ClusterTrace` rolls the epoch up.
+
+The cap-sum invariant is checked after every grant: live caps never sum
+above the facility budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.arbiter import Arbitration, ClusterArbiter
+from repro.cluster.config import ClusterConfig
+from repro.cluster.node import NodeEpochReport
+from repro.cluster.stepper import make_stepper
+from repro.cluster.trace import ClusterTrace
+from repro.errors import ConfigError
+
+
+@dataclass
+class ClusterRun:
+    """Everything one finished cluster run produced."""
+
+    config: ClusterConfig
+    trace: ClusterTrace
+    #: per epoch: the arbitration grant that governed it.
+    grants: list[Arbitration] = field(default_factory=list)
+    #: per epoch: the node reports it produced.
+    reports: list[dict[str, NodeEpochReport]] = field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.grants)
+
+    def max_cap_sum_w(self) -> float:
+        """Largest per-epoch sum of granted caps (invariant witness)."""
+        if not self.grants:
+            return 0.0
+        return max(grant.total_w for grant in self.grants)
+
+
+class ClusterSim:
+    """Seeded, deterministic driver for one cluster configuration."""
+
+    def __init__(self, config: ClusterConfig, *, jobs: int | None = None):
+        self.config = config
+        self.arbiter = ClusterArbiter(config)
+        self.trace = ClusterTrace()
+        self._jobs = jobs
+        self._admitted: set[str] = set()
+
+    def _boundary_membership(self, t0: float, t1: float) -> None:
+        """Apply announced lifecycle changes at an epoch boundary."""
+        joiners = [
+            spec.name
+            for spec in self.config.nodes
+            if spec.joins_at_s <= t0 and spec.name not in self._admitted
+        ]
+        if joiners:
+            self.arbiter.admit(joiners)
+            self._admitted.update(joiners)
+        leavers = [
+            name
+            for name in self.arbiter.members
+            if (spec := self.config.node(name)).leaves_at_s is not None
+            and t1 > spec.leaves_at_s
+        ]
+        if leavers:
+            self.arbiter.retire(leavers)
+
+    def run(self, duration_s: float) -> ClusterRun:
+        """Run ``duration_s`` of cluster time (whole epochs only)."""
+        epoch_s = self.config.epoch_s
+        n_epochs = int(round(duration_s / epoch_s))
+        if n_epochs < 1:
+            raise ConfigError(
+                f"duration {duration_s}s is below one epoch ({epoch_s}s)"
+            )
+        run = ClusterRun(config=self.config, trace=self.trace)
+        previous: dict[str, NodeEpochReport] = {}
+        with make_stepper(self.config, self._jobs) as stepper:
+            for epoch in range(n_epochs):
+                t0 = epoch * epoch_s
+                t1 = t0 + epoch_s
+                self._boundary_membership(t0, t1)
+                grant = self.arbiter.rebalance(epoch, previous)
+                self.arbiter.check_invariant()
+                reports = stepper.step(epoch, t0, t1, grant.caps_w)
+                self.trace.record_epoch(
+                    t1, reports, grant.caps_w, self.config.budget_w
+                )
+                run.grants.append(grant)
+                run.reports.append(reports)
+                previous = reports
+        return run
+
+
+def run_cluster(
+    config: ClusterConfig,
+    duration_s: float,
+    *,
+    jobs: int | None = None,
+) -> ClusterRun:
+    """Convenience one-shot: build a :class:`ClusterSim` and run it."""
+    return ClusterSim(config, jobs=jobs).run(duration_s)

@@ -1,0 +1,149 @@
+"""Serial and parallel node stepping with identical results.
+
+Within one arbitration epoch the nodes are completely independent — all
+coupling flows through the caps computed *before* the epoch and the
+reports consumed *after* it — so node stepping parallelizes the same
+way the experiment batches in :mod:`repro.experiments.parallel` do.
+
+The parallel path uses persistent fork workers rather than a task pool:
+a node's simulator state must live somewhere across epochs, and
+shipping whole chips through pickles every epoch would dwarf the
+stepping work.  Each worker owns a fixed subset of nodes (round-robin
+by node index), builds them lazily at their join epoch, and answers
+``step`` commands over a pipe with the same
+:class:`~repro.cluster.node.NodeEpochReport` values the serial path
+produces.  Both paths run the identical per-node code on the identical
+cap sequence, and every cross-node reduction happens in the parent, so
+the parallel path is **byte-identical** to the serial one — the
+equivalence tests assert it.
+
+``jobs`` semantics follow :func:`repro.experiments.parallel.
+resolve_jobs`: ``None``/``0``/``1`` step serially in-process, negative
+uses every core.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.node import ClusterNode, NodeEpochReport
+from repro.errors import SimulationError
+from repro.experiments.parallel import fork_context, resolve_jobs
+
+
+class SerialNodeStepper:
+    """All nodes stepped in-process, ascending node index."""
+
+    def __init__(self, config: ClusterConfig):
+        self.nodes = [
+            ClusterNode(config, index) for index in range(len(config.nodes))
+        ]
+
+    def step(
+        self, epoch: int, t0: float, t1: float, caps_w: dict[str, float]
+    ) -> dict[str, NodeEpochReport]:
+        reports: dict[str, NodeEpochReport] = {}
+        for node in self.nodes:
+            if node.spec.name in caps_w and node.active_in(t0, t1):
+                reports[node.spec.name] = node.step_epoch(
+                    epoch, caps_w[node.spec.name], t0, t1
+                )
+        return reports
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialNodeStepper":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _worker_main(config: ClusterConfig, indices: list[int], conn) -> None:
+    """Worker loop: own a node subset, answer step commands."""
+    nodes = [ClusterNode(config, index) for index in indices]
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                return
+            _, epoch, t0, t1, caps_w = message
+            try:
+                reports = [
+                    node.step_epoch(epoch, caps_w[node.spec.name], t0, t1)
+                    for node in nodes
+                    if node.spec.name in caps_w and node.active_in(t0, t1)
+                ]
+            except Exception as exc:  # ship the failure to the parent
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                return
+            conn.send(("reports", reports))
+    except EOFError:  # pragma: no cover - parent died
+        return
+    finally:
+        conn.close()
+
+
+class ParallelNodeStepper:
+    """Persistent fork workers, each owning a fixed node subset."""
+
+    def __init__(self, config: ClusterConfig, n_workers: int):
+        n_workers = min(n_workers, len(config.nodes))
+        ctx = fork_context()
+        self._workers = []
+        for worker_id in range(n_workers):
+            indices = list(range(worker_id, len(config.nodes), n_workers))
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(config, indices, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+
+    def step(
+        self, epoch: int, t0: float, t1: float, caps_w: dict[str, float]
+    ) -> dict[str, NodeEpochReport]:
+        for _, conn in self._workers:
+            conn.send(("step", epoch, t0, t1, caps_w))
+        reports: dict[str, NodeEpochReport] = {}
+        for _, conn in self._workers:
+            kind, payload = conn.recv()
+            if kind == "error":
+                self.close()
+                raise SimulationError(
+                    f"cluster worker failed during epoch {epoch}: {payload}"
+                )
+            for report in payload:
+                reports[report.name] = report
+        return reports
+
+    def close(self) -> None:
+        for process, conn in self._workers:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for process, _ in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join()
+        self._workers = []
+
+    def __enter__(self) -> "ParallelNodeStepper":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_stepper(config: ClusterConfig, jobs: int | None):
+    """Serial stepper for <=1 job, persistent fork workers otherwise."""
+    n_workers = min(resolve_jobs(jobs), len(config.nodes))
+    if n_workers <= 1:
+        return SerialNodeStepper(config)
+    return ParallelNodeStepper(config, n_workers)

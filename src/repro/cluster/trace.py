@@ -1,0 +1,81 @@
+"""Cluster telemetry roll-up on the paper's trace machinery.
+
+:class:`ClusterTrace` folds every epoch's per-node reports and arbiter
+grants into named :class:`~repro.telemetry.trace.TraceSeries` — the same
+summary machinery the single-socket figures use — so cluster runs get
+box-plot-ready series for free:
+
+* per node: ``<name>.power_w``, ``<name>.cap_w``, ``<name>.throttle``,
+  ``<name>.headroom_w``, ``<name>.parked``, ``<name>.quarantined``;
+* global: ``cluster.power_w`` (sum over live nodes),
+  ``cluster.cap_w`` (sum of granted caps), ``cluster.budget_w``.
+
+Sampling is at epoch cadence: one point per series per arbitration
+round, timestamped with the epoch's end.  ``to_jsonable`` emits a
+stable, fully-ordered form the determinism tests byte-compare.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import NodeEpochReport
+from repro.telemetry.trace import Trace, TraceSeries
+
+
+class ClusterTrace:
+    """Per-node and cluster-wide series, sampled every epoch."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    def record_epoch(
+        self,
+        t_end_s: float,
+        reports: dict[str, NodeEpochReport],
+        caps_w: dict[str, float],
+        budget_w: float,
+    ) -> None:
+        """Fold one finished epoch into the series."""
+        rec = self.trace.record
+        for name in sorted(reports):
+            report = reports[name]
+            rec(f"{name}.power_w", t_end_s, report.mean_power_w)
+            rec(f"{name}.cap_w", t_end_s, report.cap_w)
+            rec(f"{name}.throttle", t_end_s, report.throttle_pressure)
+            rec(f"{name}.headroom_w", t_end_s, report.headroom_w)
+            rec(f"{name}.parked", t_end_s, float(report.parked_cores))
+            rec(
+                f"{name}.quarantined",
+                t_end_s,
+                float(report.quarantined_cores),
+            )
+        rec(
+            "cluster.power_w",
+            t_end_s,
+            sum(r.mean_power_w for r in reports.values()),
+        )
+        rec("cluster.cap_w", t_end_s, sum(caps_w.values()))
+        rec("cluster.budget_w", t_end_s, budget_w)
+
+    def series(self, name: str) -> TraceSeries:
+        return self.trace.series(name)
+
+    def names(self) -> tuple[str, ...]:
+        return self.trace.names()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.trace
+
+    def node_mean_power_w(self, name: str, *, after_s: float = 0.0) -> float:
+        """Mean of a node's power series, optionally post-warm-up."""
+        return self.series(f"{name}.power_w").window(after_s).mean()
+
+    def to_jsonable(self) -> dict:
+        """Stable nested form: {series: {"t": [...], "v": [...]}}."""
+        out: dict[str, dict[str, list[float]]] = {}
+        for name in self.names():
+            series = self.series(name)
+            out[name] = {
+                "t": list(series.times),
+                "v": list(series.values),
+            }
+        return out

@@ -43,7 +43,11 @@ from repro.experiments.runner import SteadyAppResult, SteadyRunResult
 #: code-version salt folded into every cache key.  Bump whenever a
 #: change alters simulator *outputs* (models, policies, aggregation);
 #: pure refactors and speedups keep it.
-CACHE_VERSION = 1
+#:
+#: v2: cluster experiments joined the cache (their keys carry a
+#: ``kind`` discriminator so single-socket and cluster entries can
+#: never collide).
+CACHE_VERSION = 2
 
 #: default cache root (overridden by ``REPRO_CACHE_DIR``).
 DEFAULT_CACHE_DIR = "~/.cache/repro-power"
@@ -105,6 +109,30 @@ def cache_key(
         {
             "version": CACHE_VERSION,
             "config": config_to_jsonable(config),
+            "duration_s": duration_s,
+            "warmup_s": warmup_s,
+        },
+        sort_keys=True,
+        default=_jsonable,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def cluster_cache_key(config, duration_s: float, warmup_s: float) -> str:
+    """Stable content hash of one cluster run's complete inputs.
+
+    The ``kind`` discriminator keeps cluster keys disjoint from
+    single-socket keys even if their JSON forms ever overlapped.
+    """
+    # local import: repro.cluster reaches back into this package via
+    # the stepper's use of experiments.parallel
+    from repro.cluster.config import cluster_config_to_jsonable
+
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "kind": "cluster",
+            "config": cluster_config_to_jsonable(config),
             "duration_s": duration_s,
             "warmup_s": warmup_s,
         },
@@ -193,5 +221,59 @@ class ResultCache:
             os.replace(tmp, path)
         except OSError:
             # a read-only or full cache dir degrades to no caching
+            return
+        self.stats.stores += 1
+
+    # -- cluster experiments ------------------------------------------------------
+    #
+    # Cluster runs are pure functions of their ClusterConfig plus
+    # durations, exactly like the single-socket runs above, so they get
+    # the same hit/miss/store accounting on the same handle (the full
+    # report's footer counts both).
+
+    def get_cluster(self, config, duration_s: float, warmup_s: float):
+        from repro.experiments.cluster_exp import cluster_result_from_jsonable
+
+        path = self._path(cluster_cache_key(config, duration_s, warmup_s))
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("schema") != CACHE_VERSION:
+                raise ValueError("schema mismatch")
+            if data.get("kind") != "cluster":
+                raise ValueError("kind mismatch")
+            result = cluster_result_from_jsonable(data["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put_cluster(
+        self, config, duration_s: float, warmup_s: float, result
+    ) -> None:
+        from repro.experiments.cluster_exp import cluster_result_to_jsonable
+
+        path = self._path(cluster_cache_key(config, duration_s, warmup_s))
+        payload = json.dumps(
+            {
+                "schema": CACHE_VERSION,
+                "kind": "cluster",
+                "result": cluster_result_to_jsonable(result),
+            }
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
             return
         self.stats.stores += 1

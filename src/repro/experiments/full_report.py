@@ -172,6 +172,32 @@ def generate_report(
                 continue
     emit(render_table(rows, title="normalized 90th-percentile latency"))
     emit()
+
+    from repro.experiments.cluster_exp import (
+        default_cluster_config,
+        run_cluster_experiment,
+    )
+
+    cluster_result = run_cluster_experiment(
+        default_cluster_config(),
+        **(
+            {"duration_s": 60.0, "warmup_s": 20.0}
+            if quick
+            else {"duration_s": 180.0, "warmup_s": 60.0}
+        ),
+        jobs=jobs,
+        cache=cache,
+    )
+    emit(render_table(
+        cluster_result.to_rows(),
+        title="## Cluster — hierarchical arbitration (4 nodes, 2:2:1:1)",
+    ))
+    emit(
+        f"budget {cluster_result.config.budget_w:.0f} W, "
+        f"max cap sum {cluster_result.max_cap_sum_w:.1f} W, "
+        f"cap violations {cluster_result.cap_violations}"
+    )
+    emit()
     footer = f"(generated in {time.time() - started:.0f} s"
     if jobs is not None:
         footer += f"; jobs={jobs}"

@@ -51,20 +51,29 @@ def _run_task(task: ExperimentTask) -> SteadyRunResult:
     )
 
 
+def fork_context():
+    """The cheap ``fork`` multiprocessing context (with fallback).
+
+    Shared by the experiment pool below and the cluster node stepper
+    (:mod:`repro.cluster.stepper`): ``fork`` avoids re-importing
+    ``__main__`` the way ``spawn`` and ``forkserver`` do, which both
+    keeps worker start cheap and lets workers inherit already-built
+    configuration objects.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context()
+
+
 def _make_pool(n_workers: int):
     """Build the worker pool with bounded per-worker memory.
 
     ``multiprocessing.Pool`` (rather than ``ProcessPoolExecutor``)
-    because it supports ``maxtasksperchild`` together with the cheap
-    ``fork`` start method: workers are recycled after a fixed number of
-    runs without re-importing ``__main__`` the way ``spawn`` and
-    ``forkserver`` do.
+    because it supports ``maxtasksperchild`` together with the ``fork``
+    start method: workers are recycled after a fixed number of runs.
     """
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
-        ctx = multiprocessing.get_context()
-    return ctx.Pool(
+    return fork_context().Pool(
         processes=n_workers, maxtasksperchild=MAX_TASKS_PER_CHILD
     )
 

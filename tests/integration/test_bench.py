@@ -31,12 +31,21 @@ def test_ticks_per_sec_measures(bench):
 
 
 @pytest.mark.bench
+def test_cluster_ticks_per_sec_measures(bench):
+    rate = bench.measure_cluster_ticks_per_sec(sim_seconds=10.0)
+    assert rate > 0
+
+
+@pytest.mark.bench
 def test_writes_baseline_schema(bench, tmp_path, capsys):
     out = tmp_path / "BENCH_sim.json"
     assert bench.main(["--skip-report", "--output", str(out)]) == 0
     data = json.loads(out.read_text())
-    assert set(data) == {"ticks_per_sec", "report_quick_s", "git"}
+    assert set(data) == {
+        "ticks_per_sec", "cluster_ticks_per_sec", "report_quick_s", "git",
+    }
     assert data["ticks_per_sec"] > 0
+    assert data["cluster_ticks_per_sec"] > 0
 
 
 @pytest.mark.bench

@@ -1,0 +1,188 @@
+"""Tests for the cluster arbiter's epoch redistribution."""
+
+import pytest
+
+from repro.cluster import ClusterArbiter, ClusterConfig, GroupSpec, NodeSpec
+from repro.cluster.node import NodeEpochReport
+from repro.config import AppSpec
+from repro.errors import ConfigError
+
+APPS = tuple(AppSpec("cactusBSSN", shares=50.0) for _ in range(6))
+
+
+def node(name, **kwargs):
+    kwargs.setdefault("min_cap_w", 10.0)
+    kwargs.setdefault("max_cap_w", 60.0)
+    return NodeSpec(name=name, apps=APPS, **kwargs)
+
+
+def report(name, epoch=0, *, power, pressure=1.0, cap=30.0,
+           quarantined=0, samples=10, crashed=False):
+    return NodeEpochReport(
+        name=name,
+        epoch=epoch,
+        t_end_s=(epoch + 1) * 10.0,
+        cap_w=cap,
+        mean_power_w=power,
+        throttle_pressure=pressure,
+        headroom_w=max(cap - power, 0.0),
+        parked_cores=0,
+        quarantined_cores=quarantined,
+        samples=samples,
+        crashed=crashed,
+    )
+
+
+def make_arbiter(*nodes, budget=75.0, groups=()):
+    config = ClusterConfig(budget_w=budget, nodes=nodes, groups=groups)
+    arbiter = ClusterArbiter(config)
+    arbiter.admit([spec.name for spec in nodes])
+    return arbiter
+
+
+class TestFirstEpoch:
+    def test_demand_blind_split_follows_shares(self):
+        arbiter = make_arbiter(
+            node("a", shares=2.0), node("b", shares=1.0)
+        )
+        grant = arbiter.rebalance(0, {})
+        assert grant.caps_w["a"] == pytest.approx(50.0)
+        assert grant.caps_w["b"] == pytest.approx(25.0)
+
+    def test_empty_membership_grants_nothing(self):
+        config = ClusterConfig(budget_w=75.0, nodes=(node("a"),))
+        arbiter = ClusterArbiter(config)
+        grant = arbiter.rebalance(0, {})
+        assert grant.caps_w == {}
+        assert grant.total_w == 0.0
+
+    def test_admit_validates_names(self):
+        config = ClusterConfig(budget_w=75.0, nodes=(node("a"),))
+        arbiter = ClusterArbiter(config)
+        with pytest.raises(ConfigError):
+            arbiter.admit(["ghost"])
+
+
+class TestDemandDrivenRebalance:
+    def test_unthrottled_node_releases_budget(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        arbiter.rebalance(0, {})
+        # a is idle (low draw, no pressure); b is pinned at its cap
+        grant = arbiter.rebalance(1, {
+            "a": report("a", power=12.0, pressure=0.0, cap=37.5),
+            "b": report("b", power=37.4, pressure=0.9, cap=37.5),
+        })
+        # a's demand ceiling ~ 12*1.25 = 15 W; the freed watts go to b
+        assert grant.caps_w["a"] == pytest.approx(15.0, abs=0.5)
+        assert grant.caps_w["b"] > 50.0
+        assert grant.total_w <= 75.0 + 1e-9
+
+    def test_quarantined_cores_shrink_the_claim(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        arbiter.rebalance(0, {})
+        healthy = report("a", power=30.0, pressure=1.0, cap=37.5)
+        sick = report("b", power=30.0, pressure=1.0, cap=37.5,
+                      quarantined=4)
+        grant = arbiter.rebalance(1, {"a": healthy, "b": sick})
+        # b lost four of six cores: its demand ceiling scales by the
+        # healthy third, and a picks up the released budget
+        assert grant.caps_w["b"] == pytest.approx(25.0)
+        assert grant.caps_w["a"] == pytest.approx(50.0)
+
+    def test_floors_always_honoured(self):
+        arbiter = make_arbiter(
+            node("a", min_cap_w=20.0), node("b", min_cap_w=10.0)
+        )
+        arbiter.rebalance(0, {})
+        grant = arbiter.rebalance(1, {
+            # a reports nothing drawn: its ceiling collapses, but the
+            # floor must hold it at 20 W
+            "a": report("a", power=0.0, pressure=0.0, cap=37.5),
+            "b": report("b", power=37.0, pressure=1.0, cap=37.5),
+        })
+        assert grant.caps_w["a"] == pytest.approx(20.0)
+
+    def test_empty_report_holds_over_last_demand(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        arbiter.rebalance(0, {})
+        first = arbiter.rebalance(1, {
+            "a": report("a", power=12.0, pressure=0.0, cap=37.5),
+            "b": report("b", power=37.0, pressure=1.0, cap=37.5),
+        })
+        # a tick storm swallows a's epoch: samples=0 must not reset
+        # a's demand to an unconstrained bid
+        second = arbiter.rebalance(2, {
+            "a": report("a", 1, power=0.0, pressure=0.0,
+                        cap=first.caps_w["a"], samples=0),
+            "b": report("b", 1, power=37.0, pressure=1.0,
+                        cap=first.caps_w["b"]),
+        })
+        assert second.caps_w["a"] == pytest.approx(
+            first.caps_w["a"], abs=1.0
+        )
+
+
+class TestCrashHandling:
+    def test_crashed_reporter_retired_and_cap_reflows(self):
+        arbiter = make_arbiter(node("a"), node("b"), node("c"),
+                               budget=90.0)
+        arbiter.rebalance(0, {})
+        grant = arbiter.rebalance(1, {
+            "a": report("a", power=29.0, pressure=1.0, cap=30.0),
+            "b": report("b", power=29.0, pressure=1.0, cap=30.0),
+            "c": report("c", power=20.0, pressure=1.0, cap=30.0,
+                        crashed=True),
+        })
+        assert "c" not in grant.caps_w
+        assert "c" not in arbiter.members
+        assert grant.caps_w["a"] > 30.0
+        assert grant.total_w <= 90.0 + 1e-9
+
+    def test_all_crashed_leaves_empty_grant(self):
+        arbiter = make_arbiter(node("a"))
+        arbiter.rebalance(0, {})
+        grant = arbiter.rebalance(1, {
+            "a": report("a", power=20.0, crashed=True),
+        })
+        assert grant.caps_w == {}
+
+
+class TestGroups:
+    def test_group_shares_split_budget_between_pools(self):
+        prod = (node("p0", group="prod"), node("p1", group="prod"))
+        batch = (node("b0", group="batch"), node("b1", group="batch"))
+        arbiter = make_arbiter(
+            *prod, *batch, budget=120.0,
+            groups=(GroupSpec("prod", shares=2.0),
+                    GroupSpec("batch", shares=1.0)),
+        )
+        grant = arbiter.rebalance(0, {})
+        assert grant.group_pools_w["prod"] == pytest.approx(80.0)
+        assert grant.group_pools_w["batch"] == pytest.approx(40.0)
+        assert grant.caps_w["p0"] == pytest.approx(40.0)
+        assert grant.caps_w["b0"] == pytest.approx(20.0)
+
+
+class TestInvariant:
+    def test_caps_sum_exactly_at_most_budget(self):
+        # a budget that doesn't divide evenly exercises the trim
+        arbiter = make_arbiter(
+            node("a"), node("b"), node("c"), budget=70.000000123
+        )
+        grant = arbiter.rebalance(0, {})
+        assert grant.total_w <= 70.000000123
+        arbiter.check_invariant()
+
+    def test_check_invariant_raises_on_violation(self):
+        arbiter = make_arbiter(node("a"))
+        arbiter.rebalance(0, {})
+        arbiter._caps["a"] = 1000.0
+        with pytest.raises(ConfigError, match="invariant"):
+            arbiter.check_invariant()
+
+    def test_retire_removes_cap_and_history(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        arbiter.rebalance(0, {})
+        arbiter.retire(["a"])
+        assert "a" not in arbiter.caps()
+        assert arbiter.members == ("b",)

@@ -83,6 +83,123 @@ class TestModelAttribution:
         assert ledger.account("a").energy_j == 0.0
 
 
+class TestMidRunHealth:
+    """Attribution across park/quarantine transitions mid-run.
+
+    When the daemon parks or quarantines a core partway through a run,
+    the model-based split must renormalize its f³ weights over the
+    remaining runnable apps — the parked app's share flows to the
+    survivors instead of vanishing — and cumulative totals must stay
+    conserved (never exceeding attributable package energy) across the
+    transition and the later release.
+    """
+
+    def test_weights_renormalize_when_app_parks_mid_run(self):
+        ledger = EnergyLedger(uncore_estimate_w=6.0)
+        both = {
+            "a": (2000.0, 1e9, None, False),
+            "b": (2000.0, 1e9, None, False),
+        }
+        only_a = {
+            "a": (2000.0, 1e9, None, False),
+            "b": (0.0, 0.0, None, True),
+        }
+        # two intervals together, then b is parked for two intervals
+        ledger.ingest(sample(1, 1.0, 26.0, both))
+        ledger.ingest(sample(2, 2.0, 26.0, both))
+        ledger.ingest(sample(3, 3.0, 26.0, only_a))
+        ledger.ingest(sample(4, 4.0, 26.0, only_a))
+        # 20 W budget: split 10/10 while shared, then all 20 to a
+        assert ledger.account("a").energy_j == pytest.approx(60.0)
+        assert ledger.account("b").energy_j == pytest.approx(20.0)
+        assert ledger.account("b").active_s == pytest.approx(2.0)
+
+    def test_quarantine_window_attributed_nothing_then_resumes(self):
+        from repro.core.daemon import HealthRecord
+
+        ledger = EnergyLedger(uncore_estimate_w=6.0)
+        run = {"a": (2000.0, 1e9, None, False)}
+        quarantined = {"a": (0.0, 0.0, None, True)}
+        ledger.ingest(sample(1, 1.0, 16.0, run))
+        # core 0 quarantined: its app reads as parked, health says why
+        bad = sample(2, 2.0, 8.0, quarantined)
+        bad = DaemonSample(
+            **{
+                **{f: getattr(bad, f) for f in (
+                    "iteration", "time_s", "package_power_w",
+                    "app_frequency_mhz", "app_ips", "app_power_w",
+                    "app_parked", "targets_mhz",
+                )},
+                "health": HealthRecord(quarantined=(0,)),
+            }
+        )
+        ledger.ingest(bad)
+        ledger.ingest(sample(3, 3.0, 16.0, run))
+        account = ledger.account("a")
+        # one interval before + one after; nothing during quarantine
+        assert account.energy_j == pytest.approx(20.0)
+        assert account.active_s == pytest.approx(2.0)
+
+    def test_all_parked_interval_is_safe(self):
+        ledger = EnergyLedger(uncore_estimate_w=6.0)
+        parked = {
+            "a": (0.0, 0.0, None, True),
+            "b": (0.0, 0.0, None, True),
+        }
+        ledger.ingest(sample(1, 1.0, 9.0, parked))
+        ledger.ingest(sample(2, 2.0, 9.0, parked))
+        # zero total weight must not divide by zero or attribute energy
+        assert ledger.account("a").energy_j == 0.0
+        assert ledger.account("b").energy_j == 0.0
+        assert ledger.package_energy_j == pytest.approx(18.0)
+
+    def test_totals_conserved_across_transitions(self):
+        ledger = EnergyLedger(uncore_estimate_w=5.0)
+        states = [
+            {"a": (2000.0, 1e9, None, False),
+             "b": (1500.0, 8e8, None, False)},
+            {"a": (2000.0, 1e9, None, False),
+             "b": (0.0, 0.0, None, True)},
+            {"a": (0.0, 0.0, None, True),
+             "b": (0.0, 0.0, None, True)},
+            {"a": (1800.0, 9e8, None, False),
+             "b": (1500.0, 8e8, None, False)},
+        ]
+        for i, apps in enumerate(states, start=1):
+            ledger.ingest(sample(i, float(i), 22.0, apps))
+        attributed = sum(
+            acct.energy_j for acct in ledger.accounts().values()
+        )
+        # attributed core energy never exceeds package minus uncore
+        assert attributed <= ledger.package_energy_j + 1e-9
+        assert attributed == pytest.approx((22.0 - 5.0) * 3.0)
+
+    def test_quarantine_over_real_faulty_run(self):
+        from repro.config import AppSpec, ExperimentConfig, build_stack
+
+        config = ExperimentConfig(
+            platform="skylake", policy="frequency-shares", limit_w=45.0,
+            apps=(AppSpec("leela", shares=60.0),
+                  AppSpec("cactusBSSN", shares=40.0)),
+            tick_s=5e-3,
+            faults="full-storm",
+            fault_seed=3,
+        )
+        stack = build_stack(config)
+        stack.engine.run(30.0)
+        ledger = EnergyLedger()
+        ledger.ingest_history(stack.daemon.history)
+        # the storm must not break conservation: per-app totals stay
+        # below the package total no matter what was parked when
+        attributed = sum(
+            acct.energy_j for acct in ledger.accounts().values()
+        )
+        assert 0.0 < attributed <= ledger.package_energy_j + 1e-9
+        for acct in ledger.accounts().values():
+            assert acct.energy_j >= 0.0
+            assert acct.active_s <= stack.chip.time_s
+
+
 class TestValidation:
     def test_time_must_advance(self):
         ledger = EnergyLedger()
