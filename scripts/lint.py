@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""repro-lint gate: static contract analysis over the source tree.
+
+Thin wrapper around :mod:`repro.analysis.cli` so CI (and pre-commit
+habits) can run the linter exactly like the chaos smoke gate::
+
+    PYTHONPATH=src python scripts/lint.py --check
+    PYTHONPATH=src python scripts/lint.py --explain determinism
+    PYTHONPATH=src python scripts/lint.py --write-baseline
+
+``--check`` is the CI mode: any finding not covered by an inline
+``# repro-lint: disable=<rule> — <reason>`` comment *and* the committed
+``.repro-lint-baseline.json`` ledger fails the run, as does a stale or
+reasonless suppression.  Exits nonzero on violations.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# runnable without PYTHONPATH=src: resolve the in-repo package
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.cli import run_lint  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(run_lint(sys.argv[1:]))

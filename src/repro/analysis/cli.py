@@ -1,0 +1,169 @@
+"""``repro-lint`` command line, shared by the CLI and scripts/lint.py.
+
+Usage::
+
+    repro-power lint                       # lint src/ against the ledger
+    repro-power lint src/repro/sim         # narrower scope
+    repro-power lint --check               # CI gate (ledger must be exact)
+    repro-power lint --write-baseline      # regenerate the ledger
+    repro-power lint --explain unit-safety # print a rule's contract
+    repro-power lint --list-rules
+
+Exit codes: 0 clean, 1 findings (or ledger drift in ``--check``),
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import textwrap
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.baseline import (
+    Baseline,
+    DEFAULT_BASELINE_NAME,
+)
+from repro.analysis.engine import lint_paths, render_report
+from repro.analysis.registry import RuleRegistry, default_registry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based static analysis enforcing this repo's "
+            "determinism, unit-safety, and daemon fail-safety contracts"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repository root for relative paths and the default "
+             "baseline (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"suppression ledger (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the ledger: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the ledger from the tree's inline suppressions",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: also fail when inline suppressions and the "
+             "committed ledger drift apart",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print a rule's contract and DESIGN.md reference, then exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules with one-line summaries",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON (blocking + suppressed + baselined)",
+    )
+    return parser
+
+
+def _explain(rule_name: str, registry: RuleRegistry, stream: TextIO) -> int:
+    try:
+        rule = registry.rule(rule_name)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stream.write(f"{rule.name} — {rule.design_ref}\n\n")
+    stream.write(textwrap.fill(rule.contract, width=72) + "\n")
+    if rule.hint:
+        stream.write(f"\nfix: {rule.hint}\n")
+    stream.write(
+        "\nsuppress a deliberate exception with\n"
+        f"    # repro-lint: disable={rule.name} — <reason>\n"
+        "and record it in the ledger via scripts/lint.py "
+        "--write-baseline.\n"
+    )
+    return 0
+
+
+def run_lint(
+    argv: Sequence[str] | None = None,
+    *,
+    stream: TextIO | None = None,
+) -> int:
+    stream = stream or sys.stdout
+    args = build_parser().parse_args(argv)
+    registry = default_registry()
+
+    if args.list_rules:
+        width = max(len(name) for name in registry.names())
+        for rule in registry:
+            summary = rule.contract.split(":")[0].split(";")[0]
+            stream.write(
+                f"{rule.name.ljust(width)}  {summary[:68]}\n"
+            )
+        return 0
+    if args.explain is not None:
+        return _explain(args.explain, registry, stream)
+
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    paths = [Path(p) for p in (args.paths or [root / "src"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else root / DEFAULT_BASELINE_NAME
+    )
+    try:
+        baseline = (
+            Baseline() if args.no_baseline or args.write_baseline
+            else Baseline.load(baseline_path)
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(
+        paths, root=root, registry=registry,
+        baseline=baseline, check=args.check and not args.write_baseline,
+    )
+
+    if args.write_baseline:
+        new_ledger = Baseline.from_findings(report.suppressed)
+        new_ledger.save(baseline_path)
+        stream.write(
+            f"wrote {len(new_ledger.entries)} suppression entries to "
+            f"{baseline_path}\n"
+        )
+        # still fail on findings no suppression covers
+        report.blocking = [
+            f for f in report.blocking if not f.suppressed
+        ]
+
+    if args.as_json:
+        stream.write(json.dumps(
+            {
+                "files_checked": report.files_checked,
+                "blocking": [f.to_jsonable() for f in report.blocking],
+                "suppressed": [f.to_jsonable() for f in report.suppressed],
+                "baselined": [f.to_jsonable() for f in report.baselined],
+            },
+            indent=2,
+        ) + "\n")
+    else:
+        render_report(report, stream, registry=registry)
+    return 0 if report.ok else 1

@@ -1,0 +1,64 @@
+"""Finding and severity types for the ``repro-lint`` static analyser.
+
+A :class:`Finding` is one violation of a machine-checked contract at a
+``file:line:col`` location.  Findings are value objects: the engine
+marks suppression by building a replaced copy, and the baseline matches
+findings structurally (rule + path + stripped source line) so entries
+survive unrelated line-number churn.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Severity(enum.Enum):
+    """How a finding is weighted by the CI gate (both currently fail)."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at a source location."""
+
+    rule: str
+    #: repo-relative posix path of the offending file.
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+    #: short fix hint rendered under the finding.
+    hint: str = ""
+    #: stripped source line — the baseline's line-churn-proof anchor.
+    context: str = ""
+    #: set by the engine when an inline disable comment covers this.
+    suppressed: bool = False
+    #: the reason string carried by the covering disable comment.
+    suppress_reason: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def key(self) -> tuple[str, str, str]:
+        """Structural identity used for baseline matching."""
+        return (self.rule, self.path, self.context)
+
+    def as_suppressed(self, reason: str) -> "Finding":
+        return replace(self, suppressed=True, suppress_reason=reason)
+
+    def to_jsonable(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "reason": self.suppress_reason,
+            "context": self.context,
+        }

@@ -1,0 +1,23 @@
+"""The shipped ``repro-lint`` contract rules."""
+
+from __future__ import annotations
+
+from repro.analysis.registry import Rule
+from repro.analysis.rules.cache_purity import CachePurityRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.fail_safety import FailSafetyRule
+from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.unit_safety import UnitSafetyRule
+
+__all__ = ["all_rules"]
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Fresh instances of every shipped rule, in documentation order."""
+    return (
+        DeterminismRule(),
+        UnitSafetyRule(),
+        FailSafetyRule(),
+        FloatEqualityRule(),
+        CachePurityRule(),
+    )

@@ -1,0 +1,155 @@
+"""Cache-purity rule: cache keys derive from config, nothing else.
+
+``experiments/cache.py`` promises that a cache key is a stable SHA-256
+over a run's *complete, config-derived* inputs — that is what makes a
+hit interchangeable with a fresh simulation.  This rule guards the
+key-building functions (anything that feeds ``hashlib`` or is named
+``*cache_key*``):
+
+* no ambient inputs: environment variables, working directory, host
+  name, wall clock, process randomness, uuids;
+* no ``hash()``/``id()`` — both vary per process (PYTHONHASHSEED /
+  allocator) and would silently shard the cache;
+* serialization feeding the digest must be order-stable:
+  ``json.dumps`` requires ``sort_keys=True``, and set iteration must
+  be wrapped in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, dotted_name, walk_scope
+from repro.analysis.source import SourceFile
+
+#: ambient-state reads banned inside key builders (dotted prefixes).
+#: ``os.environ`` is handled separately as an attribute so that
+#: ``os.environ.get`` and ``os.environ[...]`` each yield one finding.
+AMBIENT_PREFIXES = (
+    "os.getenv", "os.getcwd", "os.urandom", "os.getpid",
+    "time.", "random.", "uuid.", "socket.", "getpass.",
+)
+
+#: process-varying builtins banned inside key builders.
+UNSTABLE_BUILTINS = frozenset({"hash", "id"})
+
+HASHLIB_PREFIX = "hashlib."
+
+
+def _is_key_builder(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    if "cache_key" in fn.name:
+        return True
+    for node in walk_scope(fn):
+        if isinstance(node, ast.Call) and dotted_name(node.func).startswith(
+            HASHLIB_PREFIX
+        ):
+            return True
+    return False
+
+
+def _sorted_wrapped_args(fn: ast.AST) -> set[int]:
+    wrapped: set[int] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+        ):
+            for arg in node.args:
+                wrapped.add(id(arg))
+    return wrapped
+
+
+class CachePurityRule(Rule):
+    name = "cache-purity"
+    contract = (
+        "A cache key is a pure function of the run's config: functions "
+        "that build hashlib digests (or are named *cache_key*) must not "
+        "read ambient state (os.environ, cwd, time, random, uuid, "
+        "sockets), must not fold in hash() or id() (both vary per "
+        "process), and must serialize order-stably — json.dumps with "
+        "sort_keys=True, sets only through sorted().  Anything else "
+        "makes equal configs miss (wasted simulation) or unequal "
+        "configs collide (silently wrong results)."
+    )
+    design_ref = "DESIGN.md §10.6"
+    hint = (
+        "derive every hashed byte from the config object; sort all "
+        "serialized collections"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for fn in ast.walk(src.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_key_builder(fn):
+                continue
+            wrapped = _sorted_wrapped_args(fn)
+            for node in walk_scope(fn):
+                if isinstance(node, ast.Call):
+                    dotted = dotted_name(node.func)
+                    if any(
+                        dotted == p.rstrip(".") or dotted.startswith(p)
+                        for p in AMBIENT_PREFIXES
+                    ):
+                        yield self.finding(
+                            src, node,
+                            f"cache-key builder '{fn.name}' reads ambient "
+                            f"state via {dotted}() — keys must derive "
+                            "from the config alone",
+                        )
+                    elif (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id in UNSTABLE_BUILTINS
+                    ):
+                        yield self.finding(
+                            src, node,
+                            f"{node.func.id}() varies per process "
+                            f"(PYTHONHASHSEED/allocator) — a cache key "
+                            "built from it silently shards the cache",
+                        )
+                    elif dotted == "json.dumps":
+                        sort_kw = next(
+                            (kw for kw in node.keywords
+                             if kw.arg == "sort_keys"), None,
+                        )
+                        sorts = (
+                            sort_kw is not None
+                            and isinstance(sort_kw.value, ast.Constant)
+                            and sort_kw.value.value is True
+                        )
+                        if not sorts:
+                            yield self.finding(
+                                src, node,
+                                "json.dumps feeding a cache key without "
+                                "sort_keys=True — dict ordering would "
+                                "leak into the digest",
+                            )
+                    elif (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id == "set"
+                        and id(node) not in wrapped
+                    ):
+                        yield self.finding(
+                            src, node,
+                            "set() in a cache-key builder iterates in "
+                            "PYTHONHASHSEED order — wrap it in sorted(...)",
+                        )
+                elif isinstance(node, (ast.Set, ast.SetComp)):
+                    if id(node) not in wrapped:
+                        yield self.finding(
+                            src, node,
+                            "set literal in a cache-key builder iterates "
+                            "in PYTHONHASHSEED order — wrap it in "
+                            "sorted(...)",
+                        )
+                elif isinstance(node, ast.Attribute):
+                    if dotted_name(node) == "os.environ":
+                        yield self.finding(
+                            src, node,
+                            f"cache-key builder '{fn.name}' reads "
+                            "os.environ — keys must derive from the "
+                            "config alone",
+                        )

@@ -1,0 +1,202 @@
+"""Daemon fail-safety rule: contained errors, bounded retries, parking.
+
+PR 1's hardening contract: the power daemon never dies on a flaky MSR,
+never retries forever, and never abandons a core in an unprogrammable
+state without parking it.  This rule checks the statically-checkable
+shadow of that contract:
+
+* no bare ``except:`` anywhere (it swallows ``KeyboardInterrupt`` and
+  hides the containment counters the health record audits);
+* no ``except Exception`` that silently continues — broad catches must
+  re-raise (worker boundaries that ship the exception elsewhere carry
+  an explicit suppression);
+* no unbounded retry loop (``while True`` whose only exit from a failed
+  try is ``continue``);
+* in ``repro/core/``, every MSR/cpufreq write sits inside a ``try``
+  that catches ``MSRError`` (bounded-retry containment), and any class
+  that programs MSRs must also call a park/quarantine handler — a write
+  path with no fail-safe reachable from it is exactly the bug that
+  leaves a core burning at a stale frequency.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, dotted_name
+from repro.analysis.source import SourceFile
+
+#: layer whose write paths must be containment-wrapped.
+DAEMON_SCOPE = "/core/"
+
+#: attribute calls that program hardware through the MSR proxy.
+WRITE_ATTRS = frozenset({"set_speed_mhz", "set_speed_khz"})
+RAW_WRITE_BASES = ("msr",)
+
+#: exception names accepted as MSR containment handlers.
+MSR_HANDLERS = frozenset({"MSRError", "ReproError"})
+
+#: method-name fragments that mark a fail-safe (park/quarantine) path.
+FAILSAFE_FRAGMENTS = ("park", "quarantine")
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """Leaf names of the exception types a handler catches."""
+    names: set[str] = set()
+    def add(expr: ast.expr | None) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Tuple):
+            for elt in expr.elts:
+                add(elt)
+        else:
+            dotted = dotted_name(expr)
+            if dotted:
+                names.add(dotted.rsplit(".", 1)[-1])
+    add(handler.type)
+    return names
+
+
+def _contains(node: ast.AST, kind: type[ast.AST]) -> bool:
+    return any(isinstance(child, kind) for child in ast.walk(node))
+
+
+def _is_msr_write(node: ast.Call) -> bool:
+    if not isinstance(node.func, ast.Attribute):
+        return False
+    if node.func.attr in WRITE_ATTRS:
+        return True
+    if node.func.attr == "write":
+        base = dotted_name(node.func.value)
+        return base.rsplit(".", 1)[-1] in RAW_WRITE_BASES
+    return False
+
+
+class FailSafetyRule(Rule):
+    name = "fail-safety"
+    contract = (
+        "The daemon's control loop survives hardware and telemetry "
+        "faults by construction: exceptions are caught narrowly and "
+        "counted, retries are bounded, and in repro/core/ every "
+        "MSR-proxy write is wrapped in MSRError containment inside a "
+        "class that can park or quarantine the core it failed to "
+        "program.  Bare excepts, silent broad catches, and while-True "
+        "retry loops defeat the health record's audit trail."
+    )
+    design_ref = "DESIGN.md §10.4"
+    hint = (
+        "catch MSRError/ReproError narrowly, bound the retry, and park "
+        "or quarantine what you cannot program"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        yield from self._check_handlers(src)
+        yield from self._check_retry_loops(src)
+        if DAEMON_SCOPE in f"/{src.path}":
+            yield from self._check_write_containment(src)
+
+    # -- broad/bare handlers ------------------------------------------------------
+
+    def _check_handlers(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    src, node,
+                    "bare 'except:' swallows everything including "
+                    "KeyboardInterrupt — catch the specific ReproError "
+                    "subclass and count the containment",
+                )
+                continue
+            caught = _handler_names(node)
+            if caught & {"Exception", "BaseException"} and not _contains(
+                node, ast.Raise
+            ):
+                yield self.finding(
+                    src, node,
+                    "broad 'except Exception' that never re-raises — "
+                    "contain the specific error or ship it onward "
+                    "explicitly",
+                )
+
+    # -- unbounded retries --------------------------------------------------------
+
+    def _check_retry_loops(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.Constant) and test.value is True):
+                continue
+            if _contains(node, ast.Break):
+                continue
+            for child in ast.walk(node):
+                if isinstance(child, ast.ExceptHandler) and _contains(
+                    child, ast.Continue
+                ):
+                    yield self.finding(
+                        src, node,
+                        "unbounded retry: 'while True' whose failure "
+                        "path only continues — bound the attempts like "
+                        "ResilienceConfig.max_write_retries and fail-safe "
+                        "afterwards",
+                    )
+                    break
+
+    # -- MSR write containment ----------------------------------------------------
+
+    def _check_write_containment(self, src: SourceFile) -> Iterator[Finding]:
+        # map each MSR-write call to its enclosing try stack, lexically
+        protected: set[int] = set()
+        writes: list[ast.Call] = []
+
+        def walk(node: ast.AST, tries: tuple[ast.Try, ...]) -> None:
+            if isinstance(node, ast.Call) and _is_msr_write(node):
+                writes.append(node)
+                for enclosing in tries:
+                    for handler in enclosing.handlers:
+                        if _handler_names(handler) & MSR_HANDLERS:
+                            protected.add(id(node))
+            for child in ast.iter_child_nodes(node):
+                if isinstance(node, ast.Try) and child in node.body:
+                    walk(child, tries + (node,))
+                else:
+                    walk(child, tries)
+
+        walk(src.tree, ())
+        for call in writes:
+            if id(call) not in protected:
+                yield self.finding(
+                    src, call,
+                    "MSR/cpufreq write outside MSRError containment — "
+                    "wrap it in the bounded-retry pattern so an abandoned "
+                    "write can park the core",
+                )
+
+        # classes that program MSRs must have a park/quarantine path
+        for cls in ast.walk(src.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            cls_writes = [
+                n for n in ast.walk(cls)
+                if isinstance(n, ast.Call) and _is_msr_write(n)
+            ]
+            if not cls_writes:
+                continue
+            has_failsafe = any(
+                isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Attribute)
+                and any(f in n.func.attr for f in FAILSAFE_FRAGMENTS)
+                for n in ast.walk(cls)
+            )
+            if not has_failsafe:
+                yield self.finding(
+                    src, cls_writes[0],
+                    f"class {cls.name} programs MSRs but has no "
+                    "park/quarantine fail-safe reachable from the write "
+                    "path — an unprogrammable core must not keep burning "
+                    "at its stale frequency",
+                )

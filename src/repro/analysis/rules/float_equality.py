@@ -1,0 +1,106 @@
+"""Float-equality rule: no ``==``/``!=`` on float-carrying values.
+
+Power, frequency, time, and share quantities are floats everywhere in
+this codebase; exact equality on them is only ever correct when both
+sides provably come from the same literal or the same quantized grid —
+and those few deliberate sentinels carry inline suppressions explaining
+why.  Everything else must go through the tolerance helpers
+(:func:`repro.units.approx_eq`, :func:`repro.units.is_zero`,
+``math.isclose``) so a one-ULP wobble can't flip a control decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule
+from repro.analysis.source import SourceFile
+from repro.analysis.rules.unit_safety import unit_of_name
+
+#: functions whose bodies are the approved tolerance helpers — exact
+#: comparisons inside them are the implementation, not a violation.
+APPROVED_HELPERS = frozenset({"approx_eq", "is_zero", "isclose"})
+
+#: unit suffixes that carry *float* values.  Integer-valued units —
+#: engine ticks, sysfs kHz, RAPL micro-joule counters — compare exactly
+#: by design and are excluded.
+FLOAT_UNITS = frozenset({"W", "MHz", "GHz", "IPS", "s", "J", "frac",
+                         "shares"})
+
+
+def _floatish(node: ast.expr) -> str | None:
+    """Why an expression looks float-valued, or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return f"float literal {node.value!r}"
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is not None and unit_of_name(name) in FLOAT_UNITS:
+        return f"'{name}' (unit-suffixed float)"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return "float(...) conversion"
+    if isinstance(node, ast.BinOp):
+        return _floatish(node.left) or _floatish(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _floatish(node.operand)
+    return None
+
+
+def _approved_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in APPROVED_HELPERS
+        ):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+class FloatEqualityRule(Rule):
+    name = "float-equality"
+    contract = (
+        "Float-carrying quantities (unit-suffixed names, float literals, "
+        "float() conversions) are never compared with == or != outside "
+        "the approved tolerance helpers; use repro.units.approx_eq / "
+        "is_zero (or math.isclose) instead.  The handful of deliberate "
+        "exact sentinels — values the code itself constructs, like the "
+        "deadband's literal 0.0 or the DVFS grid's quantized points — "
+        "carry inline suppressions stating that provenance."
+    )
+    design_ref = "DESIGN.md §10.5"
+    hint = "use repro.units.approx_eq / repro.units.is_zero"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        approved = _approved_spans(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if any(lo <= node.lineno <= hi for lo, hi in approved):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    evidence = _floatish(left) or _floatish(right)
+                    # `x == 0` with an int literal still bites floats
+                    if evidence is None and (
+                        isinstance(left, ast.Constant)
+                        or isinstance(right, ast.Constant)
+                    ):
+                        evidence = None  # int/str constants alone: pass
+                    if evidence is not None:
+                        yield self.finding(
+                            src, node,
+                            f"exact {'==' if isinstance(op, ast.Eq) else '!='}"
+                            f" on {evidence} — floats need a tolerance",
+                        )
+                        break
+                left = right

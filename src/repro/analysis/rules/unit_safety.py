@@ -1,0 +1,215 @@
+"""Unit-safety rule: no arithmetic that mixes watts, MHz, shares, IPS…
+
+``repro.units`` documents the library's unit conventions (MHz
+frequencies, watt powers, second/tick times, micro-joule counters) and
+centralises the conversions; the codebase encodes units in name
+suffixes (``limit_w``, ``freq_mhz``, ``duration_s``, ``shares``).  This
+rule makes the convention machine-checked: it infers a unit for every
+name from its suffix, traces units through simple assignments and the
+``units.py`` converter functions, and flags additive arithmetic,
+comparisons, and keyword-argument bindings that mix two different
+units.  Multiplication and division legitimately combine units and are
+left alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, dotted_name, walk_scope
+from repro.analysis.source import SourceFile
+
+#: name-suffix → unit.  Longest suffix wins; names are lowercased first.
+UNIT_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("_watts", "W"),
+    ("_w", "W"),
+    ("_mhz", "MHz"),
+    ("_khz", "kHz"),
+    ("_ghz", "GHz"),
+    ("_ips", "IPS"),
+    ("_seconds", "s"),
+    ("_s", "s"),
+    ("_ticks", "ticks"),
+    ("_joules", "J"),
+    ("_uj", "uJ"),
+    ("_j", "J"),
+    ("_fraction", "frac"),
+    ("_frac", "frac"),
+    ("shares", "shares"),
+)
+
+#: ``units.py`` converters: callee → (argument unit, result unit).
+CONVERTERS: dict[str, tuple[str, str]] = {
+    "ghz": ("GHz", "MHz"),
+    "mhz_to_ghz": ("MHz", "GHz"),
+    "mhz_to_khz": ("MHz", "kHz"),
+    "khz_to_mhz": ("kHz", "MHz"),
+    "joules_to_uj": ("J", "uJ"),
+    "uj_to_joules": ("uJ", "J"),
+}
+
+#: calls that return their first argument's unit unchanged.
+UNIT_PRESERVING = frozenset({"clamp", "abs", "float", "round", "quantize_down",
+                             "quantize_nearest"})
+
+_COMPARISONS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def unit_of_name(name: str) -> str | None:
+    """Unit implied by a name's suffix convention, or None."""
+    low = name.lower()
+    for suffix, unit in UNIT_SUFFIXES:
+        if low.endswith(suffix):
+            return unit
+    return None
+
+
+class _Scope:
+    """Name → unit environment for one function (or the module body)."""
+
+    def __init__(self, node: ast.AST) -> None:
+        self.env: dict[str, str | None] = {}
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)
+            ):
+                self.env[arg.arg] = unit_of_name(arg.arg)
+        # pre-pass: record single-target assignments in lexical order so
+        # a name assigned an unknown-unit value shadows its suffix.
+        for child in walk_scope(node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(child, ast.Assign) and len(child.targets) == 1:
+                target, value = child.targets[0], child.value
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                target, value = child.target, child.value
+            if isinstance(target, ast.Name) and value is not None:
+                # a unitless value (literal, unknown call) leaves the
+                # suffix convention in force; a *different* unit makes
+                # the name ambiguous and stops tracking.
+                inferred = (
+                    self.infer(value, collect=None)
+                    or unit_of_name(target.id)
+                )
+                if target.id in self.env:
+                    old = self.env[target.id]
+                    self.env[target.id] = (
+                        inferred if old in (None, inferred) else None
+                    )
+                else:
+                    self.env[target.id] = inferred
+
+    def infer(
+        self,
+        node: ast.expr,
+        collect: list[tuple[ast.expr, str, str]] | None,
+    ) -> str | None:
+        """Unit of an expression; mismatches appended to ``collect``
+        as ``(node, left_unit, right_unit)``."""
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, unit_of_name(node.id))
+        if isinstance(node, ast.Attribute):
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand, collect)
+        if isinstance(node, ast.IfExp):
+            a = self.infer(node.body, collect)
+            b = self.infer(node.orelse, collect)
+            return a if a == b else None
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left, collect)
+            right = self.infer(node.right, collect)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                if left and right and left != right:
+                    if collect is not None:
+                        collect.append((node, left, right))
+                    return None
+                return left if left == right else (left or right)
+            return None  # *, /, //, %, ** combine units legitimately
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func).rsplit(".", 1)[-1]
+            if callee in CONVERTERS and node.args:
+                expected, result = CONVERTERS[callee]
+                got = self.infer(node.args[0], collect)
+                if got and got != expected and collect is not None:
+                    collect.append((node, got, f"{expected} (arg of "
+                                               f"{callee})"))
+                return result
+            if callee in UNIT_PRESERVING and node.args:
+                return self.infer(node.args[0], collect)
+            if callee in ("min", "max"):
+                units = {self.infer(a, collect) for a in node.args}
+                units.discard(None)
+                if len(units) == 1:
+                    return units.pop()
+            return None
+        return None
+
+
+class UnitSafetyRule(Rule):
+    name = "unit-safety"
+    contract = (
+        "Quantities carry their unit in their name suffix (_w, _mhz, "
+        "_khz, _ghz, _ips, _s, _ticks, _j, _uj, shares) and may only be "
+        "added, subtracted, compared, or bound to a keyword argument "
+        "when the units agree; conversions go through the repro.units "
+        "helpers, and a units.py converter must be fed the unit it "
+        "documents.  One watt-vs-MHz slip in the daemon's control loop "
+        "silently corrupts power delivery, so the convention is "
+        "machine-checked rather than reviewer-checked."
+    )
+    design_ref = "DESIGN.md §10.3"
+    hint = "convert via repro.units helpers or fix the mis-suffixed name"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [src.tree]
+        scopes.extend(
+            n for n in ast.walk(src.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope_node in scopes:
+            scope = _Scope(scope_node)
+            mismatches: list[tuple[ast.expr, str, str]] = []
+            reported: set[int] = set()
+            for node in walk_scope(scope_node):
+                if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub)
+                ):
+                    scope.infer(node, mismatches)
+                elif isinstance(node, ast.Compare):
+                    left = node.left
+                    for op, right in zip(node.ops, node.comparators):
+                        if isinstance(op, _COMPARISONS):
+                            lu = scope.infer(left, mismatches)
+                            ru = scope.infer(right, mismatches)
+                            if lu and ru and lu != ru:
+                                mismatches.append((node, lu, ru))
+                        left = right
+                elif isinstance(node, ast.Call):
+                    # converter fed the wrong unit (positional arg)
+                    callee = dotted_name(node.func).rsplit(".", 1)[-1]
+                    if callee in CONVERTERS:
+                        scope.infer(node, mismatches)
+                    for kw in node.keywords:
+                        if kw.arg is None:
+                            continue
+                        expected = unit_of_name(kw.arg)
+                        got = scope.infer(kw.value, mismatches)
+                        if expected and got and expected != got:
+                            mismatches.append(
+                                (kw.value, got,
+                                 f"{expected} (keyword {kw.arg}=)")
+                            )
+            for expr, left_u, right_u in mismatches:
+                if id(expr) in reported:
+                    continue
+                reported.add(id(expr))
+                yield self.finding(
+                    src, expr,
+                    f"arithmetic/comparison mixes units: {left_u} vs "
+                    f"{right_u}",
+                )

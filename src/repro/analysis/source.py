@@ -1,0 +1,102 @@
+"""Parsed source files and inline suppression comments.
+
+A :class:`SourceFile` bundles everything a rule needs: the repo-relative
+path (rules scope themselves by path segments), the raw text and split
+lines (findings carry their stripped source line as a baseline anchor),
+the parsed AST, and the file's ``# repro-lint: disable=`` comments.
+
+Suppression syntax (with a real rule name in place of ``<rule>``)::
+
+    x = 1.0 == y  # repro-lint: disable=<rule> — exact sentinel
+    # repro-lint: disable=<rule> — wall-clock footer is cosmetic
+    started = time.time()
+
+A comment on a code line covers findings on that line; a comment alone
+on its own line covers the next line.  The em-dash (or ``--``/``:``)
+separated reason is mandatory — a disable without one is itself a
+finding, so every suppression documents its contract exception.
+(The examples above use ``<rule>`` placeholders deliberately: the
+parser is line-based and would otherwise read its own documentation.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: accepted spelling: ``repro-lint: disable=`` + comma list + reason
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-]+)"
+    r"(?:\s*(?:—|–|--+|:)\s*(.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed inline disable comment."""
+
+    rules: tuple[str, ...]
+    #: line the comment sits on (1-based).
+    line: int
+    #: line findings must sit on to be covered.
+    target_line: int
+    reason: str
+    #: set by the engine once any finding was covered.
+    used: bool = False
+
+
+@dataclass
+class SourceFile:
+    """One file under analysis: path, text, AST, and suppressions."""
+
+    path: str
+    text: str
+    lines: list[str] = field(default_factory=list)
+    tree: ast.Module = field(default_factory=lambda: ast.Module(body=[], type_ignores=[]))
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def from_text(cls, path: str, text: str) -> "SourceFile":
+        """Parse ``text``; raises :class:`SyntaxError` on broken input."""
+        tree = ast.parse(text, filename=path)
+        src = cls(path=path.replace("\\", "/"), text=text,
+                  lines=text.splitlines(), tree=tree)
+        src.suppressions = _parse_suppressions(src.lines)
+        return src
+
+    @classmethod
+    def from_path(cls, file_path: Path, root: Path) -> "SourceFile":
+        rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        return cls.from_text(rel, file_path.read_text(encoding="utf-8"))
+
+    def line_text(self, line: int) -> str:
+        """Stripped source of a 1-based line ('' when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def suppressions_for(self, line: int, rule: str) -> list[Suppression]:
+        return [
+            s for s in self.suppressions
+            if rule in s.rules and line in (s.line, s.target_line)
+        ]
+
+
+def _parse_suppressions(lines: list[str]) -> list[Suppression]:
+    found: list[Suppression] = []
+    for number, raw in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(raw)
+        if match is None:
+            continue
+        rules = tuple(
+            name.strip() for name in match.group(1).split(",") if name.strip()
+        )
+        reason = (match.group(2) or "").strip()
+        comment_only = raw.strip().startswith("#")
+        target = number + 1 if comment_only else number
+        found.append(Suppression(
+            rules=rules, line=number, target_line=target, reason=reason,
+        ))
+    return found

@@ -463,6 +463,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "--no-cache", action="store_true",
                 help="bypass the on-disk result cache",
             )
+    # 'lint' is listed for help/discoverability; main() forwards its
+    # arguments to repro.analysis.cli before this parser ever runs
+    # (argparse.REMAINDER cannot forward leading options).
+    sub.add_parser(
+        "lint",
+        help="static analysis: determinism, unit-safety, fail-safety "
+             "contracts (see DESIGN.md §10)",
+        add_help=False,
+    )
     cluster = sub.add_parser(
         "cluster",
         help="N simulated nodes under one facility budget "
@@ -559,9 +568,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["lint"]:
+        from repro.analysis.cli import run_lint
+
+        return run_lint(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        for name in sorted(_COMMANDS) + ["cluster", "run", "sweep", "watch"]:
+        for name in sorted(_COMMANDS) + [
+            "cluster", "lint", "run", "sweep", "watch"
+        ]:
             print(name)
         return 0
     if args.command == "faults":

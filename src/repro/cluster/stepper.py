@@ -74,7 +74,10 @@ def _worker_main(config: ClusterConfig, indices: list[int], conn) -> None:
                     for node in nodes
                     if node.spec.name in caps_w and node.active_in(t0, t1)
                 ]
-            except Exception as exc:  # ship the failure to the parent
+            # worker boundary: any failure is serialized to the parent
+            # and re-raised there, so nothing is swallowed
+            # repro-lint: disable=fail-safety — exception ships to parent
+            except Exception as exc:
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
                 return
             conn.send(("reports", reports))

@@ -133,6 +133,7 @@ class FrequencySharesPolicy(Policy):
             if inputs.iteration < self._hold_until:
                 # probing is on hold after a recent overshoot
                 return PolicyDecision(targets=dict(self._targets))
+        # repro-lint: disable=float-equality — scaled_step deadband returns literal 0.0
         elif error_w == 0.0:
             self._last_move_up = False
             return PolicyDecision(targets=dict(self._targets))

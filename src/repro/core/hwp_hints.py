@@ -107,6 +107,7 @@ class HwpHintsPolicy(Policy):
 
     def redistribute(self, inputs: PolicyInputs) -> PolicyDecision:
         error_w = self.scaled_step(inputs.power_error_w)
+        # repro-lint: disable=float-equality — scaled_step deadband returns literal 0.0
         if error_w != 0.0:
             delta = (
                 self.alpha(error_w)

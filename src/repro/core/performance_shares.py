@@ -181,6 +181,7 @@ class PerformanceSharesPolicy(Policy):
 
     def redistribute(self, inputs: PolicyInputs) -> PolicyDecision:
         error_w = self.scaled_step(inputs.power_error_w)
+        # repro-lint: disable=float-equality — scaled_step deadband returns literal 0.0
         if error_w != 0.0:
             performance_delta = (
                 self.alpha(error_w) * _MAX_PERFORMANCE * len(self.apps)

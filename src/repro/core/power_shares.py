@@ -104,6 +104,7 @@ class PowerSharesPolicy(Policy):
     def redistribute(self, inputs: PolicyInputs) -> PolicyDecision:
         # global step: keep the sum of per-app limits tracking the budget
         error_w = self.scaled_step(inputs.power_error_w)
+        # repro-lint: disable=float-equality — scaled_step deadband returns literal 0.0
         if error_w != 0.0:
             claims = self._power_claims()
             lo, hi = pool_bounds(claims)

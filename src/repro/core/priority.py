@@ -187,6 +187,7 @@ class PriorityPolicy(Policy):
         bin just above).  Stability is what gates the LP admission trial.
         """
         error_w = self.scaled_step(inputs.power_error_w)
+        # repro-lint: disable=float-equality — scaled_step deadband returns literal 0.0
         if error_w == 0.0:
             self._stable_count += 1
             return
@@ -227,6 +228,7 @@ class PriorityPolicy(Policy):
         """Give LP residual power / take it back.  Returns True if the
         over-limit condition was fully absorbed by LP."""
         error_w = self.scaled_step(inputs.power_error_w)
+        # repro-lint: disable=float-equality — scaled_step deadband returns literal 0.0
         if error_w == 0.0:
             return True
         delta = (

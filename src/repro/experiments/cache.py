@@ -35,10 +35,15 @@ import os
 import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from repro.config import AppSpec, ExperimentConfig
 from repro.core.types import Priority
 from repro.experiments.runner import SteadyAppResult, SteadyRunResult
+
+if TYPE_CHECKING:
+    from repro.cluster.config import ClusterConfig
+    from repro.experiments.cluster_exp import ClusterRunResult
 
 #: code-version salt folded into every cache key.  Bump whenever a
 #: change alters simulator *outputs* (models, policies, aggregation);
@@ -64,7 +69,7 @@ def _jsonable(obj: object) -> object:
     raise TypeError(f"not JSON-serializable: {obj!r}")
 
 
-def config_to_jsonable(config: ExperimentConfig) -> dict:
+def config_to_jsonable(config: ExperimentConfig) -> dict[str, Any]:
     """Full-fidelity JSON form of a config (enums by name)."""
     raw = asdict(config)
     for app in raw["apps"]:
@@ -72,7 +77,7 @@ def config_to_jsonable(config: ExperimentConfig) -> dict:
     return raw
 
 
-def config_from_jsonable(data: dict) -> ExperimentConfig:
+def config_from_jsonable(data: dict[str, Any]) -> ExperimentConfig:
     apps = tuple(
         AppSpec(
             benchmark=a["benchmark"],
@@ -85,7 +90,7 @@ def config_from_jsonable(data: dict) -> ExperimentConfig:
     return ExperimentConfig(**{**data, "apps": apps})
 
 
-def result_to_jsonable(result: SteadyRunResult) -> dict:
+def result_to_jsonable(result: SteadyRunResult) -> dict[str, Any]:
     return {
         "config": config_to_jsonable(result.config),
         "mean_package_power_w": result.mean_package_power_w,
@@ -93,7 +98,7 @@ def result_to_jsonable(result: SteadyRunResult) -> dict:
     }
 
 
-def result_from_jsonable(data: dict) -> SteadyRunResult:
+def result_from_jsonable(data: dict[str, Any]) -> SteadyRunResult:
     return SteadyRunResult(
         config=config_from_jsonable(data["config"]),
         mean_package_power_w=data["mean_package_power_w"],
@@ -118,7 +123,9 @@ def cache_key(
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def cluster_cache_key(config, duration_s: float, warmup_s: float) -> str:
+def cluster_cache_key(
+    config: "ClusterConfig", duration_s: float, warmup_s: float
+) -> str:
     """Stable content hash of one cluster run's complete inputs.
 
     The ``kind`` discriminator keeps cluster keys disjoint from
@@ -231,7 +238,12 @@ class ResultCache:
     # the same hit/miss/store accounting on the same handle (the full
     # report's footer counts both).
 
-    def get_cluster(self, config, duration_s: float, warmup_s: float):
+    def get_cluster(
+        self,
+        config: "ClusterConfig",
+        duration_s: float,
+        warmup_s: float,
+    ) -> "ClusterRunResult | None":
         from repro.experiments.cluster_exp import cluster_result_from_jsonable
 
         path = self._path(cluster_cache_key(config, duration_s, warmup_s))
@@ -254,7 +266,11 @@ class ResultCache:
         return result
 
     def put_cluster(
-        self, config, duration_s: float, warmup_s: float, result
+        self,
+        config: "ClusterConfig",
+        duration_s: float,
+        warmup_s: float,
+        result: "ClusterRunResult",
     ) -> None:
         from repro.experiments.cluster_exp import cluster_result_to_jsonable
 

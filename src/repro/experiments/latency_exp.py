@@ -28,6 +28,7 @@ from repro.hw.platform import get_platform
 from repro.sim.chip import Chip
 from repro.sim.core import BatchCoreLoad, ClusterCoreLoad
 from repro.sim.engine import SimEngine
+from repro.units import approx_eq
 from repro.workloads.app import RunningApp
 from repro.workloads.cpuburn import cpuburn
 from repro.workloads.websearch import WebsearchCluster, WebsearchConfig
@@ -68,7 +69,7 @@ class LatencyResult:
         for run in self.runs:
             if (
                 run.policy == policy
-                and abs(run.limit_w - limit_w) < 1e-6
+                and approx_eq(run.limit_w, limit_w, abs_tol=1e-6)
                 and run.colocated == colocated
             ):
                 return run

@@ -109,6 +109,7 @@ def run_random_sweep(
             instances = [
                 r for r, spec in zip(result.apps, specs)
                 if spec.benchmark == name
+                # repro-lint: disable=float-equality — both sides are the same SHARE_LEVELS literal
                 and spec.shares == SHARE_LEVELS[index]
             ]
             freqs.append(

@@ -97,6 +97,7 @@ class FaultScenario:
                 )
         if self.tick_max_jitter_s < 0:
             raise FaultConfigError("tick_max_jitter_s cannot be negative")
+        # repro-lint: disable=float-equality — 0 is the untouched-config sentinel
         if self.tick_jitter_rate > 0 and self.tick_max_jitter_s == 0:
             raise FaultConfigError(
                 "tick_jitter_rate needs a positive tick_max_jitter_s"

@@ -92,6 +92,7 @@ class PlatformSpec:
         lo, hi = self.rapl_limit_range_w
         if self.has_rapl_limit and not 0 < lo < hi:
             raise ConfigError(f"bad RAPL limit range [{lo}, {hi}]")
+        # repro-lint: disable=float-equality — 0.0 is the unset-default sentinel
         if self.policy_floor_mhz == 0.0:
             object.__setattr__(
                 self, "policy_floor_mhz", self.pstates.min_frequency_mhz

@@ -152,6 +152,7 @@ class Chip:
         self.platform.validate_core(core_id)
         pstate = self.platform.pstates.pstate_for_frequency(frequency_mhz)
         core = self.cores[core_id]
+        # repro-lint: disable=float-equality — both sides are points of the same quantized P-state grid
         if core.requested_mhz != pstate.frequency_mhz:
             core.requested_mhz = pstate.frequency_mhz
             self._dirty = True

@@ -102,6 +102,7 @@ class BatchCoreLoad:
             dt_s, frequency_mhz, self.reference_mhz, sim_time_s
         )
         model = self.app.model
+        # repro-lint: disable=float-equality — memo key: same quantized grid point, identity is intended
         if frequency_mhz != self._factor_freq:
             self._factor = model.activity_power_factor(
                 frequency_mhz, self.reference_mhz

@@ -38,6 +38,7 @@ from typing import Callable, Union
 
 from repro.errors import SimulationError
 from repro.sim.chip import Chip
+from repro.units import is_zero
 
 #: What a gate may return: ``"fire"`` (or ``None``) runs the callback,
 #: ``"drop"`` skips this deadline entirely, a positive float defers the
@@ -105,7 +106,7 @@ class SimEngine:
             phase_ticks = int(round(phase_s / self.chip.tick_s))
             if phase_ticks < 0:
                 raise SimulationError("phase cannot be negative")
-            if phase_ticks == 0 and phase_s != 0.0:
+            if phase_ticks == 0 and not is_zero(phase_s):
                 raise SimulationError(
                     f"phase {phase_s}s is below one tick "
                     f"({self.chip.tick_s}s); use phase_s=0 for the next "

@@ -17,6 +17,7 @@ easy to get wrong (kHz sysfs values, micro-joule counters with wraparound).
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Sequence
 
 MHZ_PER_GHZ = 1000.0
@@ -57,6 +58,36 @@ def joules_to_uj(value_j: float) -> int:
 def uj_to_joules(value_uj: int) -> float:
     """Convert RAPL micro-joules to joules."""
     return value_uj * MICROJOULE
+
+
+#: default relative tolerance for float comparisons: generous against
+#: accumulated rounding over a long run, far below any physically
+#: meaningful difference in watts, MHz, or seconds.
+FLOAT_REL_TOL = 1e-9
+#: default absolute tolerance, so comparisons against 0.0 still work.
+FLOAT_ABS_TOL = 1e-12
+
+
+def approx_eq(
+    a: float,
+    b: float,
+    *,
+    rel_tol: float = FLOAT_REL_TOL,
+    abs_tol: float = FLOAT_ABS_TOL,
+) -> bool:
+    """Tolerant float equality — the approved alternative to ``==``.
+
+    The ``float-equality`` lint rule (DESIGN.md §10.5) bans exact
+    equality on float quantities; comparisons that mean "the same
+    physical value" go through here (or :func:`is_zero`), so a one-ULP
+    wobble from reordered arithmetic can't flip a control decision.
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def is_zero(value: float, *, abs_tol: float = FLOAT_ABS_TOL) -> bool:
+    """Tolerant test against zero (relative tolerance is useless there)."""
+    return abs(value) <= abs_tol
 
 
 def clamp(value: float, lo: float, hi: float) -> float:
@@ -101,6 +132,7 @@ def weighted_mean(values: Iterable[float], weights: Iterable[float]) -> float:
     for value, weight in zip(values, weights):
         num += value * weight
         den += weight
+    # repro-lint: disable=float-equality — guarding exact-zero division only
     if den == 0.0:
         raise ValueError("zero total weight")
     return num / den

@@ -160,6 +160,7 @@ class AppModel:
 
     def ipc_factor(self, sim_time_s: float) -> float:
         """Instantaneous IPC multiplier from phase behaviour."""
+        # repro-lint: disable=float-equality — 0.0 amplitude is a config literal meaning "no phases"
         if self.phase.ipc_amplitude == 0.0:
             return 1.0
         return 1.0 + self.phase.ipc_amplitude * math.sin(
@@ -168,6 +169,7 @@ class AppModel:
 
     def power_factor(self, sim_time_s: float) -> float:
         """Instantaneous power-demand multiplier from phase behaviour."""
+        # repro-lint: disable=float-equality — 0.0 amplitude is a config literal meaning "no phases"
         if self.phase.power_amplitude == 0.0:
             return 1.0
         return 1.0 + self.phase.power_amplitude * math.sin(

@@ -44,6 +44,7 @@ def nop_padded(
         raise ConfigError("nop_fraction must be in [0, 1)")
     if not 0.0 <= pipeline_overhead < 1.0:
         raise ConfigError("pipeline_overhead must be in [0, 1)")
+    # repro-lint: disable=float-equality — 0.0 is the config-literal "feature off" sentinel
     if nop_fraction == 0.0:
         return app
     inflation = 1.0 / (1.0 - nop_fraction)

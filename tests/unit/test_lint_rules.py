@@ -1,0 +1,521 @@
+"""Per-rule tests for the repro-lint static analyser.
+
+Every rule gets at least one snippet it must flag and one semantically
+close snippet it must pass — the pass cases pin down the false-positive
+boundary (seeded RNGs, unit-preserving helpers, sorted listings, ...)
+just as hard as the flag cases pin down detection.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import SourceFile, default_registry
+from repro.analysis.rules.cache_purity import CachePurityRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.fail_safety import FailSafetyRule
+from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.unit_safety import UnitSafetyRule, unit_of_name
+
+
+def run_rule(rule, code: str, path: str = "src/repro/sim/snippet.py"):
+    src = SourceFile.from_text(path, textwrap.dedent(code))
+    return list(rule.check(src))
+
+
+class TestDeterminism:
+    def test_global_random_flagged_anywhere(self):
+        findings = run_rule(
+            DeterminismRule(),
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            path="src/repro/hw/snippet.py",  # outside sim scope
+        )
+        assert len(findings) == 1
+        assert "random.random" in findings[0].message
+
+    def test_seeded_instance_passes(self):
+        assert not run_rule(
+            DeterminismRule(),
+            """
+            import random
+
+            def jitter(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """,
+        )
+
+    def test_unseeded_random_instance_flagged(self):
+        findings = run_rule(
+            DeterminismRule(),
+            """
+            import random
+
+            rng = random.Random()
+            """,
+        )
+        assert len(findings) == 1
+        assert "seed" in findings[0].message
+
+    def test_wall_clock_flagged_in_sim_scope(self):
+        findings = run_rule(
+            DeterminismRule(),
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert len(findings) == 1
+        assert "wall-clock" in findings[0].message
+
+    def test_wall_clock_allowed_outside_deterministic_scope(self):
+        assert not run_rule(
+            DeterminismRule(),
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            path="src/repro/hw/snippet.py",
+        )
+
+    def test_unsorted_listdir_flagged_sorted_passes(self):
+        flagged = run_rule(
+            DeterminismRule(),
+            """
+            import os
+
+            def entries(root):
+                return os.listdir(root)
+            """,
+        )
+        assert len(flagged) == 1
+        assert "sorted" in flagged[0].message
+        assert not run_rule(
+            DeterminismRule(),
+            """
+            import os
+
+            def entries(root):
+                return sorted(os.listdir(root))
+            """,
+        )
+
+
+class TestUnitSafety:
+    def test_suffix_table(self):
+        assert unit_of_name("limit_w") == "W"
+        assert unit_of_name("freq_mhz") == "MHz"
+        assert unit_of_name("shares") == "shares"
+        assert unit_of_name("plain") is None
+
+    def test_watts_plus_mhz_flagged(self):
+        findings = run_rule(
+            UnitSafetyRule(),
+            """
+            def broken(limit_w, freq_mhz):
+                return limit_w + freq_mhz
+            """,
+        )
+        assert len(findings) == 1
+        assert "W" in findings[0].message and "MHz" in findings[0].message
+
+    def test_same_unit_arithmetic_passes(self):
+        assert not run_rule(
+            UnitSafetyRule(),
+            """
+            def fine(limit_w, budget_w, duration_s, warmup_s):
+                headroom_w = budget_w - limit_w
+                return headroom_w, duration_s + warmup_s
+            """,
+        )
+
+    def test_unit_traced_through_assignment(self):
+        findings = run_rule(
+            UnitSafetyRule(),
+            """
+            def broken(limit_w):
+                cap = limit_w
+                freq_mhz = 800.0
+                return cap - freq_mhz
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_converter_changes_unit(self):
+        # ghz() yields MHz, so comparing against a _mhz name is fine...
+        assert not run_rule(
+            UnitSafetyRule(),
+            """
+            from repro.units import ghz
+
+            def fine(freq_mhz):
+                return freq_mhz < ghz(3.0)
+            """,
+        )
+        # ...but feeding a converter the wrong unit is flagged.
+        findings = run_rule(
+            UnitSafetyRule(),
+            """
+            from repro.units import khz_to_mhz
+
+            def broken(freq_mhz):
+                return khz_to_mhz(freq_mhz)
+            """,
+        )
+        assert len(findings) == 1
+        assert "kHz" in findings[0].message
+
+    def test_comparison_mix_flagged(self):
+        findings = run_rule(
+            UnitSafetyRule(),
+            """
+            def broken(power_w, limit_mhz):
+                return power_w > limit_mhz
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_keyword_argument_mix_flagged(self):
+        findings = run_rule(
+            UnitSafetyRule(),
+            """
+            def broken(set_cap, freq_mhz):
+                set_cap(limit_w=freq_mhz)
+            """,
+        )
+        assert len(findings) == 1
+        assert "keyword" in findings[0].message
+
+    def test_multiplication_combines_units_freely(self):
+        assert not run_rule(
+            UnitSafetyRule(),
+            """
+            def fine(power_w, duration_s):
+                energy_j = power_w * duration_s
+                return energy_j
+            """,
+        )
+
+
+class TestFailSafety:
+    def test_bare_except_flagged(self):
+        findings = run_rule(
+            FailSafetyRule(),
+            """
+            def read(msr):
+                try:
+                    return msr.read(0x611)
+                except:
+                    return 0
+            """,
+            path="src/repro/hw/snippet.py",
+        )
+        assert len(findings) == 1
+        assert "bare" in findings[0].message
+
+    def test_silent_broad_except_flagged_reraise_passes(self):
+        flagged = run_rule(
+            FailSafetyRule(),
+            """
+            def swallow(step):
+                try:
+                    step()
+                except Exception:
+                    pass
+            """,
+            path="src/repro/hw/snippet.py",
+        )
+        assert len(flagged) == 1
+        assert not run_rule(
+            FailSafetyRule(),
+            """
+            def ship(step):
+                try:
+                    step()
+                except Exception as exc:
+                    raise RuntimeError("contained") from exc
+            """,
+            path="src/repro/hw/snippet.py",
+        )
+
+    def test_unbounded_retry_flagged_bounded_passes(self):
+        flagged = run_rule(
+            FailSafetyRule(),
+            """
+            def spin(write):
+                while True:
+                    try:
+                        write()
+                        return
+                    except OSError:
+                        continue
+            """,
+            path="src/repro/hw/snippet.py",
+        )
+        assert len(flagged) == 1
+        assert "unbounded" in flagged[0].message
+        assert not run_rule(
+            FailSafetyRule(),
+            """
+            def bounded(write, retries):
+                for _ in range(retries):
+                    try:
+                        write()
+                        return True
+                    except OSError:
+                        continue
+                return False
+            """,
+            path="src/repro/hw/snippet.py",
+        )
+
+    def test_uncontained_msr_write_flagged_in_core(self):
+        findings = run_rule(
+            FailSafetyRule(),
+            """
+            class Writer:
+                def apply(self, cpufreq, freq):
+                    cpufreq.set_speed_mhz(0, freq)
+
+                def recover(self):
+                    self.park_core(0)
+
+                def park_core(self, core):
+                    self.parked = core
+            """,
+            path="src/repro/core/snippet.py",
+        )
+        assert len(findings) == 1
+        assert "containment" in findings[0].message
+
+    def test_contained_write_with_park_passes(self):
+        assert not run_rule(
+            FailSafetyRule(),
+            """
+            class Writer:
+                def apply(self, cpufreq, freq):
+                    try:
+                        cpufreq.set_speed_mhz(0, freq)
+                    except MSRError:
+                        self.park_core(0)
+
+                def park_core(self, core):
+                    self.parked = core
+            """,
+            path="src/repro/core/snippet.py",
+        )
+
+    def test_writing_class_without_failsafe_flagged(self):
+        findings = run_rule(
+            FailSafetyRule(),
+            """
+            class Writer:
+                def apply(self, cpufreq, freq):
+                    try:
+                        cpufreq.set_speed_mhz(0, freq)
+                    except MSRError:
+                        pass
+            """,
+            path="src/repro/core/snippet.py",
+        )
+        assert len(findings) == 1
+        assert "park/quarantine" in findings[0].message
+
+    def test_core_scope_only_for_write_containment(self):
+        # the same uncontained write outside repro/core/ is not this
+        # rule's business (sim code drives the chip model directly)
+        assert not run_rule(
+            FailSafetyRule(),
+            """
+            class Driver:
+                def apply(self, cpufreq, freq):
+                    cpufreq.set_speed_mhz(0, freq)
+            """,
+            path="src/repro/sim/snippet.py",
+        )
+
+
+class TestFloatEquality:
+    def test_float_literal_comparison_flagged(self):
+        findings = run_rule(
+            FloatEqualityRule(),
+            """
+            def broken(error_w):
+                return error_w == 0.0
+            """,
+        )
+        assert len(findings) == 1
+        assert "tolerance" in findings[0].message
+
+    def test_unit_suffixed_name_flagged_even_vs_int(self):
+        findings = run_rule(
+            FloatEqualityRule(),
+            """
+            def broken(power_w, limit_w):
+                return power_w != limit_w
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_approx_eq_usage_passes(self):
+        assert not run_rule(
+            FloatEqualityRule(),
+            """
+            from repro.units import approx_eq, is_zero
+
+            def fine(power_w, limit_w, error_w):
+                return approx_eq(power_w, limit_w) and is_zero(error_w)
+            """,
+        )
+
+    def test_int_comparisons_pass(self):
+        assert not run_rule(
+            FloatEqualityRule(),
+            """
+            def fine(n_ticks, period_ticks, value_khz):
+                return n_ticks == period_ticks or value_khz == 800_000
+            """,
+        )
+
+    def test_helper_bodies_are_exempt(self):
+        assert not run_rule(
+            FloatEqualityRule(),
+            """
+            def approx_eq(a, b):
+                return a == b or abs(a - b) < 1e-9
+            """,
+        )
+
+    def test_ordering_comparisons_pass(self):
+        assert not run_rule(
+            FloatEqualityRule(),
+            """
+            def fine(power_w, limit_w):
+                return power_w > limit_w
+            """,
+        )
+
+
+class TestCachePurity:
+    def test_env_read_in_key_builder_flagged(self):
+        findings = run_rule(
+            CachePurityRule(),
+            """
+            import hashlib
+            import os
+
+            def cache_key(config):
+                salt = os.environ.get("SALT", "")
+                return hashlib.sha256(salt.encode()).hexdigest()
+            """,
+        )
+        assert len(findings) == 1
+        assert "os.environ" in findings[0].message
+
+    def test_unsorted_json_dumps_flagged(self):
+        findings = run_rule(
+            CachePurityRule(),
+            """
+            import hashlib
+            import json
+
+            def cache_key(config):
+                payload = json.dumps(config)
+                return hashlib.sha256(payload.encode()).hexdigest()
+            """,
+        )
+        assert len(findings) == 1
+        assert "sort_keys" in findings[0].message
+
+    def test_sorted_json_dumps_passes(self):
+        assert not run_rule(
+            CachePurityRule(),
+            """
+            import hashlib
+            import json
+
+            def cache_key(config):
+                payload = json.dumps(config, sort_keys=True)
+                return hashlib.sha256(payload.encode()).hexdigest()
+            """,
+        )
+
+    def test_builtin_hash_flagged(self):
+        findings = run_rule(
+            CachePurityRule(),
+            """
+            import hashlib
+
+            def cache_key(config):
+                return hashlib.sha256(str(hash(config)).encode()).hexdigest()
+            """,
+        )
+        assert len(findings) == 1
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_set_iteration_flagged_sorted_passes(self):
+        flagged = run_rule(
+            CachePurityRule(),
+            """
+            import hashlib
+
+            def cache_key(names):
+                parts = {n for n in names}
+                return hashlib.sha256(str(parts).encode()).hexdigest()
+            """,
+        )
+        assert len(flagged) == 1
+        assert not run_rule(
+            CachePurityRule(),
+            """
+            import hashlib
+
+            def cache_key(names):
+                parts = sorted({n for n in names})
+                return hashlib.sha256(str(parts).encode()).hexdigest()
+            """,
+        )
+
+    def test_non_key_functions_unconstrained(self):
+        assert not run_rule(
+            CachePurityRule(),
+            """
+            import os
+
+            def cache_dir():
+                return os.environ.get("REPRO_CACHE_DIR", "~/.cache")
+            """,
+        )
+
+
+class TestRegistry:
+    def test_default_registry_has_all_five_rules(self):
+        names = default_registry().names()
+        assert names == (
+            "determinism", "unit-safety", "fail-safety",
+            "float-equality", "cache-purity",
+        )
+
+    def test_findings_carry_location_and_design_ref(self):
+        registry = default_registry()
+        src = SourceFile.from_text(
+            "src/repro/sim/snippet.py",
+            "import time\n\n\ndef f():\n    return time.time()\n",
+        )
+        findings = registry.run(src)
+        assert findings
+        finding = findings[0]
+        assert finding.path == "src/repro/sim/snippet.py"
+        assert finding.line == 5
+        assert finding.context == "return time.time()"
+        rule = registry.rule(finding.rule)
+        assert rule.design_ref.startswith("DESIGN.md §10")
