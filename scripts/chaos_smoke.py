@@ -10,6 +10,12 @@ truth* power (not the daemon's possibly-lying telemetry):
   or below the operator limit plus tolerance, and
 * the daemon never crashes and keeps emitting health records.
 
+A cluster partition drill rides along: a node cut off from the arbiter
+must walk its lease ladder down to RAPL-backstop safe mode within
+``lease_ttl + 1`` epochs, the arbiter's cap-sum must stay at or below
+the facility budget through the whole outage, and the healed node must
+win its share back within two epochs.
+
 Exits nonzero on any violation.  Intended for CI::
 
     PYTHONPATH=src python scripts/chaos_smoke.py --check
@@ -94,6 +100,61 @@ def run_one(platform: str, limit_w: float, scenario: str, seed: int,
     return 1 if violations else 0
 
 
+def run_partition_check(seed: int) -> int:
+    """Lease expiry and recovery under a control-plane partition.
+
+    The ``node0-partition`` scenario severs node0's link for epochs
+    4–8; with the default TTL of 3 the node must hit SAFE by epoch 7
+    (ttl + 1 missed renewals) and be granted its full share again by
+    epoch 10 (heal + 1).  The cap-sum invariant is checked at every
+    epoch of the run, partition included.
+    """
+    from repro.cluster import run_cluster
+    from repro.experiments.cluster_exp import default_cluster_config
+
+    config = default_cluster_config(
+        n_nodes=3, transport="node0-partition", seed=seed
+    )
+    run = run_cluster(config, 140.0)
+    ttl = config.lease_ttl_epochs
+    start, heal = 4, 9  # the scenario's partition window [4, 9)
+    floor = config.node("node0").min_cap_w
+    failures = []
+    for epoch, grant in enumerate(run.grants):
+        if grant.total_w > config.budget_w + 1e-6:
+            failures.append(
+                f"cap-sum {grant.total_w:.3f} W over the "
+                f"{config.budget_w:.0f} W budget at epoch {epoch}"
+            )
+    states = [st.get("node0") for st in run.lease_states]
+    if "safe" not in states[start:start + ttl + 2]:
+        failures.append(
+            f"node0 never reached SAFE within {ttl + 1} epochs of the "
+            f"partition (states {states[start:start + ttl + 2]})"
+        )
+    recovered = [
+        epoch
+        for epoch in range(heal, min(heal + 2, len(states)))
+        if states[epoch] == "granted"
+        and run.grants[epoch].caps_w.get("node0", 0.0) > floor
+    ]
+    if not recovered:
+        failures.append(
+            "node0 was not re-admitted above its floor within 2 epochs "
+            f"of the heal (states {states[heal:heal + 2]})"
+        )
+    status = "FAIL" if failures else "ok"
+    safe_epochs = sum(1 for s in states if s == "safe")
+    print(f"[{status}] partition drill: node0 cut off epochs "
+          f"{start}-{heal - 1}, {safe_epochs} safe epochs, "
+          f"max cap sum {run.max_cap_sum_w():.1f} W of "
+          f"{config.budget_w:.0f} W, "
+          f"{run.transport_stats.dropped} envelopes dropped")
+    for failure in failures[:10]:
+        print(f"  {failure}")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--duration", type=float, default=60.0,
@@ -118,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         except FaultConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    rc |= run_partition_check(args.seed)
     if not args.skip_bench:
         # guard the simulator's throughput alongside its safety: fail
         # when ticks/sec regresses >30% against the committed baseline.

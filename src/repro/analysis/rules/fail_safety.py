@@ -16,7 +16,13 @@ shadow of that contract:
   that catches ``MSRError`` (bounded-retry containment), and any class
   that programs MSRs must also call a park/quarantine handler — a write
   path with no fail-safe reachable from it is exactly the bug that
-  leaves a core burning at a stale frequency.
+  leaves a core burning at a stale frequency;
+* in ``repro/cluster/``, the same containment contract applies to the
+  control plane: every ``.send(...)`` either goes through the
+  envelope/sequence-guarded transport layer or sits inside a ``try``
+  that catches the pipe failure modes — a raw unguarded send is the
+  cluster analog of an uncontained MSR write (a cap "applied" that
+  nobody enforces).
 """
 
 from __future__ import annotations
@@ -30,6 +36,24 @@ from repro.analysis.source import SourceFile
 
 #: layer whose write paths must be containment-wrapped.
 DAEMON_SCOPE = "/core/"
+
+#: layer whose control-plane sends must be transport- or containment-
+#: wrapped; the transport module itself is the designated raw layer.
+CLUSTER_SCOPE = "/cluster/"
+TRANSPORT_MODULE = "transport.py"
+
+#: receiver-name fragments marking the guarded envelope path.
+TRANSPORT_FRAGMENT = "transport"
+
+#: exception names accepted as pipe/send containment handlers.
+SEND_HANDLERS = frozenset({
+    "BrokenPipeError",
+    "ConnectionError",
+    "EOFError",
+    "OSError",
+    "ReproError",
+    "SimulationError",
+})
 
 #: attribute calls that program hardware through the MSR proxy.
 WRITE_ATTRS = frozenset({"set_speed_mhz", "set_speed_khz"})
@@ -83,12 +107,16 @@ class FailSafetyRule(Rule):
         "MSR-proxy write is wrapped in MSRError containment inside a "
         "class that can park or quarantine the core it failed to "
         "program.  Bare excepts, silent broad catches, and while-True "
-        "retry loops defeat the health record's audit trail."
+        "retry loops defeat the health record's audit trail.  In "
+        "repro/cluster/ the analog holds for the control plane: sends "
+        "travel the sequence-guarded transport or catch their pipe "
+        "failure modes."
     )
     design_ref = "DESIGN.md §10.4"
     hint = (
         "catch MSRError/ReproError narrowly, bound the retry, and park "
-        "or quarantine what you cannot program"
+        "or quarantine what you cannot program; route cluster messages "
+        "through the transport or contain the pipe errors"
     )
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
@@ -96,6 +124,10 @@ class FailSafetyRule(Rule):
         yield from self._check_retry_loops(src)
         if DAEMON_SCOPE in f"/{src.path}":
             yield from self._check_write_containment(src)
+        if CLUSTER_SCOPE in f"/{src.path}" and not src.path.endswith(
+            TRANSPORT_MODULE
+        ):
+            yield from self._check_send_containment(src)
 
     # -- broad/bare handlers ------------------------------------------------------
 
@@ -177,6 +209,53 @@ class FailSafetyRule(Rule):
                 )
 
         # classes that program MSRs must have a park/quarantine path
+        yield from self._check_class_failsafes(src)
+
+    # -- cluster send containment -------------------------------------------------
+
+    def _check_send_containment(self, src: SourceFile) -> Iterator[Finding]:
+        """Control-plane sends: guarded transport or contained pipes.
+
+        A ``.send(...)`` whose receiver is the transport layer travels
+        epoch-sequenced envelopes (validated, deduplicated, fault-
+        injected deterministically); any other send is a raw pipe write
+        and must sit inside a ``try`` that catches the pipe failure
+        modes, mirroring the MSR-write containment one layer down.
+        """
+        unprotected: list[ast.Call] = []
+
+        def walk(node: ast.AST, tries: tuple[ast.Try, ...]) -> None:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+            ):
+                base = dotted_name(node.func.value).rsplit(".", 1)[-1]
+                contained = TRANSPORT_FRAGMENT in base or any(
+                    _handler_names(handler) & SEND_HANDLERS
+                    for enclosing in tries
+                    for handler in enclosing.handlers
+                )
+                if not contained:
+                    unprotected.append(node)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(node, ast.Try) and child in node.body:
+                    walk(child, tries + (node,))
+                else:
+                    walk(child, tries)
+
+        walk(src.tree, ())
+        for call in unprotected:
+            yield self.finding(
+                src, call,
+                "control-plane send outside the guarded transport and "
+                "outside pipe-error containment — route it through the "
+                "envelope layer or catch the pipe failure modes so a "
+                "lost message degrades to a lease step-down, not a "
+                "crash",
+            )
+
+    def _check_class_failsafes(self, src: SourceFile) -> Iterator[Finding]:
         for cls in ast.walk(src.tree):
             if not isinstance(cls, ast.ClassDef):
                 continue

@@ -247,6 +247,8 @@ def _cmd_cluster(args) -> int:
         nodes=tuple(nodes),
         epoch_ticks=args.epoch_ticks,
         seed=args.seed,
+        transport=args.transport_faults,
+        lease_ttl_epochs=args.lease_ttl,
     )
     cache = ResultCache.from_env(enabled=not args.no_cache)
     result = run_cluster_experiment(
@@ -265,6 +267,18 @@ def _cmd_cluster(args) -> int:
           f"max cap sum {result.max_cap_sum_w:.1f} W of "
           f"{args.budget:.0f} W budget; "
           f"cap violations {result.cap_violations}")
+    if args.transport_faults is not None:
+        t = result.transport
+        print(
+            f"control plane ({args.transport_faults}, lease TTL "
+            f"{args.lease_ttl} epochs): "
+            f"{t.get('sent', 0)} sent, {t.get('delivered', 0)} delivered, "
+            f"{t.get('dropped', 0)} dropped, {t.get('delayed', 0)} delayed, "
+            f"{t.get('duplicated', 0)} duplicated, "
+            f"{t.get('stale', 0)} stale; "
+            f"{result.safe_node_epochs} safe node-epochs, "
+            f"{result.degraded_grants} degraded grants"
+        )
     if cache is not None:
         print(f"cache: {cache.stats.hits} hits, "
               f"{cache.stats.misses} misses, "
@@ -512,6 +526,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(per-node schedules derive from --seed)",
     )
     cluster.add_argument(
+        "--transport-faults", default=None, metavar="SCENARIO",
+        help="inject a named control-plane fault scenario into the "
+             "node<->arbiter message layer (see 'repro-power faults')",
+    )
+    cluster.add_argument(
+        "--lease-ttl", type=int, default=3, metavar="EPOCHS",
+        help="cap-lease TTL in epochs before a silent node steps down "
+             "to its floor and then to RAPL-backstop safe mode",
+    )
+    cluster.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="step nodes across N worker processes (byte-identical "
              "to serial)",
@@ -582,9 +606,12 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "faults":
-        from repro.faults import SCENARIOS
+        from repro.faults import SCENARIOS, TRANSPORT_SCENARIOS
 
-        width = max(len(name) for name in SCENARIOS)
+        width = max(
+            len(name)
+            for name in list(SCENARIOS) + list(TRANSPORT_SCENARIOS)
+        )
         for name, scenario in sorted(SCENARIOS.items()):
             active = [
                 f for f in (
@@ -598,6 +625,22 @@ def main(argv: list[str] | None = None) -> int:
                 active.append("app_crashes")
             if scenario.window_s is not None:
                 active.append(f"window={scenario.window_s}")
+            print(f"{name.ljust(width)}  {', '.join(active) or 'clean'}")
+        print()
+        print("transport scenarios (cluster --transport-faults):")
+        for name, ts in sorted(TRANSPORT_SCENARIOS.items()):
+            active = [
+                f for f in (
+                    "drop_rate", "dup_rate", "delay_rate", "reorder_rate",
+                ) if getattr(ts, f) > 0
+            ]
+            if ts.partitions:
+                active.append(
+                    "partitions=" + ",".join(
+                        f"{p.node or '*'}@{p.start_epoch}-{p.end_epoch}"
+                        for p in ts.partitions
+                    )
+                )
             print(f"{name.ljust(width)}  {', '.join(active) or 'clean'}")
         return 0
     try:

@@ -9,12 +9,16 @@ watt budget and, on a slower epoch loop, re-splits per-node power caps
 from a two-level shares tree driven by each node's demand signals
 (throttle pressure, headroom, parked/quarantined cores).
 
-* :mod:`repro.cluster.config`  — declarative fleet description,
-* :mod:`repro.cluster.node`    — one node stepped in epochs,
-* :mod:`repro.cluster.arbiter` — the epoch redistribution,
-* :mod:`repro.cluster.stepper` — serial / fork-parallel node stepping,
-* :mod:`repro.cluster.trace`   — per-node + global telemetry roll-up,
-* :mod:`repro.cluster.runtime` — the epoch loop tying it together.
+* :mod:`repro.cluster.config`    — declarative fleet description,
+* :mod:`repro.cluster.node`      — one node stepped in epochs,
+* :mod:`repro.cluster.arbiter`   — the epoch redistribution,
+* :mod:`repro.cluster.transport` — the faultable control-plane message
+  layer (epoch-sequenced demand/grant envelopes),
+* :mod:`repro.cluster.lease`     — TTL cap leases and the node-side
+  GRANTED → HOLDOVER → DEGRADED → SAFE step-down ladder,
+* :mod:`repro.cluster.stepper`   — serial / fork-parallel node stepping,
+* :mod:`repro.cluster.trace`     — per-node + global telemetry roll-up,
+* :mod:`repro.cluster.runtime`   — the epoch loop tying it together.
 """
 
 from repro.cluster.arbiter import Arbitration, ClusterArbiter, DEMAND_SLACK
@@ -25,6 +29,7 @@ from repro.cluster.config import (
     cluster_config_from_jsonable,
     cluster_config_to_jsonable,
 )
+from repro.cluster.lease import LEASE_CODES, LeaseState, NodeLease
 from repro.cluster.node import ClusterNode, NodeEpochReport
 from repro.cluster.runtime import ClusterRun, ClusterSim, run_cluster
 from repro.cluster.stepper import (
@@ -33,8 +38,17 @@ from repro.cluster.stepper import (
     make_stepper,
 )
 from repro.cluster.trace import ClusterTrace
+from repro.cluster.transport import (
+    ARBITER,
+    Envelope,
+    SequenceGuard,
+    TransportStats,
+    UnreliableTransport,
+    fold_reports,
+)
 
 __all__ = [
+    "ARBITER",
     "Arbitration",
     "ClusterArbiter",
     "ClusterConfig",
@@ -43,13 +57,21 @@ __all__ = [
     "ClusterSim",
     "ClusterTrace",
     "DEMAND_SLACK",
+    "Envelope",
     "GroupSpec",
+    "LEASE_CODES",
+    "LeaseState",
     "NodeEpochReport",
+    "NodeLease",
     "NodeSpec",
     "ParallelNodeStepper",
+    "SequenceGuard",
     "SerialNodeStepper",
+    "TransportStats",
+    "UnreliableTransport",
     "cluster_config_from_jsonable",
     "cluster_config_to_jsonable",
+    "fold_reports",
     "make_stepper",
     "run_cluster",
 ]

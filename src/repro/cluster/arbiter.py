@@ -32,11 +32,30 @@ most the facility budget.  Crashed nodes keep their cap until the epoch
 boundary where their report goes missing — the realistic detection lag —
 but a dead node draws nothing, so the physical envelope holds through
 the lag too.
+
+With the unreliable transport (:mod:`repro.cluster.transport`), a
+missing report no longer implies death: it may be a dropped packet or a
+partition.  The arbiter therefore mirrors the node-side lease ladder
+(:mod:`repro.cluster.lease`):
+
+* a member silent for at most ``lease_ttl_epochs`` epochs keeps its
+  budget **reserved** at the cap it was last granted — the cap it may
+  legitimately still be enforcing under holdover — so the cap-sum
+  invariant covers grants in flight;
+* past lease expiry the reservation collapses to the node's floor,
+  which is what its lease has forced it down to locally;
+* held-over *demand* (a live node whose reports carry no fresh samples)
+  ages toward the floor over the TTL, so a stale report cannot pin
+  budget forever;
+* reports are epoch-sequenced upstream (duplicates and reordered
+  stragglers never reach ``rebalance``), and members arbitrated with no
+  usable demand are surfaced on the grant as ``degraded`` so health
+  roll-ups see every demand-blind cap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.config import ClusterConfig, NodeSpec
 from repro.cluster.node import NodeEpochReport
@@ -59,6 +78,13 @@ class Arbitration:
     epoch: int
     caps_w: dict[str, float]
     group_pools_w: dict[str, float]
+    #: members granted without any usable demand this round: silent
+    #: (leased, budget reserved) or reporting with no fresh samples and
+    #: no demand history.  Surfaced so health roll-ups see every
+    #: demand-blind cap instead of it passing silently.
+    degraded: tuple[str, ...] = ()
+    #: silent members' reservations (a subset of ``caps_w``).
+    reserved_w: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_w(self) -> float:
@@ -71,6 +97,8 @@ class ClusterArbiter:
     def __init__(self, config: ClusterConfig):
         self.config = config
         self.budget_w = config.budget_w
+        #: lease validity in epochs (mirrors the node-side ladder).
+        self.lease_ttl = config.lease_ttl_epochs
         #: names of nodes currently granted caps.
         self._members: set[str] = set()
         #: the caps of the last arbitration round.
@@ -78,6 +106,13 @@ class ClusterArbiter:
         #: last usable demand report per node (held over when a tick
         #: storm produces an empty epoch).
         self._last_report: dict[str, NodeEpochReport] = {}
+        #: epoch of each member's last report of any kind (liveness).
+        self._last_seen: dict[str, int] = {}
+        #: epoch of each member's last report with fresh samples
+        #: (demand-aging clock).
+        self._last_fresh: dict[str, int] = {}
+        #: first rebalance epoch each member took part in.
+        self._admitted_at: dict[str, int] = {}
 
     # -- membership --------------------------------------------------------------
 
@@ -100,6 +135,9 @@ class ClusterArbiter:
             self._members.discard(name)
             self._caps.pop(name, None)
             self._last_report.pop(name, None)
+            self._last_seen.pop(name, None)
+            self._last_fresh.pop(name, None)
+            self._admitted_at.pop(name, None)
 
     # -- the epoch redistribution ------------------------------------------------
 
@@ -108,39 +146,129 @@ class ClusterArbiter:
     ) -> Arbitration:
         """Grant next-epoch caps from this epoch's demand reports.
 
-        ``reports`` covers the nodes that stepped the finished epoch;
-        crashed reporters are retired before their demand is considered.
-        Members without a report this round (a just-admitted node, or a
-        tick-stormed epoch) fall back to their last known demand or, if
-        none exists, to an unconstrained claim — a new node gets to bid
-        for its full share immediately.
+        ``reports`` covers whichever nodes' envelopes survived the
+        control plane this round; crashed reporters are retired before
+        their demand is considered.  Members split three ways:
+
+        * **reporting** members are water-filled from their demand
+          (fresh, or held over and aged when the report carried no
+          samples);
+        * **new** members (admitted, nothing heard yet — a join's first
+          rounds) bid unconstrained so a booting node can claim its
+          share immediately; past one lease TTL of silence they are
+          demoted to a floor reservation like any other silent node;
+        * **silent** members (heard before, nothing this round) are not
+          water-filled at all: their budget stays *reserved* at the
+          last granted cap until the lease expires, then at the floor —
+          see the module docstring for why this keeps the cap-sum
+          invariant honest under partitions.
         """
         crashed = [r.name for r in reports.values() if r.crashed]
         self.retire(crashed)
         for name, report in reports.items():
-            if name in self._members and report.samples > 0:
-                self._last_report[name] = report
+            if name in self._members:
+                self._last_seen[name] = epoch
+                if report.samples > 0:
+                    self._last_report[name] = report
+                    self._last_fresh[name] = epoch
         if not self._members:
             self._caps = {}
             return Arbitration(epoch, {}, {})
+        for name in self._members:
+            self._admitted_at.setdefault(name, epoch)
+
+        live, reserved, degraded = self._classify(epoch)
+        budget = self.budget_w - sum(reserved.values())
 
         claims_by_group: dict[str, list[Claim]] = {}
-        for name in sorted(self._members):
+        for name in live:
             spec = self.config.node(name)
-            claim = self._claim(spec, self._last_report.get(name))
+            report = self._last_report.get(name)
+            claim = self._claim(spec, report, self._age(name, epoch))
+            if report is None and self._admitted_at[name] != epoch:
+                # demand-blind grant for an established member: a tick
+                # storm ate its first samples (satellite: no silent
+                # floor/blind caps — health roll-ups must see these)
+                degraded.append(name)
             group = self.config.group_of(spec)
             claims_by_group.setdefault(group, []).append(claim)
 
-        group_pools = self._split_groups(claims_by_group)
-        caps: dict[str, float] = {}
-        for group, claims in claims_by_group.items():
-            caps.update(refill_pool(group_pools[group], claims))
+        caps = dict(reserved)
+        group_pools: dict[str, float] = {}
+        if claims_by_group:
+            group_pools = self._split_groups(claims_by_group, budget)
+            for group, claims in claims_by_group.items():
+                caps.update(refill_pool(group_pools[group], claims))
         self._trim(caps)
         self._caps = caps
-        return Arbitration(epoch, dict(caps), group_pools)
+        return Arbitration(
+            epoch,
+            dict(caps),
+            group_pools,
+            degraded=tuple(sorted(degraded)),
+            reserved_w=dict(reserved),
+        )
+
+    def _classify(
+        self, epoch: int
+    ) -> tuple[list[str], dict[str, float], list[str]]:
+        """Split members into live bidders and silent reservations.
+
+        Returns ``(live, reserved, degraded)``.  Reservations are
+        shaved toward their floors (largest first) if live members'
+        floors would not otherwise fit — the no-starvation rule
+        outranks a silent node's stale entitlement.
+        """
+        live: list[str] = []
+        reserved: dict[str, float] = {}
+        degraded: list[str] = []
+        for name in sorted(self._members):
+            floor = self.config.node(name).min_cap_w
+            seen = self._last_seen.get(name)
+            if seen is None:
+                # nothing heard since admission: grace of one TTL for
+                # the join handshake, then fail-safe to the floor
+                if epoch - self._admitted_at[name] <= self.lease_ttl:
+                    live.append(name)
+                else:
+                    reserved[name] = floor
+                    degraded.append(name)
+            elif seen == epoch:
+                live.append(name)
+            else:
+                silent_for = epoch - seen
+                if silent_for <= self.lease_ttl:
+                    # lease still valid: the node may be enforcing its
+                    # held-over cap — keep those watts reserved
+                    reserved[name] = max(self._caps.get(name, floor), floor)
+                else:
+                    # lease expired: the node has stepped itself down
+                    reserved[name] = floor
+                degraded.append(name)
+        live_floors = sum(self.config.node(n).min_cap_w for n in live)
+        excess = sum(reserved.values()) + live_floors - self.budget_w
+        if excess > 0:
+            for name in sorted(
+                reserved, key=lambda n: (-reserved[n], n)
+            ):
+                floor = self.config.node(name).min_cap_w
+                give = min(excess, reserved[name] - floor)
+                if give > 0:
+                    reserved[name] -= give
+                    excess -= give
+                if excess <= 0:
+                    break
+        return live, reserved, degraded
+
+    def _age(self, name: str, epoch: int) -> int:
+        """Epochs since this member's demand was last fresh."""
+        fresh = self._last_fresh.get(name)
+        if fresh is None:
+            return 0
+        return epoch - fresh
 
     def _claim(
-        self, spec: NodeSpec, report: NodeEpochReport | None
+        self, spec: NodeSpec, report: NodeEpochReport | None, age: int
     ) -> Claim:
         lo = spec.min_cap_w
         hi_cap = spec.resolved_max_cap_w()
@@ -155,6 +283,13 @@ class ClusterArbiter:
             n_apps = len(spec.apps)
             healthy = max(n_apps - report.quarantined_cores, 0) / n_apps
             hi = min(wants * DEMAND_SLACK * healthy, hi_cap)
+            if age > 1:
+                # held-over demand ages toward the floor: the first
+                # stale epoch keeps the full holdover, then the ceiling
+                # decays linearly over the lease TTL so a stale report
+                # cannot pin budget forever
+                fade = max(0.0, 1.0 - (age - 1) / self.lease_ttl)
+                hi = lo + (hi - lo) * fade
         hi = max(hi, lo)
         current = self._caps.get(spec.name, lo)
         return Claim(
@@ -166,13 +301,16 @@ class ClusterArbiter:
         )
 
     def _split_groups(
-        self, claims_by_group: dict[str, list[Claim]]
+        self, claims_by_group: dict[str, list[Claim]], budget_w: float
     ) -> dict[str, float]:
-        """Split the facility budget across groups by group shares.
+        """Split the bidding budget across groups by group shares.
 
-        A group's claim aggregates its members: floor = sum of member
-        floors, ceiling = sum of member demand ceilings.  With one
-        group the split is the whole budget and the tree is flat.
+        ``budget_w`` is the facility budget net of silent members'
+        reservations — reserved watts come off the top globally, not
+        out of the silent node's own group.  A group's claim aggregates
+        its members: floor = sum of member floors, ceiling = sum of
+        member demand ceilings.  With one group the split is the whole
+        bidding budget and the tree is flat.
         """
         shares = self.config.group_shares()
         group_claims = [
@@ -185,7 +323,7 @@ class ClusterArbiter:
             )
             for group, claims in sorted(claims_by_group.items())
         ]
-        return refill_pool(self.budget_w, group_claims)
+        return refill_pool(budget_w, group_claims)
 
     def _trim(self, caps: dict[str, float]) -> None:
         """Shave the water-filling bisection residue so the cap sum is

@@ -28,7 +28,7 @@ from dataclasses import asdict, dataclass
 from repro.config import AppSpec, POLICY_REGISTRY
 from repro.core.types import Priority
 from repro.errors import ConfigError
-from repro.faults import get_scenario
+from repro.faults import get_scenario, get_transport_scenario
 from repro.hw.platform import get_platform
 
 #: root group used when the config declares no explicit groups.
@@ -139,6 +139,14 @@ class ClusterConfig:
     tick_s: float = 5e-3
     #: master seed; per-node fault seeds derive from it.
     seed: int = 0
+    #: named control-plane fault scenario (``repro.faults.
+    #: TRANSPORT_SCENARIOS``); ``None`` keeps the transport quiet —
+    #: every envelope delivered, byte-identical to the PR 3 runtime.
+    transport: str | None = None
+    #: cap-lease TTL in arbitration epochs: how long a node keeps
+    #: enforcing a grant it cannot renew before stepping down, and how
+    #: long the arbiter reserves a silent node's budget.
+    lease_ttl_epochs: int = 3
 
     def __post_init__(self) -> None:
         if self.budget_w <= 0:
@@ -151,6 +159,10 @@ class ClusterConfig:
             raise ConfigError("interval_s and tick_s must be positive")
         if self.seed < 0:
             raise ConfigError("seed cannot be negative")
+        if self.lease_ttl_epochs < 1:
+            raise ConfigError("lease_ttl_epochs must be at least 1")
+        if self.transport is not None:
+            get_transport_scenario(self.transport)  # validate early
         names = [node.name for node in self.nodes]
         if len(set(names)) != len(names):
             raise ConfigError("duplicate node names")

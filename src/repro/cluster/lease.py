@@ -1,0 +1,122 @@
+"""Lease-based power caps: fail-safe when the control plane goes dark.
+
+A cap grant over an unreliable transport cannot be a permanent
+entitlement — a node cut off from the arbiter would keep burning at its
+last cap while the arbiter re-budgets those watts to someone else.  So
+grants are **leases with a TTL measured in epochs**, and each side of
+the link fails safe on its own clock:
+
+* the **node** (this module, driven by the :class:`~repro.cluster.
+  runtime.ClusterSim` supervisor) steps down through a ladder as grant
+  renewals stop arriving::
+
+      GRANTED ──miss──▶ HOLDOVER ──ttl misses──▶ DEGRADED ──▶ SAFE
+
+  HOLDOVER keeps enforcing the last applied cap (the lease is still
+  valid); DEGRADED drops to the node's configured floor cap; SAFE
+  additionally latches the daemon's PR 1 safe mode — RAPL backstop
+  re-armed, cores floored — the paper's hardware baseline as the
+  last-resort enforcement when the software plane is unreachable.
+  A fully partitioned node reaches SAFE within ``ttl + 1`` epochs.
+
+* the **arbiter** (:mod:`repro.cluster.arbiter`) mirrors the ladder:
+  a leased-but-silent node's budget stays reserved at its last granted
+  cap until the lease expires, then collapses to the floor the node is
+  now known to be enforcing — so the cap-sum ≤ budget invariant holds
+  with grants in flight and through the entire outage.
+
+Recovery is symmetric: the first grant that gets through re-enters
+GRANTED at the granted cap and releases the daemon's safe-mode latch,
+and the first report that gets through restores the node's full claim
+in the next water-filling round.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cluster.transport import Envelope, SequenceGuard, TransportStats
+from repro.errors import ConfigError
+
+
+class LeaseState(enum.Enum):
+    """Where one node sits on the step-down ladder."""
+
+    GRANTED = "granted"
+    HOLDOVER = "holdover"
+    DEGRADED = "degraded"
+    SAFE = "safe"
+
+
+#: numeric codes for trace series (monotone in severity).
+LEASE_CODES: dict[LeaseState, int] = {
+    LeaseState.GRANTED: 0,
+    LeaseState.HOLDOVER: 1,
+    LeaseState.DEGRADED: 2,
+    LeaseState.SAFE: 3,
+}
+
+
+class NodeLease:
+    """One node's view of its cap lease.
+
+    Fed every epoch with whatever grant envelopes the transport
+    delivered; duplicates and reordered stragglers are rejected through
+    a :class:`~repro.cluster.transport.SequenceGuard` before they can
+    wind the cap backwards.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        floor_w: float,
+        ttl_epochs: int,
+        stats: TransportStats | None = None,
+    ):
+        if ttl_epochs < 1:
+            raise ConfigError("lease TTL must be at least one epoch")
+        if floor_w <= 0:
+            raise ConfigError("lease floor must be positive")
+        self.name = name
+        self.floor_w = floor_w
+        self.ttl_epochs = ttl_epochs
+        self._guard = SequenceGuard(stats)
+        #: a node boots demand-blind at its floor until the first grant
+        #: lands — fail-safe from the first epoch.
+        self.state = LeaseState.DEGRADED
+        self.cap_w = floor_w
+        #: consecutive epochs without an accepted grant.
+        self.misses = 0
+        #: epoch of the newest applied grant (-1: never granted).
+        self.granted_epoch = -1
+
+    @property
+    def safe(self) -> bool:
+        return self.state is LeaseState.SAFE
+
+    def observe(self, envelopes: list[Envelope], epoch: int) -> None:
+        """Apply this epoch's delivered grants, or step down the ladder."""
+        newest: Envelope | None = None
+        for env in envelopes:
+            if env.kind != "grant" or env.dst != self.name:
+                continue
+            if not self._guard.accept(env):
+                continue
+            if newest is None or env.epoch > newest.epoch:
+                newest = env
+        if newest is not None:
+            self.state = LeaseState.GRANTED
+            self.cap_w = float(newest.payload)  # type: ignore[arg-type]
+            self.granted_epoch = newest.epoch
+            self.misses = 0
+            return
+        self.misses += 1
+        if self.misses < self.ttl_epochs and self.granted_epoch >= 0:
+            self.state = LeaseState.HOLDOVER
+        elif self.misses <= self.ttl_epochs:
+            self.state = LeaseState.DEGRADED
+            self.cap_w = self.floor_w
+        else:
+            self.state = LeaseState.SAFE
+            self.cap_w = self.floor_w

@@ -133,13 +133,29 @@ class ClusterNode:
     # -- stepping ----------------------------------------------------------------
 
     def step_epoch(
-        self, epoch: int, cap_w: float, t0: float, t1: float
+        self,
+        epoch: int,
+        cap_w: float,
+        t0: float,
+        t1: float,
+        safe_mode: bool = False,
     ) -> NodeEpochReport:
-        """Advance through [t0, t1) under ``cap_w`` and report demand."""
+        """Advance through [t0, t1) under ``cap_w`` and report demand.
+
+        ``safe_mode`` is the lease supervisor's verdict that this node
+        has lost the arbiter (lease expired past its TTL): the daemon's
+        RAPL-backstop safe mode is latched for the epoch — the paper's
+        hardware baseline as last-resort enforcement — and released the
+        epoch a renewal gets through again.
+        """
         if self.stack is None:
             self.stack = self._build(cap_w)
         else:
             self.set_cap(cap_w)
+        if safe_mode:
+            self.stack.daemon.force_safe_mode()
+        else:
+            self.stack.daemon.release_safe_mode()
         crash_at = self.spec.crashes_at_s
         run_until = t1
         crashed = False

@@ -1,20 +1,33 @@
-"""The cluster epoch loop: arbitrate, step, report, repeat.
+"""The cluster epoch loop: arbitrate, grant, step, report, repeat.
 
-:class:`ClusterSim` drives the whole fleet:
+:class:`ClusterSim` drives the whole fleet over an explicit — and
+faultable — control plane:
 
 1. at each epoch boundary it admits nodes whose join time has arrived
    and retires announced leavers,
-2. the :class:`~repro.cluster.arbiter.ClusterArbiter` turns the previous
-   epoch's demand reports into next caps (detecting crashed nodes by
-   their missing/flagged reports — one epoch of lag, like a real
-   heartbeat timeout),
-3. the stepper advances every live node through the epoch under its
-   granted cap (serially or across fork workers — byte-identical either
-   way), and
-4. the :class:`~repro.cluster.trace.ClusterTrace` rolls the epoch up.
+2. it collects whichever ``demand`` envelopes the
+   :class:`~repro.cluster.transport.UnreliableTransport` delivered to
+   the arbiter this round (duplicates and stragglers rejected by
+   sequence guard) and hands them to the
+   :class:`~repro.cluster.arbiter.ClusterArbiter`, which turns them
+   into next caps — reserving silent nodes' budget per their leases so
+   the cap-sum invariant holds through partitions,
+3. it sends each member its cap as a ``grant`` envelope; each node's
+   :class:`~repro.cluster.lease.NodeLease` applies what arrives or
+   steps down the GRANTED → HOLDOVER → DEGRADED → SAFE ladder,
+4. the stepper advances every live node through the epoch under its
+   *lease-effective* cap (serially or across fork workers —
+   byte-identical either way, because every transport and lease
+   decision happens here in the parent), nodes whose lease expired past
+   its TTL run with the daemon's RAPL-backstop safe mode latched, and
+5. the :class:`~repro.cluster.trace.ClusterTrace` rolls the epoch up,
+   including per-epoch transport health and lease states.
 
-The cap-sum invariant is checked after every grant: live caps never sum
-above the facility budget.
+The cap-sum invariant is checked after every grant: granted plus
+reserved watts never sum above the facility budget.  With no transport
+scenario configured the message layer is quiet — every envelope
+delivered, zero fault rolls — and the loop degenerates to PR 3's
+perfect-network behavior.
 """
 
 from __future__ import annotations
@@ -23,10 +36,22 @@ from dataclasses import dataclass, field
 
 from repro.cluster.arbiter import Arbitration, ClusterArbiter
 from repro.cluster.config import ClusterConfig
+from repro.cluster.lease import LEASE_CODES, NodeLease
 from repro.cluster.node import NodeEpochReport
 from repro.cluster.stepper import make_stepper
 from repro.cluster.trace import ClusterTrace
+from repro.cluster.transport import (
+    ARBITER,
+    DEMAND,
+    GRANT,
+    Envelope,
+    SequenceGuard,
+    TransportStats,
+    UnreliableTransport,
+    fold_reports,
+)
 from repro.errors import ConfigError
+from repro.faults.scenario import TransportScenario, get_transport_scenario
 
 
 @dataclass
@@ -39,6 +64,10 @@ class ClusterRun:
     grants: list[Arbitration] = field(default_factory=list)
     #: per epoch: the node reports it produced.
     reports: list[dict[str, NodeEpochReport]] = field(default_factory=list)
+    #: per epoch: each admitted node's lease state name at epoch end.
+    lease_states: list[dict[str, str]] = field(default_factory=list)
+    #: whole-run transport counters.
+    transport_stats: TransportStats = field(default_factory=TransportStats)
 
     @property
     def n_epochs(self) -> int:
@@ -60,6 +89,24 @@ class ClusterSim:
         self.trace = ClusterTrace()
         self._jobs = jobs
         self._admitted: set[str] = set()
+        scenario = self._scenario(config)
+        #: the transport seed derives from the cluster seed so a run
+        #: replays byte-identically, salted away from node fault seeds.
+        self.transport = UnreliableTransport(scenario, seed=config.seed)
+        self._arbiter_guard = SequenceGuard(self.transport.stats)
+        self._leases: dict[str, NodeLease] = {}
+        self._seqs: dict[str, int] = {}
+
+    @staticmethod
+    def _scenario(config: ClusterConfig) -> TransportScenario:
+        if config.transport is None:
+            return get_transport_scenario("none")
+        return get_transport_scenario(config.transport)
+
+    def _next_seq(self, sender: str) -> int:
+        seq = self._seqs.get(sender, 0)
+        self._seqs[sender] = seq + 1
+        return seq
 
     def _boundary_membership(self, t0: float, t1: float) -> None:
         """Apply announced lifecycle changes at an epoch boundary."""
@@ -71,6 +118,13 @@ class ClusterSim:
         if joiners:
             self.arbiter.admit(joiners)
             self._admitted.update(joiners)
+            for name in joiners:
+                self._leases[name] = NodeLease(
+                    name,
+                    floor_w=self.config.node(name).min_cap_w,
+                    ttl_epochs=self.config.lease_ttl_epochs,
+                    stats=self.transport.stats,
+                )
         leavers = [
             name
             for name in self.arbiter.members
@@ -80,6 +134,66 @@ class ClusterSim:
         if leavers:
             self.arbiter.retire(leavers)
 
+    def _ingest_reports(self, epoch: int) -> dict[str, NodeEpochReport]:
+        """Demand envelopes the transport delivered to the arbiter."""
+        envelopes = self.transport.deliver(ARBITER, epoch)
+        folded = fold_reports(envelopes, self._arbiter_guard)
+        reports: dict[str, NodeEpochReport] = {}
+        for name, payload in folded.items():
+            assert isinstance(payload, NodeEpochReport)
+            reports[name] = payload
+        return reports
+
+    def _send_grants(self, epoch: int, grant: Arbitration) -> None:
+        for name in sorted(grant.caps_w):
+            self.transport.send(
+                Envelope(
+                    kind=GRANT,
+                    src=ARBITER,
+                    dst=name,
+                    epoch=epoch,
+                    seq=self._next_seq(ARBITER),
+                    payload=grant.caps_w[name],
+                ),
+                epoch,
+            )
+
+    def _send_reports(
+        self, epoch: int, reports: dict[str, NodeEpochReport]
+    ) -> None:
+        for name in sorted(reports):
+            self.transport.send(
+                Envelope(
+                    kind=DEMAND,
+                    src=name,
+                    dst=ARBITER,
+                    epoch=epoch,
+                    seq=self._next_seq(name),
+                    payload=reports[name],
+                ),
+                epoch,
+            )
+
+    def _observe_leases(self, epoch: int) -> tuple[dict[str, float], frozenset[str]]:
+        """Deliver grants to every member and step each lease ladder.
+
+        Returns the lease-effective caps the nodes will enforce this
+        epoch and the set of names whose lease has expired into SAFE.
+        """
+        members = self.arbiter.members
+        for name in list(self._leases):
+            if name not in members:
+                del self._leases[name]
+        caps: dict[str, float] = {}
+        safe: set[str] = set()
+        for name in sorted(members):
+            lease = self._leases[name]
+            lease.observe(self.transport.deliver(name, epoch), epoch)
+            caps[name] = lease.cap_w
+            if lease.safe:
+                safe.add(name)
+        return caps, frozenset(safe)
+
     def run(self, duration_s: float) -> ClusterRun:
         """Run ``duration_s`` of cluster time (whole epochs only)."""
         epoch_s = self.config.epoch_s
@@ -88,22 +202,43 @@ class ClusterSim:
             raise ConfigError(
                 f"duration {duration_s}s is below one epoch ({epoch_s}s)"
             )
-        run = ClusterRun(config=self.config, trace=self.trace)
-        previous: dict[str, NodeEpochReport] = {}
+        run = ClusterRun(
+            config=self.config,
+            trace=self.trace,
+            transport_stats=self.transport.stats,
+        )
         with make_stepper(self.config, self._jobs) as stepper:
             for epoch in range(n_epochs):
                 t0 = epoch * epoch_s
                 t1 = t0 + epoch_s
                 self._boundary_membership(t0, t1)
-                grant = self.arbiter.rebalance(epoch, previous)
+                delivered = self._ingest_reports(epoch)
+                grant = self.arbiter.rebalance(epoch, delivered)
                 self.arbiter.check_invariant()
-                reports = stepper.step(epoch, t0, t1, grant.caps_w)
+                self._send_grants(epoch, grant)
+                caps_w, safe_names = self._observe_leases(epoch)
+                reports = stepper.step(epoch, t0, t1, caps_w, safe_names)
+                self._send_reports(epoch, reports)
                 self.trace.record_epoch(
-                    t1, reports, grant.caps_w, self.config.budget_w
+                    t1, reports, caps_w, self.config.budget_w
+                )
+                lease_states = {
+                    name: self._leases[name].state.value
+                    for name in sorted(self._leases)
+                }
+                self.trace.record_control(
+                    t1,
+                    transport_epoch=self.transport.stats.take_epoch(),
+                    lease_codes={
+                        name: LEASE_CODES[self._leases[name].state]
+                        for name in self._leases
+                    },
+                    reserved_w=sum(grant.reserved_w.values()),
+                    degraded_grants=len(grant.degraded),
                 )
                 run.grants.append(grant)
                 run.reports.append(reports)
-                previous = reports
+                run.lease_states.append(lease_states)
         return run
 
 

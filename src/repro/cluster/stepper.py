@@ -39,13 +39,22 @@ class SerialNodeStepper:
         ]
 
     def step(
-        self, epoch: int, t0: float, t1: float, caps_w: dict[str, float]
+        self,
+        epoch: int,
+        t0: float,
+        t1: float,
+        caps_w: dict[str, float],
+        safe_names: frozenset[str] = frozenset(),
     ) -> dict[str, NodeEpochReport]:
         reports: dict[str, NodeEpochReport] = {}
         for node in self.nodes:
             if node.spec.name in caps_w and node.active_in(t0, t1):
                 reports[node.spec.name] = node.step_epoch(
-                    epoch, caps_w[node.spec.name], t0, t1
+                    epoch,
+                    caps_w[node.spec.name],
+                    t0,
+                    t1,
+                    safe_mode=node.spec.name in safe_names,
                 )
         return reports
 
@@ -67,10 +76,16 @@ def _worker_main(config: ClusterConfig, indices: list[int], conn) -> None:
             message = conn.recv()
             if message[0] == "stop":
                 return
-            _, epoch, t0, t1, caps_w = message
+            _, epoch, t0, t1, caps_w, safe_names = message
             try:
                 reports = [
-                    node.step_epoch(epoch, caps_w[node.spec.name], t0, t1)
+                    node.step_epoch(
+                        epoch,
+                        caps_w[node.spec.name],
+                        t0,
+                        t1,
+                        safe_mode=node.spec.name in safe_names,
+                    )
                     for node in nodes
                     if node.spec.name in caps_w and node.active_in(t0, t1)
                 ]
@@ -107,10 +122,22 @@ class ParallelNodeStepper:
             self._workers.append((process, parent_conn))
 
     def step(
-        self, epoch: int, t0: float, t1: float, caps_w: dict[str, float]
+        self,
+        epoch: int,
+        t0: float,
+        t1: float,
+        caps_w: dict[str, float],
+        safe_names: frozenset[str] = frozenset(),
     ) -> dict[str, NodeEpochReport]:
         for _, conn in self._workers:
-            conn.send(("step", epoch, t0, t1, caps_w))
+            try:
+                conn.send(("step", epoch, t0, t1, caps_w, safe_names))
+            except (BrokenPipeError, OSError) as exc:
+                self.close()
+                raise SimulationError(
+                    f"cluster worker pipe failed during epoch {epoch}: "
+                    f"{exc}"
+                ) from exc
         reports: dict[str, NodeEpochReport] = {}
         for _, conn in self._workers:
             kind, payload = conn.recv()

@@ -8,7 +8,12 @@ box-plot-ready series for free:
 * per node: ``<name>.power_w``, ``<name>.cap_w``, ``<name>.throttle``,
   ``<name>.headroom_w``, ``<name>.parked``, ``<name>.quarantined``;
 * global: ``cluster.power_w`` (sum over live nodes),
-  ``cluster.cap_w`` (sum of granted caps), ``cluster.budget_w``.
+  ``cluster.cap_w`` (sum of granted caps), ``cluster.budget_w``;
+* control plane (when the lease supervisor runs): per node
+  ``<name>.lease`` (0 granted · 1 holdover · 2 degraded · 3 safe),
+  plus ``transport.sent|delivered|dropped|delayed|duplicated|stale``
+  per-epoch counts, ``cluster.reserved_w`` (budget the arbiter holds
+  for leased-but-silent nodes) and ``cluster.degraded_grants``.
 
 Sampling is at epoch cadence: one point per series per arbitration
 round, timestamped with the epoch's end.  ``to_jsonable`` emits a
@@ -48,13 +53,44 @@ class ClusterTrace:
                 t_end_s,
                 float(report.quarantined_cores),
             )
+        # sum in sorted-name order: float addition is not associative,
+        # and the parallel stepper assembles ``reports`` in worker
+        # order, not node order
         rec(
             "cluster.power_w",
             t_end_s,
-            sum(r.mean_power_w for r in reports.values()),
+            sum(reports[name].mean_power_w for name in sorted(reports)),
         )
-        rec("cluster.cap_w", t_end_s, sum(caps_w.values()))
+        rec(
+            "cluster.cap_w",
+            t_end_s,
+            sum(caps_w[name] for name in sorted(caps_w)),
+        )
         rec("cluster.budget_w", t_end_s, budget_w)
+
+    def record_control(
+        self,
+        t_end_s: float,
+        *,
+        transport_epoch: dict[str, int],
+        lease_codes: dict[str, int],
+        reserved_w: float,
+        degraded_grants: int,
+    ) -> None:
+        """Fold one epoch's control-plane health into the series.
+
+        ``transport_epoch`` is one :meth:`~repro.cluster.transport.
+        TransportStats.take_epoch` window; ``lease_codes`` maps node
+        name to its :data:`~repro.cluster.lease.LEASE_CODES` value at
+        the end of the epoch.
+        """
+        rec = self.trace.record
+        for event in sorted(transport_epoch):
+            rec(f"transport.{event}", t_end_s, float(transport_epoch[event]))
+        for name in sorted(lease_codes):
+            rec(f"{name}.lease", t_end_s, float(lease_codes[name]))
+        rec("cluster.reserved_w", t_end_s, reserved_w)
+        rec("cluster.degraded_grants", t_end_s, float(degraded_grants))
 
     def series(self, name: str) -> TraceSeries:
         return self.trace.series(name)

@@ -188,6 +188,9 @@ class PowerDaemon:
         self._consecutive_failures = 0
         self._consecutive_good = 0
         self._safe_mode_entries = 0
+        #: an external supervisor (the cluster lease layer) pinned us in
+        #: safe mode; telemetry recovery alone cannot exit while set.
+        self._safe_latched = False
         self._contained_errors = 0
         self._core_fail_streak: dict[int, int] = {}
         self._quarantine: dict[int, _QuarantineEntry] = {}
@@ -291,7 +294,10 @@ class PowerDaemon:
             self._arm_backstop()
             if fresh:
                 self._consecutive_good += 1
-                if self._consecutive_good >= self.resilience.recover_after:
+                if (
+                    self._consecutive_good >= self.resilience.recover_after
+                    and not self._safe_latched
+                ):
                     self._exit_safe_mode()
             else:
                 self._consecutive_good = 0
@@ -378,10 +384,15 @@ class PowerDaemon:
         counters keep lying.
         """
         if self.chip.rapl is not None:
+            # the hardware limiter only accepts its supported range: an
+            # operator limit below it (a cluster floor cap) arms the
+            # closest programmable backstop instead of failing the write
+            lo, hi = self.chip.platform.rapl_limit_range_w
+            backstop_w = min(max(self.policy.limit_w, lo), hi)
             self._write_with_retry(
                 0,
                 msrdef.MSR_PKG_POWER_LIMIT,
-                encode_pkg_power_limit(self.policy.limit_w),
+                encode_pkg_power_limit(backstop_w),
             )
         floor = self.chip.platform.policy_floor_mhz
         for label, core_id in self._core_of.items():
@@ -392,6 +403,30 @@ class PowerDaemon:
                 # just at the minimum the policy would ever grant.
                 if label not in self._policy_parked:
                     self._unpark_if_fault_parked(core_id)
+
+    def force_safe_mode(self) -> None:
+        """Latch safe mode on a supervisor's order.
+
+        The cluster lease layer calls this when the node's cap lease
+        has expired past its TTL: the control plane is unreachable, so
+        the RAPL backstop becomes the enforcement of record.  The latch
+        holds through telemetry recovery — only
+        :meth:`release_safe_mode` (a renewed lease) lets the daemon
+        resume policy control.
+        """
+        self._safe_latched = True
+        if self._mode is not DaemonMode.SAFE:
+            self._enter_safe_mode()
+
+    def release_safe_mode(self) -> None:
+        """Drop the supervisor latch; telemetry recovery resumes.
+
+        Deliberately does *not* exit safe mode by itself: the normal
+        ``recover_after`` streak of good samples still gates the exit,
+        so a renewed lease on a still-sick node keeps the backstop
+        armed.
+        """
+        self._safe_latched = False
 
     def _exit_safe_mode(self) -> None:
         self._mode = DaemonMode.NORMAL

@@ -52,7 +52,11 @@ if TYPE_CHECKING:
 #: v2: cluster experiments joined the cache (their keys carry a
 #: ``kind`` discriminator so single-socket and cluster entries can
 #: never collide).
-CACHE_VERSION = 2
+#:
+#: v3: cluster runs gained the control-plane transport and cap leases
+#: (new ``ClusterConfig`` fields, new result fields) — cluster outputs
+#: changed shape, so v2 entries must not satisfy v3 lookups.
+CACHE_VERSION = 3
 
 #: default cache root (overridden by ``REPRO_CACHE_DIR``).
 DEFAULT_CACHE_DIR = "~/.cache/repro-power"

@@ -12,6 +12,11 @@ witnesses:
   must never exceed the budget (the hierarchy invariant), and
 * ``cap_violations`` — epochs where it did (always 0).
 
+With a transport-fault scenario configured the result also summarizes
+control-plane health: whole-run envelope counters, the number of
+node-epochs spent with an expired lease (daemon safe mode latched), and
+how many grants went out demand-blind (``degraded``).
+
 The run is a pure function of its :class:`~repro.cluster.config.
 ClusterConfig` plus durations, so results round-trip through the same
 content-addressed cache the steady-state experiments use (see
@@ -21,6 +26,7 @@ content-addressed cache the steady-state experiments use (see
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from dataclasses import field as dataclasses_field
 
 from repro.cluster import ClusterConfig, ClusterRun, NodeSpec, run_cluster
 from repro.cluster.config import (
@@ -65,6 +71,13 @@ class ClusterRunResult:
     mean_total_power_w: float
     max_cap_sum_w: float
     cap_violations: int
+    #: whole-run control-plane counters (sent/delivered/dropped/
+    #: delayed/duplicated/stale); all-zero dropped..stale when quiet.
+    transport: dict[str, int] = dataclasses_field(default_factory=dict)
+    #: node-epochs spent in lease state SAFE (RAPL backstop latched).
+    safe_node_epochs: int = 0
+    #: demand-blind grants across the run (sum of per-epoch degraded).
+    degraded_grants: int = 0
 
     def node(self, name: str) -> NodeClusterResult:
         for result in self.nodes:
@@ -95,6 +108,8 @@ def default_cluster_config(
     n_nodes: int = 4,
     budget_w: float = 150.0,
     seed: int = 0,
+    transport: str | None = None,
+    lease_ttl_epochs: int = 3,
 ) -> ClusterConfig:
     """The canonical evaluation cluster: 2:2:1:1-style shares, six
     compute-bound apps per node so the budget genuinely contends."""
@@ -114,7 +129,13 @@ def default_cluster_config(
         )
         for i in range(n_nodes)
     )
-    return ClusterConfig(budget_w=budget_w, nodes=nodes, seed=seed)
+    return ClusterConfig(
+        budget_w=budget_w,
+        nodes=nodes,
+        seed=seed,
+        transport=transport,
+        lease_ttl_epochs=lease_ttl_epochs,
+    )
 
 
 def summarize_cluster_run(
@@ -160,6 +181,21 @@ def summarize_cluster_run(
         for grant in run.grants
         if grant.total_w > run.config.budget_w + _INVARIANT_SLACK_W
     )
+    stats = run.transport_stats
+    transport = {
+        "sent": stats.sent,
+        "delivered": stats.delivered,
+        "dropped": stats.dropped,
+        "delayed": stats.delayed,
+        "duplicated": stats.duplicated,
+        "stale": stats.stale,
+    }
+    safe_node_epochs = sum(
+        1
+        for states in run.lease_states
+        for state in states.values()
+        if state == "safe"
+    )
     return ClusterRunResult(
         config=run.config,
         duration_s=duration_s,
@@ -168,6 +204,9 @@ def summarize_cluster_run(
         mean_total_power_w=total.mean() if len(total) else 0.0,
         max_cap_sum_w=run.max_cap_sum_w(),
         cap_violations=violations,
+        transport=transport,
+        safe_node_epochs=safe_node_epochs,
+        degraded_grants=sum(len(g.degraded) for g in run.grants),
     )
 
 
@@ -207,6 +246,9 @@ def cluster_result_to_jsonable(result: ClusterRunResult) -> dict:
         "mean_total_power_w": result.mean_total_power_w,
         "max_cap_sum_w": result.max_cap_sum_w,
         "cap_violations": result.cap_violations,
+        "transport": dict(result.transport),
+        "safe_node_epochs": result.safe_node_epochs,
+        "degraded_grants": result.degraded_grants,
     }
 
 
@@ -221,4 +263,7 @@ def cluster_result_from_jsonable(data: dict) -> ClusterRunResult:
         mean_total_power_w=data["mean_total_power_w"],
         max_cap_sum_w=data["max_cap_sum_w"],
         cap_violations=data["cap_violations"],
+        transport=dict(data.get("transport", {})),
+        safe_node_epochs=data.get("safe_node_epochs", 0),
+        degraded_grants=data.get("degraded_grants", 0),
     )

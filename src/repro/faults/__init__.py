@@ -5,7 +5,8 @@ makes its failure modes first-class so the chaos suite can prove the
 invariant that matters — package power stays at or below the operator
 limit under *any* injected fault schedule:
 
-* :mod:`repro.faults.scenario` — seeded, declarative fault schedules,
+* :mod:`repro.faults.scenario` — seeded, declarative fault schedules
+  (node-local and control-plane transport alike),
 * :mod:`repro.faults.msr_proxy` — MSR read/write fault injection,
 * :mod:`repro.faults.ticks` — dropped/jittered daemon deadlines,
 * :mod:`repro.faults.harness` — stack wiring + health reporting.
@@ -15,9 +16,13 @@ from repro.faults.harness import health_summary, schedule_app_crashes
 from repro.faults.msr_proxy import FaultStats, FaultyMSRFile
 from repro.faults.scenario import (
     SCENARIOS,
+    TRANSPORT_SCENARIOS,
     AppCrash,
     FaultScenario,
+    LinkPartition,
+    TransportScenario,
     get_scenario,
+    get_transport_scenario,
 )
 from repro.faults.ticks import TickFaultGate, TickFaultStats
 
@@ -26,10 +31,14 @@ __all__ = [
     "FaultScenario",
     "FaultStats",
     "FaultyMSRFile",
+    "LinkPartition",
     "SCENARIOS",
+    "TRANSPORT_SCENARIOS",
     "TickFaultGate",
     "TickFaultStats",
+    "TransportScenario",
     "get_scenario",
+    "get_transport_scenario",
     "health_summary",
     "schedule_app_crashes",
 ]

@@ -18,6 +18,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.errors import FaultConfigError
+from repro.units import is_zero
 
 
 @dataclass(frozen=True)
@@ -201,6 +202,173 @@ def get_scenario(name: str, *, seed: int | None = None) -> FaultScenario:
         known = ", ".join(sorted(SCENARIOS))
         raise FaultConfigError(
             f"unknown fault scenario {name!r}; known: {known}"
+        ) from None
+    if seed is not None:
+        scenario = scenario.with_seed(seed)
+    return scenario
+
+
+# -- control-plane transport scenarios -------------------------------------------
+#
+# The scenarios above corrupt what one node's daemon sees; these corrupt
+# what the *cluster* sees — the epoch-sequenced DemandReport / CapGrant
+# envelopes between nodes and the arbiter
+# (:mod:`repro.cluster.transport`).  All rates are per-envelope
+# probabilities; delays and partitions are measured in arbitration
+# epochs, the control plane's native clock, so a scenario replays
+# identically at any epoch length.
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """One node↔arbiter link severed for a window of epochs.
+
+    ``node=None`` severs *every* link — the arbiter itself dropping off
+    the network.  Both directions die: reports out and grants in.
+    """
+
+    start_epoch: int
+    #: first epoch the link is back (exclusive end).
+    end_epoch: int
+    node: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_epoch < 0:
+            raise FaultConfigError("partition start epoch is negative")
+        if self.end_epoch <= self.start_epoch:
+            raise FaultConfigError(
+                f"partition [{self.start_epoch}, {self.end_epoch}) is "
+                "not a valid epoch range"
+            )
+
+    def severs(self, node: str, epoch: int) -> bool:
+        if self.node is not None and self.node != node:
+            return False
+        return self.start_epoch <= epoch < self.end_epoch
+
+
+_TRANSPORT_RATE_FIELDS = (
+    "drop_rate",
+    "dup_rate",
+    "delay_rate",
+    "reorder_rate",
+)
+
+
+@dataclass(frozen=True)
+class TransportScenario:
+    """Seeded description of one control-plane fault schedule."""
+
+    name: str = "custom"
+    seed: int = 0
+    #: probability an envelope is lost in flight.
+    drop_rate: float = 0.0
+    #: probability an envelope is delivered twice.
+    dup_rate: float = 0.0
+    #: probability an envelope is delayed by 1..max_delay_epochs epochs.
+    delay_rate: float = 0.0
+    max_delay_epochs: int = 0
+    #: probability one endpoint's per-epoch delivery batch arrives
+    #: shuffled instead of in send order.
+    reorder_rate: float = 0.0
+    #: named node↔arbiter partitions (epoch windows, both directions).
+    partitions: tuple[LinkPartition, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise FaultConfigError("seed cannot be negative")
+        for field_name in _TRANSPORT_RATE_FIELDS:
+            rate = getattr(self, field_name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultConfigError(
+                    f"{field_name} must be in [0, 1], got {rate}"
+                )
+        if self.max_delay_epochs < 0:
+            raise FaultConfigError("max_delay_epochs cannot be negative")
+        if self.delay_rate > 0 and self.max_delay_epochs == 0:
+            raise FaultConfigError(
+                "delay_rate needs a positive max_delay_epochs"
+            )
+
+    @property
+    def quiet(self) -> bool:
+        """No faults configured: the transport is a perfect wire."""
+        return (
+            all(is_zero(getattr(self, f)) for f in _TRANSPORT_RATE_FIELDS)
+            and not self.partitions
+        )
+
+    def partitioned(self, node: str, epoch: int) -> bool:
+        """Whether this node's link to the arbiter is severed now."""
+        return any(p.severs(node, epoch) for p in self.partitions)
+
+    def with_seed(self, seed: int) -> "TransportScenario":
+        """The same schedule shape replayed from a different seed."""
+        return dataclasses.replace(self, seed=seed)
+
+
+#: Named control-plane scenarios, mild to severe.  Partition windows
+#: reference ``node0`` — the first node of every CLI-built and curated
+#: cluster — and are bounded so recovery is exercised, not just decay.
+TRANSPORT_SCENARIOS: dict[str, TransportScenario] = {
+    "none": TransportScenario(name="none"),
+    "lossy-links": TransportScenario(
+        name="lossy-links",
+        drop_rate=0.15,
+        dup_rate=0.05,
+    ),
+    "slow-links": TransportScenario(
+        name="slow-links",
+        delay_rate=0.35,
+        max_delay_epochs=2,
+        reorder_rate=0.25,
+    ),
+    "flaky-links": TransportScenario(
+        name="flaky-links",
+        drop_rate=0.10,
+        dup_rate=0.05,
+        delay_rate=0.20,
+        max_delay_epochs=2,
+        reorder_rate=0.20,
+    ),
+    # one node cut off for five epochs: long enough to walk the whole
+    # lease ladder (holdover → degraded → safe) at the default TTL,
+    # bounded so re-admission after the heal is exercised too.
+    "node0-partition": TransportScenario(
+        name="node0-partition",
+        partitions=(LinkPartition(4, 9, "node0"),),
+    ),
+    # the arbiter drops off the network: every node must ride its lease
+    # down to the local RAPL backstop and climb back after the heal.
+    "arbiter-partition": TransportScenario(
+        name="arbiter-partition",
+        partitions=(LinkPartition(5, 8, None),),
+    ),
+    # everything at once: lossy, slow, reordered links plus a bounded
+    # partition of node0.  The acceptance scenario for the cap-sum
+    # invariant under control-plane chaos.
+    "transport-storm": TransportScenario(
+        name="transport-storm",
+        drop_rate=0.12,
+        dup_rate=0.06,
+        delay_rate=0.15,
+        max_delay_epochs=2,
+        reorder_rate=0.20,
+        partitions=(LinkPartition(6, 10, "node0"),),
+    ),
+}
+
+
+def get_transport_scenario(
+    name: str, *, seed: int | None = None
+) -> TransportScenario:
+    """Resolve a named transport scenario, optionally re-seeded."""
+    try:
+        scenario = TRANSPORT_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(TRANSPORT_SCENARIOS))
+        raise FaultConfigError(
+            f"unknown transport scenario {name!r}; known: {known}"
         ) from None
     if seed is not None:
         scenario = scenario.with_seed(seed)

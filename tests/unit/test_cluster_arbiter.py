@@ -186,3 +186,152 @@ class TestInvariant:
         arbiter.retire(["a"])
         assert "a" not in arbiter.caps()
         assert arbiter.members == ("b",)
+
+
+class TestSilentMembers:
+    """Lease-mirroring: silent nodes' budget is reserved, not re-bid."""
+
+    def run_two_epochs(self, arbiter):
+        arbiter.rebalance(0, {})
+        return arbiter.rebalance(1, {
+            "a": report("a", epoch=0, power=30.0, pressure=0.8),
+            "b": report("b", epoch=0, power=30.0, pressure=0.8),
+        })
+
+    def test_silent_node_reserved_at_last_cap(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        before = self.run_two_epochs(arbiter)
+        grant = arbiter.rebalance(2, {
+            "a": report("a", epoch=1, power=30.0, pressure=0.8),
+        })
+        assert grant.reserved_w == {"b": pytest.approx(before.caps_w["b"])}
+        assert grant.caps_w["b"] == pytest.approx(before.caps_w["b"])
+        assert "b" in grant.degraded
+
+    def test_reservation_expires_to_floor_after_ttl(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        self.run_two_epochs(arbiter)
+        ttl = arbiter.lease_ttl
+        grant = None
+        for epoch in range(2, 2 + ttl + 1):
+            grant = arbiter.rebalance(epoch, {
+                "a": report("a", epoch=epoch - 1, power=30.0, pressure=0.8),
+            })
+        assert grant.reserved_w["b"] == pytest.approx(10.0)  # the floor
+        assert grant.caps_w["b"] == pytest.approx(10.0)
+
+    def test_reserved_watts_never_rebid_to_live_nodes(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        self.run_two_epochs(arbiter)
+        grant = arbiter.rebalance(2, {
+            "a": report("a", epoch=1, power=59.0, pressure=1.0),
+        })
+        # a wants everything, but b's reservation is off the table
+        assert grant.caps_w["a"] + grant.caps_w["b"] <= 75.0 + 1e-9
+        assert grant.caps_w["a"] <= 75.0 - grant.reserved_w["b"] + 1e-9
+
+    def test_invariant_holds_with_reservations(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        self.run_two_epochs(arbiter)
+        for epoch in range(2, 8):
+            arbiter.rebalance(epoch, {
+                "a": report("a", epoch=epoch - 1, power=59.0, pressure=1.0),
+            })
+            arbiter.check_invariant()
+
+    def test_silence_then_return_restores_full_claim(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        self.run_two_epochs(arbiter)
+        for epoch in range(2, 6):
+            arbiter.rebalance(epoch, {
+                "a": report("a", epoch=epoch - 1, power=30.0, pressure=0.8),
+            })
+        grant = arbiter.rebalance(6, {
+            "a": report("a", epoch=5, power=30.0, pressure=0.8),
+            "b": report("b", epoch=5, power=9.9, pressure=0.9, cap=10.0),
+        })
+        assert "b" not in grant.degraded
+        assert grant.reserved_w == {}
+        assert grant.caps_w["b"] > 10.0  # bidding again, above the floor
+
+
+class TestDemandAging:
+    def test_first_stale_epoch_keeps_full_holdover(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        arbiter.rebalance(0, {})
+        held = arbiter.rebalance(1, {
+            "a": report("a", epoch=0, power=20.0, pressure=0.0),
+            "b": report("b", epoch=0, power=30.0, pressure=0.8),
+        })
+        grant = arbiter.rebalance(2, {
+            "a": report("a", epoch=1, power=0.0, samples=0),
+            "b": report("b", epoch=1, power=30.0, pressure=0.8),
+        })
+        assert grant.caps_w["a"] == pytest.approx(held.caps_w["a"], abs=1.0)
+
+    def test_stale_demand_decays_to_floor_over_ttl(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        arbiter.rebalance(0, {})
+        arbiter.rebalance(1, {
+            "a": report("a", epoch=0, power=20.0, pressure=0.0),
+            "b": report("b", epoch=0, power=30.0, pressure=0.8),
+        })
+        ttl = arbiter.lease_ttl
+        caps = []
+        for epoch in range(2, 3 + ttl):
+            grant = arbiter.rebalance(epoch, {
+                "a": report("a", epoch=epoch - 1, power=0.0, samples=0),
+                "b": report("b", epoch=epoch - 1, power=30.0, pressure=0.8),
+            })
+            caps.append(grant.caps_w["a"])
+        # monotone decay down to the floor once the holdover has aged out
+        assert all(b <= a + 1e-9 for a, b in zip(caps, caps[1:]))
+        assert caps[-1] == pytest.approx(10.0)
+
+    def test_empty_reports_with_no_history_marked_degraded(self):
+        # the holdover gap: samples == 0 and no prior _last_report must
+        # be surfaced as a degraded grant, not pass silently
+        arbiter = make_arbiter(node("a"), node("b"))
+        arbiter.rebalance(0, {})
+        grant = arbiter.rebalance(1, {
+            "a": report("a", epoch=0, power=0.0, samples=0),
+            "b": report("b", epoch=0, power=30.0, pressure=0.8),
+        })
+        assert "a" in grant.degraded
+        assert "b" not in grant.degraded
+
+
+class TestReservationFeasibility:
+    def test_reservations_shaved_when_floors_would_not_fit(self):
+        # three nodes nearly fill the budget; two go silent holding
+        # large caps while the third still needs its floor
+        arbiter = make_arbiter(
+            node("a"), node("b"), node("c"), budget=90.0
+        )
+        arbiter.rebalance(0, {})
+        arbiter.rebalance(1, {
+            name: report(name, epoch=0, power=29.0, pressure=1.0)
+            for name in ("a", "b", "c")
+        })
+        grant = arbiter.rebalance(2, {
+            "a": report("a", epoch=1, power=29.0, pressure=1.0),
+        })
+        arbiter.check_invariant()
+        assert grant.total_w <= 90.0 + 1e-9
+        assert all(cap >= 10.0 - 1e-9 for cap in grant.caps_w.values())
+
+
+class TestJoinGrace:
+    def test_admitted_but_silent_node_floored_after_ttl(self):
+        arbiter = make_arbiter(node("a"), node("b"))
+        ttl = arbiter.lease_ttl
+        grant = None
+        for epoch in range(ttl + 2):
+            grant = arbiter.rebalance(epoch, {
+                "a": report("a", epoch=epoch - 1, power=30.0, pressure=0.8),
+            } if epoch else {})
+        # b never reported: its join grace has lapsed to a floor
+        # reservation and it is flagged degraded
+        assert grant.caps_w["b"] == pytest.approx(10.0)
+        assert grant.reserved_w["b"] == pytest.approx(10.0)
+        assert "b" in grant.degraded

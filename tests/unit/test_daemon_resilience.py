@@ -365,3 +365,51 @@ class TestSafeMode:
         assert h.mode == "normal"
         assert h.telemetry_ok and not h.holdover
         assert h.safe_mode_entries == 0
+
+
+class TestSafeModeLatch:
+    """The cluster lease layer's supervisor latch over safe mode."""
+
+    def test_force_safe_mode_enters_immediately(self, skylake):
+        chip, engine, daemon, _ = build_daemon(skylake)
+        daemon.attach(engine)
+        daemon.force_safe_mode()
+        assert daemon.mode is DaemonMode.SAFE
+        assert daemon.history == []  # no iteration needed to enter
+
+    def test_latch_holds_through_telemetry_recovery(self, skylake):
+        cfg = ResilienceConfig(recover_after=2)
+        chip, engine, daemon, _ = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        daemon.force_safe_mode()
+        engine.run(10.0)  # telemetry is healthy the whole time
+        assert daemon.mode is DaemonMode.SAFE
+
+    def test_release_resumes_normal_recovery(self, skylake):
+        cfg = ResilienceConfig(recover_after=2)
+        chip, engine, daemon, _ = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        daemon.force_safe_mode()
+        engine.run(5.0)
+        daemon.release_safe_mode()
+        assert daemon.mode is DaemonMode.SAFE  # release alone is not exit
+        engine.run(3.0)  # recover_after good samples gate the exit
+        assert daemon.mode is DaemonMode.NORMAL
+
+    def test_force_is_idempotent_and_counts_one_entry(self, skylake):
+        chip, engine, daemon, _ = build_daemon(skylake)
+        daemon.attach(engine)
+        daemon.force_safe_mode()
+        daemon.force_safe_mode()
+        engine.run(2.0)
+        assert daemon.history[-1].health.safe_mode_entries == 1
+
+    def test_backstop_clamps_below_rapl_range(self, skylake):
+        # a cluster floor cap can sit below the hardware limiter's
+        # supported range: the backstop arms at the closest bound
+        # instead of failing the write
+        lo, _hi = skylake.rapl_limit_range_w
+        chip, engine, daemon, _ = build_daemon(skylake, limit=lo - 5.0)
+        daemon.attach(engine)
+        daemon.force_safe_mode()
+        assert chip.rapl.limit_w == lo

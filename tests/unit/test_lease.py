@@ -1,0 +1,130 @@
+"""Tests for the node-side cap-lease ladder."""
+
+import pytest
+
+from repro.cluster.lease import LEASE_CODES, LeaseState, NodeLease
+from repro.cluster.transport import ARBITER, GRANT, Envelope, TransportStats
+from repro.errors import ConfigError
+
+
+def grant(dst="node0", epoch=0, seq=0, cap=50.0):
+    return Envelope(
+        kind=GRANT, src=ARBITER, dst=dst, epoch=epoch, seq=seq, payload=cap
+    )
+
+
+def make_lease(ttl=3, floor=12.0, stats=None):
+    return NodeLease("node0", floor_w=floor, ttl_epochs=ttl, stats=stats)
+
+
+class TestValidation:
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            make_lease(ttl=0)
+
+    def test_floor_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            make_lease(floor=0.0)
+
+
+class TestLadder:
+    def test_boots_degraded_at_floor(self):
+        lease = make_lease()
+        assert lease.state is LeaseState.DEGRADED
+        assert lease.cap_w == 12.0
+        assert not lease.safe
+
+    def test_grant_enters_granted(self):
+        lease = make_lease()
+        lease.observe([grant(epoch=0, cap=42.0)], 0)
+        assert lease.state is LeaseState.GRANTED
+        assert lease.cap_w == 42.0
+        assert lease.misses == 0
+
+    def test_full_ladder_granted_to_safe(self):
+        lease = make_lease(ttl=3)
+        lease.observe([grant(epoch=0, cap=42.0)], 0)
+        walk = []
+        for epoch in range(1, 6):
+            lease.observe([], epoch)
+            walk.append((lease.state, lease.cap_w))
+        assert walk == [
+            (LeaseState.HOLDOVER, 42.0),  # miss 1: lease still valid
+            (LeaseState.HOLDOVER, 42.0),  # miss 2
+            (LeaseState.DEGRADED, 12.0),  # miss 3 == ttl: floor
+            (LeaseState.SAFE, 12.0),      # miss 4 == ttl + 1: backstop
+            (LeaseState.SAFE, 12.0),
+        ]
+
+    def test_safe_within_ttl_plus_one_misses(self):
+        lease = make_lease(ttl=1)
+        lease.observe([grant(epoch=0)], 0)
+        lease.observe([], 1)
+        assert lease.state is LeaseState.DEGRADED
+        lease.observe([], 2)
+        assert lease.safe
+
+    def test_never_granted_node_skips_holdover(self):
+        # with no applied grant there is nothing to hold over: the boot
+        # path stays at the floor and expires straight to SAFE
+        lease = make_lease(ttl=2)
+        lease.observe([], 0)
+        lease.observe([], 1)
+        assert lease.state is LeaseState.DEGRADED
+        lease.observe([], 2)
+        assert lease.state is LeaseState.SAFE
+
+    def test_recovery_reenters_granted(self):
+        lease = make_lease(ttl=1)
+        lease.observe([grant(epoch=0, cap=42.0)], 0)
+        for epoch in range(1, 4):
+            lease.observe([], epoch)
+        assert lease.safe
+        lease.observe([grant(epoch=4, cap=37.0)], 4)
+        assert lease.state is LeaseState.GRANTED
+        assert lease.cap_w == 37.0
+        assert lease.misses == 0
+
+
+class TestEnvelopeFiltering:
+    def test_duplicate_grant_is_stale(self):
+        stats = TransportStats()
+        lease = make_lease(stats=stats)
+        lease.observe([grant(epoch=0, cap=42.0)], 0)
+        # the duplicate neither refreshes the lease nor winds it back
+        lease.observe([grant(epoch=0, cap=42.0)], 1)
+        assert lease.state is LeaseState.HOLDOVER
+        assert stats.stale == 1
+
+    def test_reordered_straggler_cannot_wind_cap_backwards(self):
+        lease = make_lease()
+        lease.observe([grant(epoch=3, cap=30.0)], 3)
+        lease.observe([grant(epoch=2, cap=99.0)], 4)
+        assert lease.cap_w == 30.0
+        assert lease.state is LeaseState.HOLDOVER
+
+    def test_newest_of_a_batch_wins(self):
+        # a delayed epoch-2 grant and the fresh epoch-3 grant arrive in
+        # one delivery batch, in any order: epoch 3 is applied
+        lease = make_lease()
+        lease.observe([grant(epoch=3, cap=33.0), grant(epoch=2, cap=22.0)], 3)
+        assert lease.cap_w == 33.0
+        lease2 = make_lease()
+        lease2.observe([grant(epoch=2, cap=22.0), grant(epoch=3, cap=33.0)], 3)
+        assert lease2.cap_w == 33.0
+
+    def test_other_nodes_grants_ignored(self):
+        lease = make_lease()
+        lease.observe([grant(dst="node1", epoch=0, cap=77.0)], 0)
+        assert lease.state is LeaseState.DEGRADED
+        assert lease.cap_w == 12.0
+
+
+class TestCodes:
+    def test_codes_monotone_in_severity(self):
+        assert (
+            LEASE_CODES[LeaseState.GRANTED]
+            < LEASE_CODES[LeaseState.HOLDOVER]
+            < LEASE_CODES[LeaseState.DEGRADED]
+            < LEASE_CODES[LeaseState.SAFE]
+        )

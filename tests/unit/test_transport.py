@@ -1,0 +1,230 @@
+"""Tests for the unreliable control-plane transport."""
+
+import pytest
+
+from repro.cluster.transport import (
+    ARBITER,
+    DEMAND,
+    GRANT,
+    Envelope,
+    SequenceGuard,
+    TransportStats,
+    UnreliableTransport,
+    fold_reports,
+)
+from repro.errors import ConfigError
+from repro.faults import LinkPartition, TransportScenario, get_transport_scenario
+
+
+def env(kind=DEMAND, src="node0", dst=ARBITER, epoch=0, seq=0, payload=None):
+    return Envelope(
+        kind=kind, src=src, dst=dst, epoch=epoch, seq=seq, payload=payload
+    )
+
+
+class TestEnvelope:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            env(kind="gossip")
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ConfigError):
+            env(epoch=-1)
+
+    def test_frozen(self):
+        e = env()
+        with pytest.raises(AttributeError):
+            e.epoch = 3
+
+
+class TestTransportStats:
+    def test_window_resets_totals_do_not(self):
+        stats = TransportStats()
+        stats.count("sent", 3)
+        stats.count("dropped")
+        window = stats.take_epoch()
+        assert window["sent"] == 3 and window["dropped"] == 1
+        assert stats.take_epoch()["sent"] == 0
+        assert stats.sent == 3 and stats.dropped == 1
+
+
+class TestSequenceGuard:
+    def test_accepts_monotone_epochs(self):
+        guard = SequenceGuard()
+        assert guard.accept(env(epoch=0))
+        assert guard.accept(env(epoch=1))
+        assert guard.accept(env(epoch=5))
+
+    def test_rejects_duplicates_and_stragglers(self):
+        stats = TransportStats()
+        guard = SequenceGuard(stats)
+        assert guard.accept(env(epoch=3))
+        assert not guard.accept(env(epoch=3))  # duplicate
+        assert not guard.accept(env(epoch=1))  # reordered straggler
+        assert stats.stale == 2
+
+    def test_kinds_and_senders_tracked_independently(self):
+        guard = SequenceGuard()
+        assert guard.accept(env(epoch=3))
+        assert guard.accept(env(epoch=3, src="node1"))
+        assert guard.accept(env(kind=GRANT, src=ARBITER, dst="node0", epoch=3))
+
+
+class TestFoldReports:
+    def test_newest_report_per_node_wins(self):
+        guard = SequenceGuard()
+        batch = [
+            env(epoch=1, payload="old"),
+            env(epoch=2, payload="new"),
+            env(epoch=1, src="node1", payload="n1"),
+        ]
+        folded = fold_reports(batch, guard)
+        assert folded == {"node0": "new", "node1": "n1"}
+
+    def test_grants_are_ignored(self):
+        guard = SequenceGuard()
+        batch = [env(kind=GRANT, src=ARBITER, dst="node0", payload=50.0)]
+        assert fold_reports(batch, guard) == {}
+
+    def test_guard_state_carries_across_calls(self):
+        guard = SequenceGuard()
+        assert fold_reports([env(epoch=2, payload="a")], guard)
+        # the same epoch resent later is stale, not a fresh report
+        assert fold_reports([env(epoch=2, payload="a")], guard) == {}
+
+
+class TestQuietTransport:
+    def test_perfect_delivery_same_epoch(self):
+        transport = UnreliableTransport(get_transport_scenario("none"))
+        transport.send(env(epoch=0, payload="r"), 0)
+        assert [e.payload for e in transport.deliver(ARBITER, 0)] == ["r"]
+        assert transport.stats.dropped == 0
+        assert transport.stats.delivered == 1
+
+    def test_delivery_preserves_send_order(self):
+        transport = UnreliableTransport(get_transport_scenario("none"))
+        for seq in range(5):
+            transport.send(env(epoch=0, seq=seq, payload=seq), 0)
+        got = [e.payload for e in transport.deliver(ARBITER, 0)]
+        assert got == list(range(5))
+
+    def test_undelivered_messages_stay_queued(self):
+        transport = UnreliableTransport(get_transport_scenario("none"))
+        transport.send(env(kind=GRANT, src=ARBITER, dst="node0"), 0)
+        assert transport.deliver("node1", 0) == []
+        assert transport.pending("node0") == 1
+
+
+class TestFaultyTransport:
+    def test_same_seed_replays_identically(self):
+        scenario = get_transport_scenario("flaky-links", seed=9)
+        outcomes = []
+        for _ in range(2):
+            transport = UnreliableTransport(scenario)
+            log = []
+            for epoch in range(12):
+                for i in range(3):
+                    transport.send(
+                        env(src=f"node{i}", epoch=epoch, seq=epoch), epoch
+                    )
+                log.append(
+                    [(e.src, e.epoch) for e in transport.deliver(ARBITER, epoch)]
+                )
+            outcomes.append((log, transport.stats.take_epoch()))
+        assert outcomes[0] == outcomes[1]
+
+    def test_drop_rate_drops(self):
+        scenario = TransportScenario(name="t", drop_rate=1.0)
+        transport = UnreliableTransport(scenario, seed=1)
+        transport.send(env(), 0)
+        assert transport.deliver(ARBITER, 0) == []
+        assert transport.stats.dropped == 1
+
+    def test_duplication_delivers_twice(self):
+        scenario = TransportScenario(name="t", dup_rate=1.0)
+        transport = UnreliableTransport(scenario, seed=1)
+        transport.send(env(payload="x"), 0)
+        assert [e.payload for e in transport.deliver(ARBITER, 0)] == ["x", "x"]
+        assert transport.stats.duplicated == 1
+
+    def test_delay_defers_delivery(self):
+        scenario = TransportScenario(
+            name="t", delay_rate=1.0, max_delay_epochs=1
+        )
+        transport = UnreliableTransport(scenario, seed=1)
+        transport.send(env(epoch=0), 0)
+        assert transport.deliver(ARBITER, 0) == []
+        assert len(transport.deliver(ARBITER, 1)) == 1
+        assert transport.stats.delayed == 1
+
+    def test_partition_drops_at_send(self):
+        scenario = TransportScenario(
+            name="t", partitions=(LinkPartition(0, 2, "node0"),)
+        )
+        transport = UnreliableTransport(scenario, seed=1)
+        transport.send(env(epoch=0), 0)
+        transport.send(env(src="node1", epoch=0), 0)
+        got = transport.deliver(ARBITER, 0)
+        assert [e.src for e in got] == ["node1"]
+        assert transport.stats.dropped == 1
+
+    def test_partition_drops_delayed_arrival_at_pickup(self):
+        # a delayed envelope landing inside a partition window dies at
+        # the receiver's door, not just at the sender's
+        scenario = TransportScenario(
+            name="t",
+            delay_rate=1.0,
+            max_delay_epochs=1,
+            partitions=(LinkPartition(1, 3, "node0"),),
+        )
+        transport = UnreliableTransport(scenario, seed=1)
+        transport.send(env(epoch=0), 0)  # delayed to epoch 1
+        assert transport.deliver(ARBITER, 1) == []
+        assert transport.stats.dropped == 1
+
+    def test_arbiter_partition_severs_every_link(self):
+        scenario = TransportScenario(
+            name="t", partitions=(LinkPartition(0, 1, None),)
+        )
+        transport = UnreliableTransport(scenario, seed=1)
+        transport.send(env(src="node0"), 0)
+        transport.send(env(kind=GRANT, src=ARBITER, dst="node1"), 0)
+        assert transport.deliver(ARBITER, 0) == []
+        assert transport.deliver("node1", 0) == []
+        assert transport.stats.dropped == 2
+
+
+class TestScenarioValidation:
+    def test_unknown_name_rejected(self):
+        from repro.errors import FaultConfigError
+
+        with pytest.raises(FaultConfigError):
+            get_transport_scenario("wet-string")
+
+    def test_delay_rate_needs_max_delay(self):
+        from repro.errors import FaultConfigError
+
+        with pytest.raises(FaultConfigError):
+            TransportScenario(name="t", delay_rate=0.5)
+
+    def test_rates_bounded(self):
+        from repro.errors import FaultConfigError
+
+        with pytest.raises(FaultConfigError):
+            TransportScenario(name="t", drop_rate=1.5)
+
+    def test_partition_window_validated(self):
+        from repro.errors import FaultConfigError
+
+        with pytest.raises(FaultConfigError):
+            LinkPartition(5, 5, "node0")
+
+    def test_curated_scenarios_resolve(self):
+        for name in (
+            "none", "lossy-links", "slow-links", "flaky-links",
+            "node0-partition", "arbiter-partition", "transport-storm",
+        ):
+            scenario = get_transport_scenario(name, seed=4)
+            assert scenario.seed == 4
+        assert get_transport_scenario("none").quiet
+        assert not get_transport_scenario("transport-storm").quiet
