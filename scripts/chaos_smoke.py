@@ -16,6 +16,14 @@ must walk its lease ladder down to RAPL-backstop safe mode within
 the facility budget through the whole outage, and the healed node must
 win its share back within two epochs.
 
+A crash-recovery drill follows: under the ``node-restart`` scenario the
+rebooted node must climb back to GRANTED above its floor within
+``lease_ttl + 2`` epochs of its restart, it must file no reports while
+down, and the cap-sum invariant must hold through the crash and rejoin
+epochs.  On failure the run's write-ahead journal and cluster trace are
+dumped under ``--artifact-dir`` (default ``chaos-artifacts/``) so CI
+can upload them.
+
 Exits nonzero on any violation.  Intended for CI::
 
     PYTHONPATH=src python scripts/chaos_smoke.py --check
@@ -155,6 +163,86 @@ def run_partition_check(seed: int) -> int:
     return 1 if failures else 0
 
 
+def run_crash_drill(seed: int, artifact_dir: str) -> int:
+    """Node crash-and-restart must recover through the lease ladder.
+
+    Runs the ``node-restart`` scenario (node0 down epochs 4–6, reboot
+    at 7) and checks the restart protocol end to end: silence while
+    down, cap-sum at or under budget at *every* epoch including the
+    crash and rejoin boundaries, and a climb back to GRANTED above the
+    floor within ``ttl + 2`` epochs of the reboot.  On failure the
+    write-ahead journal and the cluster trace are dumped under
+    ``artifact_dir`` for post-mortem (CI uploads them as artifacts).
+    """
+    import json
+    import os
+
+    from repro.cluster import ClusterSim
+    from repro.experiments.cluster_exp import default_cluster_config
+    from repro.faults import get_crash_scenario
+
+    config = default_cluster_config(
+        n_nodes=3, crash_faults="node-restart", seed=seed
+    )
+    sim = ClusterSim(config)
+    run = sim.run(140.0)
+    ttl = config.lease_ttl_epochs
+    scenario = get_crash_scenario("node-restart")
+    window = scenario.node_restarts[0]
+    down = range(window.crash_epoch, window.restart_epoch)
+    reboot = window.restart_epoch
+    floor = config.node("node0").min_cap_w
+    failures = []
+    for epoch, grant in enumerate(run.grants):
+        total = grant.total_w + sum(
+            w for n, w in grant.reserved_w.items() if n not in grant.caps_w
+        )
+        if total > config.budget_w + 1e-6:
+            failures.append(
+                f"cap-sum {total:.3f} W over the {config.budget_w:.0f} W "
+                f"budget at epoch {epoch}"
+            )
+    for epoch in down:
+        if "node0" in run.reports[epoch]:
+            failures.append(f"down node0 filed a report at epoch {epoch}")
+    states = [st.get("node0") for st in run.lease_states]
+    granted = [
+        epoch
+        for epoch in range(reboot, min(reboot + ttl + 2, len(states)))
+        if states[epoch] == "granted"
+        and run.grants[epoch].caps_w.get("node0", 0.0) > floor
+    ]
+    if not granted:
+        failures.append(
+            f"restarted node0 did not reach GRANTED above its floor "
+            f"within ttl+2 epochs of the reboot "
+            f"(states {states[reboot:reboot + ttl + 2]})"
+        )
+    if run.node_restarts != [(reboot, "node0")]:
+        failures.append(
+            f"expected one node0 restart at epoch {reboot}, "
+            f"got {run.node_restarts}"
+        )
+    if failures:
+        os.makedirs(artifact_dir, exist_ok=True)
+        journal_path = os.path.join(artifact_dir, "crash_drill_journal.jsonl")
+        trace_path = os.path.join(artifact_dir, "crash_drill_trace.json")
+        run.journal.dump(journal_path)
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            json.dump(run.trace.to_jsonable(), handle, sort_keys=True)
+        print(f"  artifacts: {journal_path}, {trace_path}")
+    status = "FAIL" if failures else "ok"
+    print(f"[{status}] crash drill: node0 down epochs {down.start}-"
+          f"{down.stop - 1}, rebooted at {reboot}, "
+          f"granted again at {granted[:1] or 'never'}, "
+          f"max cap sum {run.max_cap_sum_w():.1f} W of "
+          f"{config.budget_w:.0f} W, "
+          f"{len(run.journal.entries)} journal entries")
+    for failure in failures[:10]:
+        print(f"  {failure}")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--duration", type=float, default=60.0,
@@ -163,6 +251,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scenario", default="full-storm")
     parser.add_argument("--skip-bench", action="store_true",
                         help="skip the ticks/sec regression check")
+    parser.add_argument("--artifact-dir", default="chaos-artifacts",
+                        help="where failing drills dump their journal "
+                             "and trace (default chaos-artifacts/)")
     parser.add_argument("--check", action="store_true",
                         help="CI mode: enforce every gate, including the "
                              "bench throughput floors (single-socket and "
@@ -180,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     rc |= run_partition_check(args.seed)
+    rc |= run_crash_drill(args.seed, args.artifact_dir)
     if not args.skip_bench:
         # guard the simulator's throughput alongside its safety: fail
         # when ticks/sec regresses >30% against the committed baseline.

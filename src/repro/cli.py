@@ -249,6 +249,7 @@ def _cmd_cluster(args) -> int:
         seed=args.seed,
         transport=args.transport_faults,
         lease_ttl_epochs=args.lease_ttl,
+        crash_faults=args.crash_faults,
     )
     cache = ResultCache.from_env(enabled=not args.no_cache)
     result = run_cluster_experiment(
@@ -278,6 +279,13 @@ def _cmd_cluster(args) -> int:
             f"{t.get('stale', 0)} stale; "
             f"{result.safe_node_epochs} safe node-epochs, "
             f"{result.degraded_grants} degraded grants"
+        )
+    if args.crash_faults is not None:
+        print(
+            f"crash faults ({args.crash_faults}): "
+            f"{result.crash_recoveries} arbiter recoveries (journal "
+            f"redo), {result.node_restarts} node restarts, "
+            f"{result.safe_node_epochs} safe node-epochs"
         )
     if cache is not None:
         print(f"cache: {cache.stats.hits} hits, "
@@ -536,6 +544,12 @@ def build_parser() -> argparse.ArgumentParser:
              "to its floor and then to RAPL-backstop safe mode",
     )
     cluster.add_argument(
+        "--crash-faults", default=None, metavar="SCENARIO",
+        help="inject a named crash scenario — seeded arbiter crashes "
+             "(recovered by journal redo) and node crash/restart "
+             "windows (see 'repro-power faults')",
+    )
+    cluster.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="step nodes across N worker processes (byte-identical "
              "to serial)",
@@ -606,11 +620,19 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "faults":
-        from repro.faults import SCENARIOS, TRANSPORT_SCENARIOS
+        from repro.faults import (
+            CRASH_SCENARIOS,
+            SCENARIOS,
+            TRANSPORT_SCENARIOS,
+        )
 
         width = max(
             len(name)
-            for name in list(SCENARIOS) + list(TRANSPORT_SCENARIOS)
+            for name in (
+                list(SCENARIOS)
+                + list(TRANSPORT_SCENARIOS)
+                + list(CRASH_SCENARIOS)
+            )
         )
         for name, scenario in sorted(SCENARIOS.items()):
             active = [
@@ -642,6 +664,10 @@ def main(argv: list[str] | None = None) -> int:
                     )
                 )
             print(f"{name.ljust(width)}  {', '.join(active) or 'clean'}")
+        print()
+        print("crash scenarios (cluster --crash-faults):")
+        for name, cs in sorted(CRASH_SCENARIOS.items()):
+            print(f"{name.ljust(width)}  {cs.description}")
         return 0
     try:
         if args.command == "run":

@@ -17,6 +17,8 @@ from a two-level shares tree driven by each node's demand signals
 * :mod:`repro.cluster.lease`     — TTL cap leases and the node-side
   GRANTED → HOLDOVER → DEGRADED → SAFE step-down ladder,
 * :mod:`repro.cluster.stepper`   — serial / fork-parallel node stepping,
+* :mod:`repro.cluster.journal`   — epoch-fenced write-ahead journal and
+  crash recovery (journal replay reconstructs byte-identical state),
 * :mod:`repro.cluster.trace`     — per-node + global telemetry roll-up,
 * :mod:`repro.cluster.runtime`   — the epoch loop tying it together.
 """
@@ -29,9 +31,15 @@ from repro.cluster.config import (
     cluster_config_from_jsonable,
     cluster_config_to_jsonable,
 )
+from repro.cluster.journal import Journal, JournalEntry, RecoveredState
 from repro.cluster.lease import LEASE_CODES, LeaseState, NodeLease
 from repro.cluster.node import ClusterNode, NodeEpochReport
-from repro.cluster.runtime import ClusterRun, ClusterSim, run_cluster
+from repro.cluster.runtime import (
+    ClusterRun,
+    ClusterSim,
+    recover_cluster_sim,
+    run_cluster,
+)
 from repro.cluster.stepper import (
     ParallelNodeStepper,
     SerialNodeStepper,
@@ -59,12 +67,15 @@ __all__ = [
     "DEMAND_SLACK",
     "Envelope",
     "GroupSpec",
+    "Journal",
+    "JournalEntry",
     "LEASE_CODES",
     "LeaseState",
     "NodeEpochReport",
     "NodeLease",
     "NodeSpec",
     "ParallelNodeStepper",
+    "RecoveredState",
     "SequenceGuard",
     "SerialNodeStepper",
     "TransportStats",
@@ -73,5 +84,6 @@ __all__ = [
     "cluster_config_to_jsonable",
     "fold_reports",
     "make_stepper",
+    "recover_cluster_sim",
     "run_cluster",
 ]

@@ -139,6 +139,48 @@ class ClusterArbiter:
             self._last_fresh.pop(name, None)
             self._admitted_at.pop(name, None)
 
+    def readmit(self, name: str, epoch: int) -> None:
+        """Re-admit a rebooted member without double-counting it.
+
+        Everything remembered about the node's previous incarnation —
+        cap, reservation basis, liveness clocks, demand history — is
+        discarded, so the node re-enters as a *new* member: it bids
+        unconstrained in this epoch's water-filling instead of keeping
+        a silent-member reservation, and the budget it had reserved is
+        released in the same round it is re-granted.
+        """
+        self.config.node(name)  # validates the name
+        self.retire([name])
+        self._members.add(name)
+        self._admitted_at[name] = epoch
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Checkpoint the full arbitration state for the journal.
+
+        Reports are kept as live :class:`NodeEpochReport` objects; the
+        journal converts them to a JSON form when dumped to disk.  A
+        :meth:`restore` of this snapshot reproduces byte-identical
+        grants from the next ``rebalance`` on.
+        """
+        return {
+            "members": sorted(self._members),
+            "caps": dict(self._caps),
+            "last_report": dict(self._last_report),
+            "last_seen": dict(self._last_seen),
+            "last_fresh": dict(self._last_fresh),
+            "admitted_at": dict(self._admitted_at),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._members = set(state["members"])
+        self._caps = dict(state["caps"])
+        self._last_report = dict(state["last_report"])
+        self._last_seen = dict(state["last_seen"])
+        self._last_fresh = dict(state["last_fresh"])
+        self._admitted_at = dict(state["admitted_at"])
+
     # -- the epoch redistribution ------------------------------------------------
 
     def rebalance(

@@ -28,7 +28,12 @@ from dataclasses import asdict, dataclass
 from repro.config import AppSpec, POLICY_REGISTRY
 from repro.core.types import Priority
 from repro.errors import ConfigError
-from repro.faults import get_scenario, get_transport_scenario
+from repro.faults import (
+    CrashScenario,
+    get_crash_scenario,
+    get_scenario,
+    get_transport_scenario,
+)
 from repro.hw.platform import get_platform
 
 #: root group used when the config declares no explicit groups.
@@ -147,6 +152,10 @@ class ClusterConfig:
     #: enforcing a grant it cannot renew before stepping down, and how
     #: long the arbiter reserves a silent node's budget.
     lease_ttl_epochs: int = 3
+    #: named control-plane crash scenario (``repro.faults.
+    #: CRASH_SCENARIOS``): seeded arbiter crashes (journal redo) and
+    #: node crash/restart windows.  ``None`` keeps every process alive.
+    crash_faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.budget_w <= 0:
@@ -163,6 +172,15 @@ class ClusterConfig:
             raise ConfigError("lease_ttl_epochs must be at least 1")
         if self.transport is not None:
             get_transport_scenario(self.transport)  # validate early
+        if self.crash_faults is not None:
+            crash = get_crash_scenario(self.crash_faults)
+            known_names = {node.name for node in self.nodes}
+            for restart_node in crash.node_names():
+                if restart_node not in known_names:
+                    raise ConfigError(
+                        f"crash scenario {self.crash_faults!r} restarts "
+                        f"unknown node {restart_node!r}"
+                    )
         names = [node.name for node in self.nodes]
         if len(set(names)) != len(names):
             raise ConfigError("duplicate node names")
@@ -203,12 +221,23 @@ class ClusterConfig:
                 return spec
         raise ConfigError(f"no node {name!r} in cluster config")
 
-    def node_fault_seed(self, index: int) -> int:
-        """Deterministic per-node fault seed derived from the master."""
+    def node_fault_seed(self, index: int, incarnation: int = 0) -> int:
+        """Deterministic per-node fault seed derived from the master.
+
+        ``incarnation`` counts reboots: a restarted node draws a
+        distinct (but equally deterministic) fault schedule, like a
+        machine whose post-boot entropy differs from its last life.
+        """
         spec = self.nodes[index]
         if spec.fault_seed is not None:
-            return spec.fault_seed
-        return self.seed * 1000003 + index
+            base = spec.fault_seed
+        else:
+            base = self.seed * 1000003 + index
+        return base + incarnation * 7368787
+
+    def crash_scenario(self) -> CrashScenario:
+        """Resolve the configured crash scenario ("none" when unset)."""
+        return get_crash_scenario(self.crash_faults or "none")
 
     def group_of(self, node: NodeSpec) -> str:
         return node.group if self.groups else ROOT_GROUP

@@ -35,7 +35,13 @@ from __future__ import annotations
 
 import enum
 
-from repro.cluster.transport import Envelope, SequenceGuard, TransportStats
+from repro.cluster.transport import (
+    ARBITER,
+    GRANT,
+    Envelope,
+    SequenceGuard,
+    TransportStats,
+)
 from repro.errors import ConfigError
 
 
@@ -120,3 +126,37 @@ class NodeLease:
         else:
             self.state = LeaseState.SAFE
             self.cap_w = self.floor_w
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def restart(self, *, fenced_epoch: int) -> None:
+        """Reboot this lease: SAFE at the floor, pre-crash grants dead.
+
+        A rebooted node presents its last *fenced* epoch and refuses
+        anything older: the guard is primed at ``fenced_epoch`` so a
+        straggler grant from before the crash — possibly for watts the
+        arbiter has since re-budgeted — can never be applied.  Only a
+        fresh post-restart grant walks the node back up the ladder.
+        """
+        self.state = LeaseState.SAFE
+        self.cap_w = self.floor_w
+        self.misses = self.ttl_epochs + 1
+        self.granted_epoch = -1
+        self._guard.prime(GRANT, ARBITER, fenced_epoch)
+
+    def snapshot(self) -> dict:
+        """Checkpoint the ladder position and guard for the journal."""
+        return {
+            "state": self.state.value,
+            "cap_w": self.cap_w,
+            "misses": self.misses,
+            "granted_epoch": self.granted_epoch,
+            "guard": self._guard.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.state = LeaseState(state["state"])
+        self.cap_w = state["cap_w"]
+        self.misses = state["misses"]
+        self.granted_epoch = state["granted_epoch"]
+        self._guard.restore(state["guard"])

@@ -79,6 +79,12 @@ class ClusterNode:
         self.stack: ExperimentStack | None = None
         self._history_mark = 0
         self._crashed = False
+        #: bumped on every reboot so each incarnation draws a distinct
+        #: (but deterministic) fault schedule.
+        self._incarnation = 0
+        #: the next build must come up with the daemon's safe-mode
+        #: latch held (crash-restart protocol).
+        self._boot_safe = False
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -106,6 +112,20 @@ class ClusterNode:
     def crashed(self) -> bool:
         return self._crashed
 
+    def restart(self) -> None:
+        """Reboot the node: the old incarnation's state is gone.
+
+        The next :meth:`step_epoch` builds a fresh stack — exactly like
+        a machine booting into a running cluster — with the daemon's
+        safe-mode latch already held, so the node comes up enforcing
+        its RAPL backstop until a fresh lease grant releases it.
+        """
+        self.stack = None
+        self._history_mark = 0
+        self._crashed = False
+        self._incarnation += 1
+        self._boot_safe = True
+
     def _build(self, cap_w: float) -> ExperimentStack:
         spec = self.spec
         config = ExperimentConfig(
@@ -116,7 +136,9 @@ class ClusterNode:
             interval_s=self._cluster.interval_s,
             tick_s=self._cluster.tick_s,
             faults=spec.faults,
-            fault_seed=self._cluster.node_fault_seed(self.index),
+            fault_seed=self._cluster.node_fault_seed(
+                self.index, self._incarnation
+            ),
         )
         return build_stack(config)
 
@@ -150,6 +172,14 @@ class ClusterNode:
         """
         if self.stack is None:
             self.stack = self._build(cap_w)
+            if self._boot_safe:
+                # reboot protocol: the backstop is latched before the
+                # first tick runs.  The lease verdict below may release
+                # the latch the same epoch (a grant already landed),
+                # but the daemon's recover_after good-sample streak
+                # still gates the actual exit from safe mode.
+                self.stack.daemon.force_safe_mode()
+                self._boot_safe = False
         else:
             self.set_cap(cap_w)
         if safe_mode:

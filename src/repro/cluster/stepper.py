@@ -30,6 +30,45 @@ from repro.errors import SimulationError
 from repro.experiments.parallel import fork_context, resolve_jobs
 
 
+def _step_nodes(
+    nodes: list[ClusterNode],
+    epoch: int,
+    t0: float,
+    t1: float,
+    caps_w: dict[str, float],
+    safe_names: frozenset[str],
+    down: frozenset[str],
+    restarts: frozenset[str],
+) -> list[NodeEpochReport]:
+    """Step one node subset — the single code path both steppers share.
+
+    ``restarts`` names nodes rebooting at this boundary (old incarnation
+    discarded, fresh stack built with the safe latch held); ``down``
+    names nodes inside a crash window — their simulation does not run
+    and they file no report, exactly like a dead machine.  Both sets are
+    decided in the parent, so serial and fork-parallel stepping stay
+    byte-identical under crash faults.
+    """
+    reports: list[NodeEpochReport] = []
+    for node in nodes:
+        name = node.spec.name
+        if name in restarts:
+            node.restart()
+        if name in down:
+            continue
+        if name in caps_w and node.active_in(t0, t1):
+            reports.append(
+                node.step_epoch(
+                    epoch,
+                    caps_w[name],
+                    t0,
+                    t1,
+                    safe_mode=name in safe_names,
+                )
+            )
+    return reports
+
+
 class SerialNodeStepper:
     """All nodes stepped in-process, ascending node index."""
 
@@ -45,18 +84,13 @@ class SerialNodeStepper:
         t1: float,
         caps_w: dict[str, float],
         safe_names: frozenset[str] = frozenset(),
+        down: frozenset[str] = frozenset(),
+        restarts: frozenset[str] = frozenset(),
     ) -> dict[str, NodeEpochReport]:
-        reports: dict[str, NodeEpochReport] = {}
-        for node in self.nodes:
-            if node.spec.name in caps_w and node.active_in(t0, t1):
-                reports[node.spec.name] = node.step_epoch(
-                    epoch,
-                    caps_w[node.spec.name],
-                    t0,
-                    t1,
-                    safe_mode=node.spec.name in safe_names,
-                )
-        return reports
+        reports = _step_nodes(
+            self.nodes, epoch, t0, t1, caps_w, safe_names, down, restarts
+        )
+        return {report.name: report for report in reports}
 
     def close(self) -> None:
         pass
@@ -76,19 +110,11 @@ def _worker_main(config: ClusterConfig, indices: list[int], conn) -> None:
             message = conn.recv()
             if message[0] == "stop":
                 return
-            _, epoch, t0, t1, caps_w, safe_names = message
+            _, epoch, t0, t1, caps_w, safe_names, down, restarts = message
             try:
-                reports = [
-                    node.step_epoch(
-                        epoch,
-                        caps_w[node.spec.name],
-                        t0,
-                        t1,
-                        safe_mode=node.spec.name in safe_names,
-                    )
-                    for node in nodes
-                    if node.spec.name in caps_w and node.active_in(t0, t1)
-                ]
+                reports = _step_nodes(
+                    nodes, epoch, t0, t1, caps_w, safe_names, down, restarts
+                )
             # worker boundary: any failure is serialized to the parent
             # and re-raised there, so nothing is swallowed
             # repro-lint: disable=fail-safety — exception ships to parent
@@ -128,10 +154,14 @@ class ParallelNodeStepper:
         t1: float,
         caps_w: dict[str, float],
         safe_names: frozenset[str] = frozenset(),
+        down: frozenset[str] = frozenset(),
+        restarts: frozenset[str] = frozenset(),
     ) -> dict[str, NodeEpochReport]:
         for _, conn in self._workers:
             try:
-                conn.send(("step", epoch, t0, t1, caps_w, safe_names))
+                conn.send(
+                    ("step", epoch, t0, t1, caps_w, safe_names, down, restarts)
+                )
             except (BrokenPipeError, OSError) as exc:
                 self.close()
                 raise SimulationError(

@@ -13,7 +13,10 @@ box-plot-ready series for free:
   ``<name>.lease`` (0 granted · 1 holdover · 2 degraded · 3 safe),
   plus ``transport.sent|delivered|dropped|delayed|duplicated|stale``
   per-epoch counts, ``cluster.reserved_w`` (budget the arbiter holds
-  for leased-but-silent nodes) and ``cluster.degraded_grants``.
+  for leased-but-silent nodes), ``cluster.degraded_grants``, and the
+  crash-fault counters ``cluster.restarts`` (node reboots executed at
+  the epoch boundary) and ``cluster.crash_recoveries`` (arbiter
+  crashes redone from the journal).
 
 Sampling is at epoch cadence: one point per series per arbitration
 round, timestamped with the epoch's end.  ``to_jsonable`` emits a
@@ -76,13 +79,17 @@ class ClusterTrace:
         lease_codes: dict[str, int],
         reserved_w: float,
         degraded_grants: int,
+        restarts: int = 0,
+        crash_recoveries: int = 0,
     ) -> None:
         """Fold one epoch's control-plane health into the series.
 
         ``transport_epoch`` is one :meth:`~repro.cluster.transport.
         TransportStats.take_epoch` window; ``lease_codes`` maps node
         name to its :data:`~repro.cluster.lease.LEASE_CODES` value at
-        the end of the epoch.
+        the end of the epoch; ``restarts`` counts node reboots executed
+        at this epoch's boundary and ``crash_recoveries`` arbiter
+        crashes redone from the journal this epoch.
         """
         rec = self.trace.record
         for event in sorted(transport_epoch):
@@ -91,6 +98,8 @@ class ClusterTrace:
             rec(f"{name}.lease", t_end_s, float(lease_codes[name]))
         rec("cluster.reserved_w", t_end_s, reserved_w)
         rec("cluster.degraded_grants", t_end_s, float(degraded_grants))
+        rec("cluster.restarts", t_end_s, float(restarts))
+        rec("cluster.crash_recoveries", t_end_s, float(crash_recoveries))
 
     def series(self, name: str) -> TraceSeries:
         return self.trace.series(name)

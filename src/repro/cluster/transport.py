@@ -103,6 +103,26 @@ class TransportStats:
             self._window[key] = 0
         return window
 
+    def snapshot(self) -> dict:
+        """Checkpoint the totals and the open window (journal fence)."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "delayed": self.delayed,
+            "duplicated": self.duplicated,
+            "stale": self.stale,
+            "window": dict(self._window),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore counters in place (guards and leases keep their
+        references to this object across a recovery)."""
+        for event in ("sent", "delivered", "dropped", "delayed",
+                      "duplicated", "stale"):
+            setattr(self, event, state[event])
+        self._window = dict(state["window"])
+
 
 class SequenceGuard:
     """Rejects duplicate and out-of-order envelopes per (kind, src).
@@ -127,6 +147,30 @@ class SequenceGuard:
             return False
         self._high[key] = env.epoch
         return True
+
+    def prime(self, kind: str, src: str, epoch: int) -> None:
+        """Pre-position the high-water mark without accepting anything.
+
+        A rebooted node primes its grant guard at its last *fenced*
+        epoch so every pre-crash straggler still in flight is stale on
+        arrival — the wire-level half of the restart protocol.
+        """
+        key = (kind, src)
+        if epoch > self._high.get(key, -1):
+            self._high[key] = epoch
+
+    def snapshot(self) -> dict[str, int]:
+        """Checkpoint the high-water marks ("kind|src" -> epoch)."""
+        return {
+            f"{kind}|{src}": epoch
+            for (kind, src), epoch in sorted(self._high.items())
+        }
+
+    def restore(self, state: dict[str, int]) -> None:
+        self._high = {}
+        for key, epoch in state.items():
+            kind, src = key.split("|", 1)
+            self._high[(kind, src)] = epoch
 
 
 def fold_reports(
@@ -240,3 +284,43 @@ class UnreliableTransport:
     def pending(self, dst: str) -> int:
         """Envelopes still queued for an endpoint (test introspection)."""
         return len(self._queues.get(dst, []))
+
+    def flush(self, dst: str) -> int:
+        """Drop everything queued for an endpoint; returns the count.
+
+        A rebooted process has no socket buffers: whatever was in
+        flight toward it died with the old incarnation.  The flushed
+        envelopes are counted as dropped.
+        """
+        flushed = len(self._queues.pop(dst, []))
+        if flushed:
+            self.stats.count("dropped", flushed)
+        return flushed
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Checkpoint queues, RNG, and stats at an epoch fence.
+
+        Envelopes are kept as live objects (payloads are frozen
+        dataclasses); the journal converts them to a JSON form when it
+        is dumped to disk.
+        """
+        return {
+            "order": self._order,
+            "rng": self._rng.getstate(),
+            "queues": {
+                dst: list(items)
+                for dst, items in sorted(self._queues.items())
+            },
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a fence checkpoint into this (same-scenario) transport."""
+        self._order = state["order"]
+        self._rng.setstate(state["rng"])
+        self._queues = {
+            dst: list(items) for dst, items in state["queues"].items()
+        }
+        self.stats.restore(state["stats"])

@@ -240,6 +240,11 @@ class PowerDaemon:
         return self._mode
 
     @property
+    def safe_latched(self) -> bool:
+        """Whether a supervisor latch is pinning the daemon in safe mode."""
+        return self._safe_latched
+
+    @property
     def quarantined_cores(self) -> tuple[int, ...]:
         return tuple(sorted(self._quarantine))
 
@@ -421,12 +426,20 @@ class PowerDaemon:
     def release_safe_mode(self) -> None:
         """Drop the supervisor latch; telemetry recovery resumes.
 
-        Deliberately does *not* exit safe mode by itself: the normal
-        ``recover_after`` streak of good samples still gates the exit,
-        so a renewed lease on a still-sick node keeps the backstop
-        armed.
+        The normal ``recover_after`` streak of good samples still gates
+        the exit, so a renewed lease on a still-sick node keeps the
+        backstop armed.  A node whose streak is *already* satisfied —
+        it proved health while the latch held — exits immediately:
+        making it start the streak over would punish it for having been
+        latched, and a single stale sample between release and the next
+        good one would otherwise zero the proven streak.
         """
         self._safe_latched = False
+        if (
+            self._mode is DaemonMode.SAFE
+            and self._consecutive_good >= self.resilience.recover_after
+        ):
+            self._exit_safe_mode()
 
     def _exit_safe_mode(self) -> None:
         self._mode = DaemonMode.NORMAL

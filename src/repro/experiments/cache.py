@@ -56,7 +56,12 @@ if TYPE_CHECKING:
 #: v3: cluster runs gained the control-plane transport and cap leases
 #: (new ``ClusterConfig`` fields, new result fields) — cluster outputs
 #: changed shape, so v2 entries must not satisfy v3 lookups.
-CACHE_VERSION = 3
+#:
+#: v4: cluster runs gained the crash-recovery journal (``crash_faults``
+#: config field, restart/recovery result fields, new trace series) —
+#: v3 cluster entries predate the crash counters and must not satisfy
+#: v4 lookups.
+CACHE_VERSION = 4
 
 #: default cache root (overridden by ``REPRO_CACHE_DIR``).
 DEFAULT_CACHE_DIR = "~/.cache/repro-power"

@@ -78,6 +78,10 @@ class ClusterRunResult:
     safe_node_epochs: int = 0
     #: demand-blind grants across the run (sum of per-epoch degraded).
     degraded_grants: int = 0
+    #: arbiter crashes recovered by journal redo during the run.
+    crash_recoveries: int = 0
+    #: node reboots executed by the crash schedule during the run.
+    node_restarts: int = 0
 
     def node(self, name: str) -> NodeClusterResult:
         for result in self.nodes:
@@ -110,6 +114,7 @@ def default_cluster_config(
     seed: int = 0,
     transport: str | None = None,
     lease_ttl_epochs: int = 3,
+    crash_faults: str | None = None,
 ) -> ClusterConfig:
     """The canonical evaluation cluster: 2:2:1:1-style shares, six
     compute-bound apps per node so the budget genuinely contends."""
@@ -135,6 +140,7 @@ def default_cluster_config(
         seed=seed,
         transport=transport,
         lease_ttl_epochs=lease_ttl_epochs,
+        crash_faults=crash_faults,
     )
 
 
@@ -207,6 +213,8 @@ def summarize_cluster_run(
         transport=transport,
         safe_node_epochs=safe_node_epochs,
         degraded_grants=sum(len(g.degraded) for g in run.grants),
+        crash_recoveries=run.crash_recoveries,
+        node_restarts=len(run.node_restarts),
     )
 
 
@@ -249,6 +257,8 @@ def cluster_result_to_jsonable(result: ClusterRunResult) -> dict:
         "transport": dict(result.transport),
         "safe_node_epochs": result.safe_node_epochs,
         "degraded_grants": result.degraded_grants,
+        "crash_recoveries": result.crash_recoveries,
+        "node_restarts": result.node_restarts,
     }
 
 
@@ -266,4 +276,6 @@ def cluster_result_from_jsonable(data: dict) -> ClusterRunResult:
         transport=dict(data.get("transport", {})),
         safe_node_epochs=data.get("safe_node_epochs", 0),
         degraded_grants=data.get("degraded_grants", 0),
+        crash_recoveries=data.get("crash_recoveries", 0),
+        node_restarts=data.get("node_restarts", 0),
     )

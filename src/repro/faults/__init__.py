@@ -15,12 +15,16 @@ limit under *any* injected fault schedule:
 from repro.faults.harness import health_summary, schedule_app_crashes
 from repro.faults.msr_proxy import FaultStats, FaultyMSRFile
 from repro.faults.scenario import (
+    CRASH_SCENARIOS,
     SCENARIOS,
     TRANSPORT_SCENARIOS,
     AppCrash,
+    CrashScenario,
     FaultScenario,
     LinkPartition,
+    NodeRestart,
     TransportScenario,
+    get_crash_scenario,
     get_scenario,
     get_transport_scenario,
 )
@@ -28,15 +32,19 @@ from repro.faults.ticks import TickFaultGate, TickFaultStats
 
 __all__ = [
     "AppCrash",
+    "CRASH_SCENARIOS",
+    "CrashScenario",
     "FaultScenario",
     "FaultStats",
     "FaultyMSRFile",
     "LinkPartition",
+    "NodeRestart",
     "SCENARIOS",
     "TRANSPORT_SCENARIOS",
     "TickFaultGate",
     "TickFaultStats",
     "TransportScenario",
+    "get_crash_scenario",
     "get_scenario",
     "get_transport_scenario",
     "health_summary",

@@ -373,3 +373,153 @@ def get_transport_scenario(
     if seed is not None:
         scenario = scenario.with_seed(seed)
     return scenario
+
+
+# -- control-plane crash scenarios ------------------------------------------------
+#
+# The transport scenarios above corrupt messages in flight; these kill
+# the *processes* at either end of the link.  Crashes are scheduled at
+# epoch granularity (the control plane's native clock) and every
+# recovery decision rolls in the ClusterSim parent, so a crashed run
+# replays byte-identically — including across the write-ahead journal
+# (:mod:`repro.cluster.journal`) the recoveries redo from.
+
+
+@dataclass(frozen=True)
+class NodeRestart:
+    """One node crashing at an epoch boundary and rebooting later.
+
+    The node is down for epochs ``[crash_epoch, restart_epoch)``: it is
+    not stepped, sends nothing, and receives nothing.  At
+    ``restart_epoch`` it boots into SAFE with its RAPL backstop
+    latched, presents its last fenced epoch, and re-enters through the
+    lease ladder.
+    """
+
+    node: str
+    crash_epoch: int
+    restart_epoch: int
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise FaultConfigError("node restart needs a node name")
+        if self.crash_epoch < 0:
+            raise FaultConfigError("crash epoch cannot be negative")
+        if self.restart_epoch <= self.crash_epoch:
+            raise FaultConfigError(
+                f"restart epoch {self.restart_epoch} is not after crash "
+                f"epoch {self.crash_epoch}"
+            )
+
+    def down_in(self, epoch: int) -> bool:
+        return self.crash_epoch <= epoch < self.restart_epoch
+
+
+@dataclass(frozen=True)
+class CrashScenario:
+    """Declarative schedule of control-plane process crashes.
+
+    ``arbiter_crash_epochs`` kill the arbiter mid-epoch — after its
+    decision hits the journal, before any grant leaves — forcing a
+    write-ahead redo.  ``node_restarts`` take nodes down for whole
+    epochs.  ``transport`` optionally names a companion transport
+    scenario so a crash-during-partition drill is self-contained (it
+    applies only when the cluster config sets no transport of its own).
+    """
+
+    name: str = "custom"
+    description: str = ""
+    arbiter_crash_epochs: tuple[int, ...] = ()
+    node_restarts: tuple[NodeRestart, ...] = ()
+    transport: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FaultConfigError("crash scenario needs a name")
+        for epoch in self.arbiter_crash_epochs:
+            if epoch < 0:
+                raise FaultConfigError(
+                    "arbiter crash epoch cannot be negative"
+                )
+        if len(set(self.arbiter_crash_epochs)) != len(
+            self.arbiter_crash_epochs
+        ):
+            raise FaultConfigError("duplicate arbiter crash epochs")
+        windows: dict[str, list[NodeRestart]] = {}
+        for restart in self.node_restarts:
+            windows.setdefault(restart.node, []).append(restart)
+        for node, restarts in windows.items():
+            restarts.sort(key=lambda r: r.crash_epoch)
+            for earlier, later in zip(restarts, restarts[1:]):
+                if later.crash_epoch < earlier.restart_epoch:
+                    raise FaultConfigError(
+                        f"node {node}: overlapping restart windows "
+                        f"[{earlier.crash_epoch}, {earlier.restart_epoch}) "
+                        f"and [{later.crash_epoch}, {later.restart_epoch})"
+                    )
+        if self.transport is not None:
+            get_transport_scenario(self.transport)  # validate early
+
+    @property
+    def quiet(self) -> bool:
+        """No crashes scheduled: the control plane never dies."""
+        return not self.arbiter_crash_epochs and not self.node_restarts
+
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(sorted({r.node for r in self.node_restarts}))
+
+
+#: Named crash scenarios.  Epoch numbers assume the curated 14-epoch
+#: evaluation runs (140 s at the default 10 s epoch); all reference
+#: ``node0``/``node1``, the first nodes of every CLI-built cluster.
+CRASH_SCENARIOS: dict[str, CrashScenario] = {
+    "none": CrashScenario(
+        name="none",
+        description="clean control plane: no process crashes injected",
+    ),
+    # the write-ahead property: the decision was journaled before the
+    # crash, so the redo resends the identical grants and the run is
+    # byte-identical to one that never crashed.
+    "arbiter-crash": CrashScenario(
+        name="arbiter-crash",
+        description="arbiter dies mid-epoch 5 after journaling its "
+                    "decision and redoes the epoch from the journal",
+        arbiter_crash_epochs=(5,),
+    ),
+    "node-restart": CrashScenario(
+        name="node-restart",
+        description="node0 is down epochs 4-6 and reboots at 7: boots "
+                    "SAFE, re-admitted through the lease ladder",
+        node_restarts=(NodeRestart("node0", 4, 7),),
+    ),
+    # the reboot lands *inside* the partition window [4, 9): the node
+    # must sit at its RAPL backstop until the heal, then re-enter.
+    "crash-in-partition": CrashScenario(
+        name="crash-in-partition",
+        description="node0 crashes at 5 and reboots at 7 inside its "
+                    "partition (epochs 4-9): SAFE until the heal",
+        node_restarts=(NodeRestart("node0", 5, 7),),
+        transport="node0-partition",
+    ),
+    "restart-storm": CrashScenario(
+        name="restart-storm",
+        description="arbiter redo at epochs 4 and 8 plus staggered "
+                    "node0/node1 reboots: every recovery path at once",
+        arbiter_crash_epochs=(4, 8),
+        node_restarts=(
+            NodeRestart("node0", 3, 5),
+            NodeRestart("node1", 6, 8),
+        ),
+    ),
+}
+
+
+def get_crash_scenario(name: str) -> CrashScenario:
+    """Resolve a named crash scenario."""
+    try:
+        return CRASH_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(CRASH_SCENARIOS))
+        raise FaultConfigError(
+            f"unknown crash scenario {name!r}; known: {known}"
+        ) from None

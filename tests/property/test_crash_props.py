@@ -1,0 +1,261 @@
+"""Property tests: crash recovery reconstructs byte-identical state.
+
+Randomized, seeded evidence for the inductive invariant the
+crash-recovery layer claims:
+
+* an arbiter snapshot/restore round trip is **state-complete** — a
+  restored arbiter produces byte-identical grants to the original on
+  any continuation of the report stream;
+* the lease TTL boundary is exact: a renewal landing at any point of
+  the step-down walk (including the last epoch before SAFE) re-enters
+  GRANTED, and under pure silence the ladder code is monotone
+  non-decreasing however the (empty) deliveries are interleaved with
+  scrambled stale grants;
+* a rebooted lease is fenced: no permutation or duplication of
+  pre-fence grants can move it off SAFE, while any single post-fence
+  grant re-enters GRANTED;
+* readmission never double-counts: for random silence/restart
+  patterns, granted plus still-reserved watts stay at or under budget
+  every epoch.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.cluster.lease import LEASE_CODES, LeaseState, NodeLease
+from repro.cluster.transport import ARBITER, GRANT, Envelope, SequenceGuard
+
+from tests.property.test_transport_props import (
+    N_NODES,
+    epoch_batch,
+    make_arbiter,
+    random_report,
+    scramble,
+)
+
+
+def grant_env(dst, epoch, cap, seq=0):
+    return Envelope(
+        kind=GRANT, src=ARBITER, dst=dst, epoch=epoch, seq=seq, payload=cap
+    )
+
+
+def rebalance_fingerprint(arbiter, epoch, reports) -> str:
+    grant = arbiter.rebalance(epoch, reports)
+    return json.dumps(
+        {
+            "caps": {k: grant.caps_w[k] for k in sorted(grant.caps_w)},
+            "degraded": list(grant.degraded),
+            "reserved": {
+                k: grant.reserved_w[k] for k in sorted(grant.reserved_w)
+            },
+        },
+        sort_keys=True,
+    )
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_restored_arbiter_rebalances_byte_identically(seed):
+    # run a random report stream, snapshot mid-way, continue both the
+    # original and a restored copy on the identical suffix: every
+    # subsequent grant must be byte-identical
+    rng = random.Random(seed)
+    arbiter = make_arbiter()
+    split = rng.randint(1, 4)
+    for epoch in range(split):
+        reports = {
+            f"n{i}": random_report(rng, f"n{i}", epoch)
+            for i in range(N_NODES)
+            if rng.random() > 0.3  # some nodes go silent
+        }
+        arbiter.rebalance(epoch, reports)
+    snap = arbiter.snapshot()
+    twin = make_arbiter()
+    twin.restore(snap)
+    for epoch in range(split, split + 3):
+        reports = {
+            f"n{i}": random_report(rng, f"n{i}", epoch)
+            for i in range(N_NODES)
+            if rng.random() > 0.3
+        }
+        assert rebalance_fingerprint(
+            twin, epoch, dict(reports)
+        ) == rebalance_fingerprint(arbiter, epoch, dict(reports))
+        twin.check_invariant()
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_snapshot_is_a_pure_copy(seed):
+    # snapshotting then mutating the original must not leak into the
+    # snapshot (the journal holds it across arbitrary later epochs)
+    rng = random.Random(seed)
+    arbiter = make_arbiter()
+    arbiter.rebalance(
+        0, {f"n{i}": random_report(rng, f"n{i}", 0) for i in range(N_NODES)}
+    )
+    snap = arbiter.snapshot()
+    frozen = json.dumps(
+        {k: v for k, v in snap.items() if k != "last_report"},
+        sort_keys=True,
+    )
+    arbiter.rebalance(
+        1, {f"n{i}": random_report(rng, f"n{i}", 1) for i in range(N_NODES)}
+    )
+    arbiter.retire(["n0"])
+    assert json.dumps(
+        {k: v for k, v in snap.items() if k != "last_report"},
+        sort_keys=True,
+    ) == frozen
+
+
+@pytest.mark.parametrize("ttl", [1, 2, 3, 5])
+@pytest.mark.parametrize("seed", range(10))
+def test_renewal_anywhere_on_the_walk_reenters_granted(ttl, seed):
+    # walk a granted lease down a random number of misses (possibly to
+    # the very edge of SAFE), then deliver a renewal: GRANTED, always
+    rng = random.Random(seed)
+    lease = NodeLease("n0", floor_w=10.0, ttl_epochs=ttl)
+    lease.observe([grant_env("n0", 0, 42.0)], 0)
+    misses = rng.randint(0, ttl)  # ttl misses == last epoch before SAFE
+    for epoch in range(1, misses + 1):
+        lease.observe([], epoch)
+    renewal_epoch = misses + 1
+    cap = rng.uniform(15.0, 60.0)
+    lease.observe(
+        [grant_env("n0", renewal_epoch, cap, seq=1)], renewal_epoch
+    )
+    assert lease.state is LeaseState.GRANTED
+    assert lease.cap_w == cap
+    assert lease.misses == 0
+
+
+@pytest.mark.parametrize("ttl", [1, 2, 3, 5])
+@pytest.mark.parametrize("seed", range(10))
+def test_ladder_monotone_under_stale_delivery_permutations(ttl, seed):
+    # during an outage only stale pre-outage grants straggle in; in any
+    # permutation/duplication they must not move the ladder, so its
+    # code is monotone non-decreasing all the way to SAFE
+    rng = random.Random(seed)
+    lease = NodeLease("n0", floor_w=10.0, ttl_epochs=ttl)
+    last_epoch = rng.randint(0, 2)
+    stale = [
+        grant_env("n0", e, 40.0 + e, seq=e) for e in range(last_epoch + 1)
+    ]
+    lease.observe(list(stale), last_epoch)
+    codes = [LEASE_CODES[lease.state]]
+    for epoch in range(last_epoch + 1, last_epoch + ttl + 4):
+        lease.observe(scramble(rng, stale), epoch)
+        codes.append(LEASE_CODES[lease.state])
+    assert codes == sorted(codes), f"ladder went back up: {codes}"
+    assert lease.state is LeaseState.SAFE
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_rebooted_lease_is_fenced_against_any_pre_crash_replay(seed):
+    rng = random.Random(seed)
+    fence = rng.randint(2, 6)
+    lease = NodeLease("n0", floor_w=10.0, ttl_epochs=3)
+    lease.observe([grant_env("n0", 1, 45.0, seq=1)], 1)
+    lease.restart(fenced_epoch=fence)
+    pre_crash = [
+        grant_env("n0", e, rng.uniform(20.0, 60.0), seq=e)
+        for e in range(fence + 1)
+    ]
+    for epoch in range(fence + 1, fence + 4):
+        lease.observe(scramble(rng, pre_crash), epoch)
+        assert lease.state is LeaseState.SAFE
+        assert lease.cap_w == lease.floor_w
+    fresh = grant_env("n0", fence + 4, 33.0, seq=99)
+    lease.observe(
+        scramble(rng, pre_crash) + [fresh], fence + 4
+    )
+    assert lease.state is LeaseState.GRANTED
+    assert lease.cap_w == 33.0
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_readmission_never_double_counts_budget(seed):
+    # random crash/reboot pattern over a random silence pattern: at
+    # every epoch, watts granted to bidders plus watts still reserved
+    # for the silent must fit the budget — including reboot epochs
+    rng = random.Random(seed)
+    arbiter = make_arbiter()
+    budget = arbiter.budget_w
+    down: set[str] = set()
+    for epoch in range(12):
+        for i in range(N_NODES):
+            name = f"n{i}"
+            if name in down:
+                if rng.random() < 0.3:
+                    down.discard(name)
+                    arbiter.readmit(name, epoch)
+            elif rng.random() < 0.15:
+                down.add(name)
+        reports = {
+            f"n{i}": random_report(rng, f"n{i}", epoch)
+            for i in range(N_NODES)
+            if f"n{i}" not in down and rng.random() > 0.2
+        }
+        grant = arbiter.rebalance(epoch, reports)
+        arbiter.check_invariant()
+        total = sum(grant.caps_w.values()) + sum(
+            w
+            for name, w in grant.reserved_w.items()
+            if name not in grant.caps_w
+        )
+        assert total <= budget + 1e-9, (
+            f"epoch {epoch}: {total} W against {budget} W "
+            f"(down={sorted(down)})"
+        )
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_readmitted_node_bids_as_new_member(seed):
+    # after readmit the arbiter must hold no reservation for the node
+    # and grant it at least its floor in the same round
+    rng = random.Random(seed)
+    arbiter = make_arbiter()
+    for epoch in range(3):
+        arbiter.rebalance(
+            epoch,
+            {
+                f"n{i}": random_report(rng, f"n{i}", epoch)
+                for i in range(N_NODES)
+            },
+        )
+    # n0 goes silent long enough to be reserved, then reboots
+    for epoch in range(3, 6):
+        arbiter.rebalance(
+            epoch,
+            {
+                f"n{i}": random_report(rng, f"n{i}", epoch)
+                for i in range(1, N_NODES)
+            },
+        )
+    arbiter.readmit("n0", 6)
+    grant = arbiter.rebalance(
+        6,
+        {f"n{i}": random_report(rng, f"n{i}", 6) for i in range(1, N_NODES)},
+    )
+    assert "n0" not in grant.reserved_w
+    assert grant.caps_w["n0"] >= 10.0  # the configured floor
+    arbiter.check_invariant()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_guard_snapshot_restore_round_trip(seed):
+    rng = random.Random(seed)
+    guard = SequenceGuard()
+    for env in epoch_batch(rng, epoch=rng.randint(1, 4)):
+        guard.accept(env)
+    snap = guard.snapshot()
+    twin = SequenceGuard()
+    twin.restore(snap)
+    assert twin.snapshot() == snap
+    probes = epoch_batch(rng, epoch=5)
+    for env in scramble(rng, probes):
+        a = guard.accept(env)
+        # the twin must agree on every accept decision from here on
+        assert twin.accept(env) is a

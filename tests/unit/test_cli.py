@@ -69,6 +69,26 @@ class TestCommands:
         ])
         assert code == 1
 
+    def test_faults_lists_crash_scenarios(self, capsys):
+        from repro.faults import CRASH_SCENARIOS, TRANSPORT_SCENARIOS
+
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "transport scenarios (cluster --transport-faults):" in out
+        crash_section = out.split(
+            "crash scenarios (cluster --crash-faults):"
+        )[1]
+        names = [
+            line.split()[0]
+            for line in crash_section.strip().splitlines()
+        ]
+        assert names == sorted(CRASH_SCENARIOS)  # deterministic order
+        for scenario in CRASH_SCENARIOS.values():
+            assert scenario.description in crash_section
+        # transport names stay in their own section
+        assert "node0-partition" not in crash_section
+        assert "node0-partition" in TRANSPORT_SCENARIOS
+
     def test_list_includes_sweep(self, capsys):
         assert main(["list"]) == 0
         assert "sweep" in capsys.readouterr().out

@@ -385,16 +385,74 @@ class TestSafeModeLatch:
         engine.run(10.0)  # telemetry is healthy the whole time
         assert daemon.mode is DaemonMode.SAFE
 
-    def test_release_resumes_normal_recovery(self, skylake):
+    def test_release_on_sick_node_keeps_backstop(self, skylake):
+        cfg = ResilienceConfig(recover_after=2)
+        chip, engine, daemon, msr = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        daemon.force_safe_mode()
+        msr.fail_reads = True
+        engine.run(5.0)  # latched *and* sick: no good-sample streak
+        daemon.release_safe_mode()
+        assert daemon.mode is DaemonMode.SAFE  # release alone is not exit
+        msr.fail_reads = False
+        engine.run(3.0)  # recover_after good samples gate the exit
+        assert daemon.mode is DaemonMode.NORMAL
+
+    def test_release_after_proven_health_exits_immediately(self, skylake):
+        # health proved while the latch held counts: release must not
+        # make the node start the recover_after streak over
         cfg = ResilienceConfig(recover_after=2)
         chip, engine, daemon, _ = build_daemon(skylake, resilience=cfg)
         daemon.attach(engine)
         daemon.force_safe_mode()
-        engine.run(5.0)
+        engine.run(5.0)  # healthy the whole latched stretch
+        assert daemon.mode is DaemonMode.SAFE
         daemon.release_safe_mode()
-        assert daemon.mode is DaemonMode.SAFE  # release alone is not exit
-        engine.run(3.0)  # recover_after good samples gate the exit
+        assert daemon.mode is DaemonMode.NORMAL  # no extra iteration
+
+    def test_release_preserves_a_partial_streak(self, skylake):
+        # the lease renews mid-streak: the good samples already banked
+        # while latched must keep counting toward the exit
+        cfg = ResilienceConfig(recover_after=3)
+        chip, engine, daemon, _ = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        daemon.force_safe_mode()
+        engine.run(2.0)  # 2 of the 3 required good samples
+        daemon.release_safe_mode()
+        assert daemon.mode is DaemonMode.SAFE
+        engine.run(1.0)  # the third — not three more
         assert daemon.mode is DaemonMode.NORMAL
+
+    def test_safe_latched_tracks_force_and_release(self, skylake):
+        chip, engine, daemon, _ = build_daemon(skylake)
+        daemon.attach(engine)
+        assert not daemon.safe_latched
+        daemon.force_safe_mode()
+        assert daemon.safe_latched
+        daemon.release_safe_mode()
+        assert not daemon.safe_latched
+
+    def test_latch_survives_simulated_restart(self, skylake):
+        # a node reboot tears the whole stack down and builds a fresh
+        # daemon, latched at boot before its first tick: the boot latch
+        # must hold through arbitrarily long healthy running, and the
+        # eventual release must honor the streak proved while latched
+        cfg = ResilienceConfig(recover_after=2)
+        chip, engine, daemon, _ = build_daemon(skylake, resilience=cfg)
+        daemon.attach(engine)
+        engine.run(2.0)
+        assert daemon.mode is DaemonMode.NORMAL  # first incarnation up
+        # "crash": the first stack is dropped; the reboot latches the
+        # fresh daemon before any telemetry history exists
+        chip2, engine2, daemon2, _ = build_daemon(skylake, resilience=cfg)
+        daemon2.attach(engine2)
+        daemon2.force_safe_mode()
+        assert daemon2.safe_latched
+        engine2.run(10.0)  # healthy, but the supervisor never released
+        assert daemon2.mode is DaemonMode.SAFE
+        assert daemon2.safe_latched
+        daemon2.release_safe_mode()
+        assert daemon2.mode is DaemonMode.NORMAL
 
     def test_force_is_idempotent_and_counts_one_entry(self, skylake):
         chip, engine, daemon, _ = build_daemon(skylake)

@@ -4,11 +4,15 @@ import pytest
 
 from repro.errors import FaultConfigError, MSRIOError
 from repro.faults import (
+    CRASH_SCENARIOS,
     SCENARIOS,
     AppCrash,
+    CrashScenario,
     FaultScenario,
     FaultyMSRFile,
+    NodeRestart,
     TickFaultGate,
+    get_crash_scenario,
     get_scenario,
 )
 from repro.hw import msr as msrdef
@@ -59,6 +63,77 @@ class TestScenario:
     def test_crash_validation(self):
         with pytest.raises(FaultConfigError):
             AppCrash(time_s=-1.0, app_index=0)
+
+
+class TestCrashScenario:
+    def test_known_scenarios_valid_and_described(self):
+        for name, scenario in CRASH_SCENARIOS.items():
+            assert get_crash_scenario(name) is scenario
+            assert scenario.description  # the faults listing shows it
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FaultConfigError):
+            get_crash_scenario("does-not-exist")
+
+    def test_restart_needs_a_node_name(self):
+        with pytest.raises(FaultConfigError):
+            NodeRestart("", 2, 4)
+
+    def test_restart_epoch_must_follow_crash(self):
+        with pytest.raises(FaultConfigError):
+            NodeRestart("node0", 4, 4)
+        with pytest.raises(FaultConfigError):
+            NodeRestart("node0", -1, 4)
+
+    def test_restart_down_window_is_half_open(self):
+        restart = NodeRestart("node0", 4, 7)
+        assert not restart.down_in(3)
+        assert restart.down_in(4)
+        assert restart.down_in(6)
+        assert not restart.down_in(7)  # the reboot epoch is up
+
+    def test_duplicate_arbiter_crash_epochs_rejected(self):
+        with pytest.raises(FaultConfigError, match="duplicate"):
+            CrashScenario(name="x", arbiter_crash_epochs=(5, 5))
+
+    def test_overlapping_restart_windows_rejected(self):
+        with pytest.raises(FaultConfigError, match="overlapping"):
+            CrashScenario(
+                name="x",
+                node_restarts=(
+                    NodeRestart("node0", 2, 6),
+                    NodeRestart("node0", 4, 8),
+                ),
+            )
+
+    def test_back_to_back_restarts_allowed(self):
+        # reboot at 4 and crash again at 4: adjacent, not overlapping
+        scenario = CrashScenario(
+            name="x",
+            node_restarts=(
+                NodeRestart("node0", 2, 4),
+                NodeRestart("node0", 4, 6),
+            ),
+        )
+        assert scenario.node_names() == ("node0",)
+
+    def test_different_nodes_may_overlap(self):
+        CrashScenario(
+            name="x",
+            node_restarts=(
+                NodeRestart("node0", 2, 6),
+                NodeRestart("node1", 4, 8),
+            ),
+        )
+
+    def test_companion_transport_validated_early(self):
+        with pytest.raises(FaultConfigError):
+            CrashScenario(name="x", transport="no-such-links")
+
+    def test_quiet(self):
+        assert CRASH_SCENARIOS["none"].quiet
+        assert not CRASH_SCENARIOS["node-restart"].quiet
+        assert not CRASH_SCENARIOS["arbiter-crash"].quiet
 
 
 class TestFaultyMSRFile:

@@ -1,0 +1,178 @@
+"""Tests for the write-ahead cluster control-plane journal."""
+
+import json
+
+import pytest
+
+from repro.cluster import Journal, JournalEntry, run_cluster
+from repro.cluster.journal import _entry_to_jsonable
+from repro.errors import ConfigError
+from repro.experiments.cluster_exp import default_cluster_config
+
+
+def make_fence(epoch, *, admitted=("node0",), down=()):
+    return {
+        "transport": {
+            "order": 3,
+            "rng": (3, (1, 2, 3), None),
+            "queues": {},
+            "stats": {
+                "sent": 3, "delivered": 3, "dropped": 0, "delayed": 0,
+                "duplicated": 0, "stale": 0,
+                "window": {
+                    "sent": 0, "delivered": 0, "dropped": 0,
+                    "delayed": 0, "duplicated": 0, "stale": 0,
+                },
+            },
+        },
+        "seqs": {"arbiter": 2},
+        "admitted": list(admitted),
+        "down": list(down),
+    }
+
+
+class TestEntries:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            JournalEntry(seq=0, epoch=0, kind="bogus", data={})
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ConfigError):
+            JournalEntry(seq=0, epoch=-1, kind="fence", data={})
+
+    def test_append_assigns_dense_seqs(self):
+        journal = Journal()
+        a = journal.append("admit", 0, {"nodes": ["node0"]})
+        b = journal.append("crash", 1, {"node": "node0"})
+        assert (a.seq, b.seq) == (0, 1)
+        assert len(journal) == 2
+
+    def test_fence_tracks_last_fenced_epoch(self):
+        journal = Journal()
+        assert journal.last_fenced_epoch == -1
+        journal.append("admit", 0, {"nodes": ["node0"]})
+        assert journal.last_fenced_epoch == -1
+        journal.append("fence", 0, make_fence(0))
+        assert journal.last_fenced_epoch == 0
+        journal.append("fence", 3, make_fence(3))
+        assert journal.last_fenced_epoch == 3
+
+    def test_last_of_returns_newest(self):
+        journal = Journal()
+        journal.append("crash", 1, {"node": "node0"})
+        journal.append("crash", 4, {"node": "node1"})
+        assert journal.last_of("crash").data == {"node": "node1"}
+        assert journal.last_of("readmit") is None
+
+
+class TestSerialization:
+    def _real_journal(self):
+        config = default_cluster_config(
+            n_nodes=2, seed=7, crash_faults="node-restart"
+        )
+        return run_cluster(config, 100.0).journal
+
+    def test_jsonl_round_trip_is_byte_stable(self):
+        journal = self._real_journal()
+        text = journal.to_jsonl()
+        reloaded = Journal.from_jsonl(text)
+        assert reloaded.to_jsonl() == text
+        assert reloaded.last_fenced_epoch == journal.last_fenced_epoch
+        assert len(reloaded) == len(journal)
+
+    def test_round_trip_preserves_replay_state(self):
+        journal = self._real_journal()
+        reloaded = Journal.from_jsonl(journal.to_jsonl())
+        assert reloaded.replay() == journal.replay()
+
+    def test_torn_final_line_is_dropped(self):
+        journal = self._real_journal()
+        text = journal.to_jsonl()
+        torn = text[: len(text) - 40]  # truncate mid-record
+        reloaded = Journal.from_jsonl(torn)
+        assert len(reloaded) == len(journal) - 1
+
+    def test_mid_file_corruption_raises(self):
+        journal = self._real_journal()
+        lines = journal.to_jsonl().splitlines()
+        lines[2] = lines[2][:-10]
+        with pytest.raises(ConfigError, match="corrupt"):
+            Journal.from_jsonl("\n".join(lines) + "\n")
+
+    def test_sequence_gap_raises(self):
+        journal = Journal()
+        journal.append("admit", 0, {"nodes": ["node0"]})
+        journal.append("crash", 1, {"node": "node0"})
+        lines = journal.to_jsonl().splitlines()
+        with pytest.raises(ConfigError, match="sequence gap"):
+            Journal.from_jsonl(lines[1] + "\n")
+
+    def test_dump_and_load(self, tmp_path):
+        journal = self._real_journal()
+        path = tmp_path / "journal.jsonl"
+        journal.dump(path)
+        assert Journal.load(path).to_jsonl() == journal.to_jsonl()
+
+    def test_same_seed_produces_identical_journals(self):
+        config = default_cluster_config(
+            n_nodes=2, seed=3, crash_faults="restart-storm"
+        )
+        a = run_cluster(config, 100.0).journal
+        b = run_cluster(config, 100.0).journal
+        assert a.to_jsonl() == b.to_jsonl()
+
+
+class TestReplay:
+    def test_empty_journal_replays_to_cold_start(self):
+        state = Journal().replay()
+        assert state.last_fenced_epoch == -1
+        assert state.admitted == ()
+        assert state.steps == ()
+
+    def test_unfenced_suffix_is_ignored(self):
+        journal = Journal()
+        journal.append("admit", 0, {"nodes": ["node0"]})
+        journal.append(
+            "step", 0,
+            {"caps": {"node0": 50.0}, "safe": [], "down": [],
+             "restarts": []},
+        )
+        journal.append("fence", 0, make_fence(0))
+        # epoch 1 never fenced: its step must not be replayed
+        journal.append(
+            "step", 1,
+            {"caps": {"node0": 40.0}, "safe": [], "down": [],
+             "restarts": []},
+        )
+        state = journal.replay()
+        assert state.last_fenced_epoch == 0
+        assert [s[0] for s in state.steps] == [0]
+
+    def test_replay_folds_fence_and_steps(self):
+        config = default_cluster_config(
+            n_nodes=2, seed=1, crash_faults="node-restart"
+        )
+        run = run_cluster(config, 100.0)
+        state = run.journal.replay()
+        assert state.last_fenced_epoch == run.n_epochs - 1
+        assert state.admitted == ("node0", "node1")
+        assert len(state.steps) == run.n_epochs
+        assert set(state.leases) == {"node0", "node1"}
+        assert state.arbiter is not None
+        # the disk round trip preserves the folded state exactly
+        reloaded = Journal.from_jsonl(run.journal.to_jsonl())
+        assert reloaded.replay() == state
+
+
+class TestEntryJsonForm:
+    def test_every_entry_is_json_serializable(self):
+        config = default_cluster_config(
+            n_nodes=2, seed=5, crash_faults="restart-storm"
+        )
+        run = run_cluster(config, 100.0)
+        kinds = set()
+        for entry in run.journal.entries:
+            json.dumps(_entry_to_jsonable(entry), sort_keys=True)
+            kinds.add(entry.kind)
+        assert {"crash", "readmit", "arbitration", "leases", "step",
+                "fence", "admit"} <= kinds

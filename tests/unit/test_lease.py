@@ -128,3 +128,61 @@ class TestCodes:
             < LEASE_CODES[LeaseState.DEGRADED]
             < LEASE_CODES[LeaseState.SAFE]
         )
+
+
+class TestTTLBoundary:
+    def test_renewal_at_exactly_expiry_epoch_reenters_granted(self):
+        # the last epoch before SAFE: misses == ttl (DEGRADED).  A
+        # renewal landing right then must re-enter GRANTED, not linger
+        # in DEGRADED.
+        lease = make_lease(ttl=3)
+        lease.observe([grant(epoch=0, cap=42.0)], 0)
+        for epoch in range(1, 4):
+            lease.observe([], epoch)
+        assert lease.state is LeaseState.DEGRADED
+        assert lease.misses == lease.ttl_epochs
+        lease.observe([grant(epoch=4, seq=1, cap=40.0)], 4)
+        assert lease.state is LeaseState.GRANTED
+        assert lease.cap_w == 40.0
+        assert lease.misses == 0
+
+
+class TestRestart:
+    def test_restart_boots_safe_at_floor(self):
+        lease = make_lease(ttl=3)
+        lease.observe([grant(epoch=0, cap=42.0)], 0)
+        lease.restart(fenced_epoch=5)
+        assert lease.state is LeaseState.SAFE
+        assert lease.cap_w == lease.floor_w
+        assert lease.granted_epoch == -1
+
+    def test_restart_fences_off_pre_crash_grants(self):
+        # a straggler grant from at or before the fenced epoch — watts
+        # the arbiter may have re-budgeted — must never be applied
+        lease = make_lease(ttl=3)
+        lease.observe([grant(epoch=0, cap=42.0)], 0)
+        lease.restart(fenced_epoch=5)
+        lease.observe([grant(epoch=4, seq=1, cap=99.0)], 6)
+        assert lease.state is LeaseState.SAFE
+        assert lease.cap_w == lease.floor_w
+
+    def test_restart_accepts_fresh_grant(self):
+        lease = make_lease(ttl=3)
+        lease.restart(fenced_epoch=5)
+        lease.observe([grant(epoch=6, seq=9, cap=33.0)], 6)
+        assert lease.state is LeaseState.GRANTED
+        assert lease.cap_w == 33.0
+
+    def test_snapshot_restore_round_trip(self):
+        lease = make_lease(ttl=3)
+        lease.observe([grant(epoch=0, cap=42.0)], 0)
+        lease.observe([], 1)
+        snap = lease.snapshot()
+        other = make_lease(ttl=3)
+        other.restore(snap)
+        assert other.snapshot() == snap
+        assert other.state is LeaseState.HOLDOVER
+        assert other.cap_w == 42.0
+        # the restored guard still rejects the pre-snapshot grant
+        other.observe([grant(epoch=0, cap=99.0)], 2)
+        assert other.cap_w == 42.0
