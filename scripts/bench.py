@@ -1,31 +1,48 @@
 #!/usr/bin/env python
 """Simulator benchmark: ticks/sec and quick-report wall time.
 
-Measures two numbers that bound every workflow in this repo:
+Measures the numbers that bound every workflow in this repo:
 
 * **ticks_per_sec** — simulated ticks per wall second on a
   representative stack (priority and shares policies, Table-2-style mix
   on the 10-core Skylake, daemon attached), averaged over both
-  policies.  This is the hot path :mod:`repro.sim.chip` /
-  :mod:`repro.sim.engine` optimise.
+  policies, on the default **array** engine.  This is the hot path
+  :mod:`repro.sim.kernel` / :mod:`repro.sim.soa` optimise.
+* **scalar_ticks_per_sec** — the same stacks on the scalar reference
+  engine (:mod:`repro.sim.chip` stepping core by core).  The scalar
+  engine is the semantic ground truth the array kernel must match
+  bit-for-bit, so its speed still matters: every fault gate and every
+  equivalence test runs it.
+* **array_speedup** — ``ticks_per_sec / scalar_ticks_per_sec`` on the
+  identical configs and seeds: the batching win in isolation, immune to
+  machine-to-machine speed differences.
 * **cluster_ticks_per_sec** — aggregate node-ticks per wall second of
   the canonical four-node cluster under the arbiter's epoch loop
-  (:mod:`repro.cluster`), serial stepping.  Guards the cluster path's
-  per-epoch node rebuild/condense overhead.
+  (:mod:`repro.cluster`), in-process stacked stepping (array engine).
+  Guards the cluster path's per-epoch node rebuild/condense overhead.
 * **report_quick_s** — wall time of ``generate_report(quick=True)``
   with a cold cache and one worker: the end-to-end cost of the thing a
   user actually runs.
 
+Each throughput metric carries an engine label in the ``engines`` map
+of ``BENCH_sim.json`` so the committed trajectory records which engine
+produced each number.
+
 ``python scripts/bench.py`` writes the committed baseline
-``BENCH_sim.json``; ``--check`` re-measures the two ticks/sec metrics
-and exits nonzero when either regresses more than 30 % against that
-baseline (the chaos-smoke CI path runs this).  ``--skip-report`` skips
-the slow report measurement and carries the previous value forward.
+``BENCH_sim.json``; ``--check`` re-measures the two array-engine
+ticks/sec metrics and exits nonzero when either regresses more than
+30 % against that baseline (the chaos-smoke CI path runs this).  On a
+gate failure the check re-measures the scalar engine too and prints
+both engines' throughputs, so the log says whether the array kernel
+itself regressed or the underlying simulator model got slower.
+``--skip-report`` skips the slow report measurement and carries the
+previous value forward.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import subprocess
@@ -49,8 +66,16 @@ TICK_S = 5e-3
 #: at the default 10 s epoch).
 CLUSTER_SIM_SECONDS = 20.0
 
+#: which engine produced each committed throughput metric.
+METRIC_ENGINES = {
+    "ticks_per_sec": "array",
+    "scalar_ticks_per_sec": "scalar",
+    "array_speedup": "array/scalar",
+    "cluster_ticks_per_sec": "array",
+}
 
-def _bench_config(policy: str) -> ExperimentConfig:
+
+def _bench_config(policy: str, engine: str) -> ExperimentConfig:
     """A representative stack: 4 HP + 4 LP apps under a 50 W limit."""
     specs = (
         (AppSpec("cactusBSSN", shares=75.0, priority=Priority.HIGH),) * 2
@@ -64,16 +89,24 @@ def _bench_config(policy: str) -> ExperimentConfig:
         limit_w=50.0,
         apps=specs,
         tick_s=TICK_S,
+        engine=engine,
     )
 
 
 def measure_ticks_per_sec(
     sim_seconds: float = SIM_SECONDS,
+    engine: str = "array",
 ) -> float:
-    """Mean ticks/sec across a priority and a frequency-shares stack."""
+    """Mean ticks/sec across a priority and a frequency-shares stack.
+
+    Both engines run the identical configs (same seeds, same policies),
+    so ``measure_ticks_per_sec(engine="array") /
+    measure_ticks_per_sec(engine="scalar")`` is a like-for-like
+    speedup.
+    """
     rates = []
     for policy in ("priority", "frequency-shares"):
-        stack = build_stack(_bench_config(policy))
+        stack = build_stack(_bench_config(policy, engine))
         # warm up allocations and caches outside the timed region
         stack.engine.run(1.0)
         n_ticks = int(round(sim_seconds / TICK_S))
@@ -85,16 +118,19 @@ def measure_ticks_per_sec(
 
 def measure_cluster_ticks_per_sec(
     sim_seconds: float = CLUSTER_SIM_SECONDS,
+    engine: str = "array",
 ) -> float:
     """Aggregate node-ticks/sec of the canonical 4-node cluster.
 
-    Serial stepping so the number measures per-node simulation plus
-    arbiter/condense overhead, not fork fan-out.
+    In-process stepping (``jobs=1``) so the number measures per-node
+    simulation plus arbiter/condense overhead, not fork fan-out.  With
+    the array engine that path is the stacked stepper: every node's
+    chip advances as one batch per epoch.
     """
     from repro.cluster import run_cluster
     from repro.experiments.cluster_exp import default_cluster_config
 
-    config = default_cluster_config()
+    config = dataclasses.replace(default_cluster_config(), engine=engine)
     node_ticks = len(config.nodes) * int(round(sim_seconds / config.tick_s))
     start = time.perf_counter()
     run_cluster(config, sim_seconds, jobs=1)
@@ -125,7 +161,13 @@ def git_revision() -> str:
 
 
 def check_regression(baseline_path: Path = BASELINE_PATH) -> int:
-    """Exit code 0 when both ticks/sec metrics are within tolerance."""
+    """Exit code 0 when both ticks/sec metrics are within tolerance.
+
+    On failure the offending metric is re-measured on the scalar
+    engine and both engines' throughputs are printed — a collapsed
+    array speedup means the batching kernel regressed, while both
+    engines slowing together points at the simulator model itself.
+    """
     try:
         baseline = json.loads(baseline_path.read_text())
         baselines = {
@@ -136,6 +178,10 @@ def check_regression(baseline_path: Path = BASELINE_PATH) -> int:
         print(f"bench: no usable baseline at {baseline_path}: {exc}",
               file=sys.stderr)
         return 2
+    scalar_measures = {
+        "ticks/sec": measure_ticks_per_sec,
+        "cluster ticks/sec": measure_cluster_ticks_per_sec,
+    }
     measured = {
         "ticks/sec": measure_ticks_per_sec(),
         "cluster ticks/sec": measure_cluster_ticks_per_sec(),
@@ -149,6 +195,11 @@ def check_regression(baseline_path: Path = BASELINE_PATH) -> int:
               f"{baseline_rate:,.0f} (floor {floor:,.0f}, "
               f"git {baseline.get('git', '?')})")
         if rate < floor:
+            scalar_rate = scalar_measures[name](engine="scalar")
+            speedup = rate / scalar_rate if scalar_rate > 0 else float("inf")
+            print(f"       {name} by engine: array {rate:,.0f}, "
+                  f"scalar {scalar_rate:,.0f} "
+                  f"(array speedup {speedup:.1f}x)")
             rc = 1
     return rc
 
@@ -168,14 +219,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         return check_regression()
 
+    array_rate = measure_ticks_per_sec(engine="array")
+    scalar_rate = measure_ticks_per_sec(engine="scalar")
     result = {
-        "ticks_per_sec": round(measure_ticks_per_sec(), 1),
-        "cluster_ticks_per_sec": round(measure_cluster_ticks_per_sec(), 1),
+        "ticks_per_sec": round(array_rate, 1),
+        "scalar_ticks_per_sec": round(scalar_rate, 1),
+        "array_speedup": round(array_rate / scalar_rate, 2),
+        "cluster_ticks_per_sec": round(
+            measure_cluster_ticks_per_sec(engine="array"), 1
+        ),
         "report_quick_s": None,
+        "engines": METRIC_ENGINES,
         "git": git_revision(),
     }
-    print(f"ticks/sec: {result['ticks_per_sec']:,.0f}")
-    print(f"cluster ticks/sec: {result['cluster_ticks_per_sec']:,.0f}")
+    print(f"ticks/sec: {result['ticks_per_sec']:,.0f} (array)")
+    print(f"ticks/sec: {result['scalar_ticks_per_sec']:,.0f} (scalar)")
+    print(f"array speedup: {result['array_speedup']:.1f}x")
+    print(f"cluster ticks/sec: {result['cluster_ticks_per_sec']:,.0f} "
+          f"(array, stacked)")
     if args.skip_report:
         try:
             previous = json.loads(args.output.read_text())

@@ -8,7 +8,8 @@ file's AST and reports :class:`~repro.analysis.findings.Finding`s with
 ``file:line``, severity, fix hints, and DESIGN.md references.
 
 Shipped rules (see DESIGN.md §10): ``determinism``, ``unit-safety``,
-``fail-safety``, ``float-equality``, ``cache-purity``.
+``fail-safety``, ``float-equality``, ``cache-purity``,
+``kernel-purity``.
 
 Entry points: ``repro-power lint`` (CLI subcommand),
 ``scripts/lint.py`` (standalone, CI), and :func:`lint_paths` (API).

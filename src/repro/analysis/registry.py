@@ -3,7 +3,7 @@
 A rule is a small AST walker with a name, a human-readable *contract*
 (the invariant it machine-checks), and a DESIGN.md reference printed by
 the explain mode.  The :class:`RuleRegistry` is the pluggable part: the
-default registry carries the five shipped rules, and tests (or future
+default registry carries the six shipped rules, and tests (or future
 PRs) register additional rules without touching the engine.
 """
 
@@ -136,7 +136,7 @@ class RuleRegistry:
 
 
 def default_registry() -> RuleRegistry:
-    """The five shipped contract rules."""
+    """The six shipped contract rules."""
     from repro.analysis.rules import all_rules
 
     return RuleRegistry(all_rules())

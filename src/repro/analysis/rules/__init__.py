@@ -7,6 +7,7 @@ from repro.analysis.rules.cache_purity import CachePurityRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.fail_safety import FailSafetyRule
 from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.kernel_purity import KernelPurityRule
 from repro.analysis.rules.unit_safety import UnitSafetyRule
 
 __all__ = ["all_rules"]
@@ -20,4 +21,5 @@ def all_rules() -> tuple[Rule, ...]:
         FailSafetyRule(),
         FloatEqualityRule(),
         CachePurityRule(),
+        KernelPurityRule(),
     )

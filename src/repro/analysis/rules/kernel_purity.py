@@ -1,0 +1,117 @@
+"""Kernel-purity rule: the array kernel is numpy ops, nothing else.
+
+``sim/kernel.py`` is the hot core of the batched engine: every function
+is a pure array transform over whole ``(ticks, cores)`` matrices.  The
+tentpole speedup evaporates the moment someone "fixes" a kernel with a
+``for core in ...`` loop or starts traversing simulator objects from
+inside it — both reintroduce per-core Python work on the per-tick path
+and quietly turn the 10x batch win back into the scalar engine with
+extra steps.  This rule freezes the boundary:
+
+* no Python-level loops or comprehensions (``for``/``while``/
+  ``async for``, list/set/dict comprehensions, generator expressions) —
+  iteration belongs inside numpy;
+* no attribute access except through the kernel's two imported modules
+  (``np`` and ``math``) — kernels receive arrays and scalars, never
+  chips, cores, or apps, so any other dotted access means object
+  traversal leaked in.
+
+The rule is scoped by path to ``sim/kernel.py``; the orchestration
+layer (``sim/soa.py``) deliberately stays outside it — gathering and
+committing *is* object traversal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, dotted_name
+from repro.analysis.source import SourceFile
+
+#: the module applies to files whose path ends with this suffix.
+KERNEL_PATH_SUFFIX = "sim/kernel.py"
+
+#: the only roots a dotted attribute chain may start from inside a
+#: kernel: the numpy module and the stdlib math module.
+ALLOWED_ATTRIBUTE_ROOTS = frozenset({"np", "math"})
+
+#: banned iteration constructs, with the phrasing used in findings.
+_LOOP_NODES = (
+    (ast.For, "for loop"),
+    (ast.AsyncFor, "async for loop"),
+    (ast.While, "while loop"),
+    (ast.ListComp, "list comprehension"),
+    (ast.SetComp, "set comprehension"),
+    (ast.DictComp, "dict comprehension"),
+    (ast.GeneratorExp, "generator expression"),
+)
+
+
+class KernelPurityRule(Rule):
+    name = "kernel-purity"
+    contract = (
+        "sim/kernel.py holds pure numpy array transforms: no Python-"
+        "level loops or comprehensions (iteration happens inside numpy "
+        "ufuncs over whole (ticks, cores) batches), and no attribute "
+        "access on anything but the np and math modules (kernels take "
+        "arrays and scalars, never simulator objects).  A per-core "
+        "Python loop or an object traversal on this path silently "
+        "reverts the batched engine to scalar speed while the "
+        "equivalence tests keep passing."
+    )
+    design_ref = "DESIGN.md §13"
+    hint = (
+        "express the iteration as a numpy op over the whole batch, or "
+        "move object gathering out to sim/soa.py and pass arrays in"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if not src.path.endswith(KERNEL_PATH_SUFFIX):
+            return
+        for node in ast.walk(src.tree):
+            for loop_type, label in _LOOP_NODES:
+                if isinstance(node, loop_type):
+                    yield self.finding(
+                        src, node,
+                        f"Python-level {label} in the array kernel — "
+                        "per-element iteration belongs inside numpy ops",
+                    )
+                    break
+            else:
+                if isinstance(node, ast.Attribute):
+                    root = self._chain_root(node)
+                    if root is None:
+                        # attribute of a call/subscript result: still
+                        # object traversal from the kernel's viewpoint
+                        yield self.finding(
+                            src, node,
+                            f"attribute access '.{node.attr}' on a "
+                            "derived object in the array kernel — "
+                            "kernels operate on arrays, not objects",
+                        )
+                    elif root not in ALLOWED_ATTRIBUTE_ROOTS:
+                        dotted = dotted_name(node) or f"?.{node.attr}"
+                        yield self.finding(
+                            src, node,
+                            f"attribute access '{dotted}' in the array "
+                            "kernel — only the np and math modules may "
+                            "be dereferenced here",
+                        )
+
+    @staticmethod
+    def _chain_root(node: ast.Attribute) -> str | None:
+        """Name at the base of an attribute chain (None when derived).
+
+        Only the *outermost* attribute of a chain reaches ast.walk
+        first, but inner Attribute nodes are walked too; both resolve
+        to the same root name, so an allowed chain like
+        ``np.add.accumulate`` yields no finding at any depth.
+        """
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            return cur.id
+        return None

@@ -21,7 +21,10 @@ config — ``--no-cache`` (or ``REPRO_NO_CACHE=1``) bypasses the cache.
 ``--faults`` replays a named, seeded fault scenario
 against the daemon (flaky MSRs, garbage counters, dropped ticks, app
 crashes) and reports its health record — holdovers, retries,
-quarantines, and safe-mode transitions.
+quarantines, and safe-mode transitions.  ``--engine scalar|array``
+(run/watch/sweep/cluster) picks the simulation engine — the batched
+array kernel by default, the scalar reference for cross-checks; both
+produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import AppSpec, ExperimentConfig
+from repro.config import AppSpec, ENGINES, ExperimentConfig
 from repro.core.types import Priority
 from repro.errors import ReproError
 from repro.experiments.report import render_kv, render_table
@@ -200,6 +203,7 @@ def _cmd_sweep(args) -> int:
         ),
         jobs=args.jobs,
         cache=cache,
+        engine=args.engine,
     )
     print(render_table(result.to_rows(), title=(
         f"Random sweep — {result.policy} @ {result.limit_w:.0f} W, "
@@ -250,6 +254,7 @@ def _cmd_cluster(args) -> int:
         transport=args.transport_faults,
         lease_ttl_epochs=args.lease_ttl,
         crash_faults=args.crash_faults,
+        **({} if args.engine is None else {"engine": args.engine}),
     )
     cache = ResultCache.from_env(enabled=not args.no_cache)
     result = run_cluster_experiment(
@@ -352,6 +357,7 @@ def _cmd_watch(args) -> int:
         tick_s=BATCH_TICK_S,
         faults=args.faults,
         fault_seed=args.fault_seed,
+        **({} if args.engine is None else {"engine": args.engine}),
     )
     stack = build_stack(config)
     stack.engine.run(args.duration)
@@ -407,6 +413,7 @@ def _cmd_run(args) -> int:
         tick_s=BATCH_TICK_S,
         faults=args.faults,
         fault_seed=args.fault_seed,
+        **({} if args.engine is None else {"engine": args.engine}),
     )
     stack = build_stack(config)
     result = run_steady(
@@ -558,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache",
     )
+    cluster.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="simulation engine for every node stack (default: "
+             "REPRO_SIM_ENGINE or 'array'; results are bit-identical)",
+    )
     sweep = sub.add_parser(
         "sweep", help="seeded random-mix sweep (generalized Fig 11)"
     )
@@ -574,6 +586,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache",
+    )
+    sweep.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="simulation engine for every run (default: "
+             "REPRO_SIM_ENGINE or 'array'; results are bit-identical)",
     )
     for name, helptext in (
         ("run", "run a custom configuration"),
@@ -601,6 +618,11 @@ def build_parser() -> argparse.ArgumentParser:
         custom.add_argument(
             "--fault-seed", type=int, default=0,
             help="seed for the fault schedule (deterministic replay)",
+        )
+        custom.add_argument(
+            "--engine", choices=ENGINES, default=None,
+            help="simulation engine (default: REPRO_SIM_ENGINE or "
+                 "'array'; results are bit-identical)",
         )
     return parser
 

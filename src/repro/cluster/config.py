@@ -23,9 +23,9 @@ replicated.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
-from repro.config import AppSpec, POLICY_REGISTRY
+from repro.config import AppSpec, POLICY_REGISTRY, default_engine
 from repro.core.types import Priority
 from repro.errors import ConfigError
 from repro.faults import (
@@ -156,6 +156,9 @@ class ClusterConfig:
     #: CRASH_SCENARIOS``): seeded arbiter crashes (journal redo) and
     #: node crash/restart windows.  ``None`` keeps every process alive.
     crash_faults: str | None = None
+    #: simulation engine for every node stack (``"array"``/``"scalar"``);
+    #: bit-identical by contract, so the result cache ignores it.
+    engine: str = field(default_factory=default_engine)
 
     def __post_init__(self) -> None:
         if self.budget_w <= 0:
@@ -170,6 +173,11 @@ class ClusterConfig:
             raise ConfigError("seed cannot be negative")
         if self.lease_ttl_epochs < 1:
             raise ConfigError("lease_ttl_epochs must be at least 1")
+        if self.engine not in ("scalar", "array"):
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; "
+                "expected 'scalar' or 'array'"
+            )
         if self.transport is not None:
             get_transport_scenario(self.transport)  # validate early
         if self.crash_faults is not None:
@@ -258,6 +266,11 @@ class ClusterConfig:
 
 def cluster_config_to_jsonable(config: ClusterConfig) -> dict:
     raw = asdict(config)
+    # the engine is deliberately NOT part of the cache identity: both
+    # engines produce byte-identical results (the equivalence suite
+    # enforces it), so a result computed by either must hit for both —
+    # and keys stay byte-compatible with pre-engine cache entries.
+    raw.pop("engine", None)
     for node in raw["nodes"]:
         for app in node["apps"]:
             app["priority"] = app["priority"].name

@@ -139,6 +139,7 @@ class ClusterNode:
             fault_seed=self._cluster.node_fault_seed(
                 self.index, self._incarnation
             ),
+            engine=self._cluster.engine,
         )
         return build_stack(config)
 
@@ -154,15 +155,22 @@ class ClusterNode:
 
     # -- stepping ----------------------------------------------------------------
 
-    def step_epoch(
+    def begin_epoch(
         self,
-        epoch: int,
         cap_w: float,
         t0: float,
         t1: float,
         safe_mode: bool = False,
-    ) -> NodeEpochReport:
-        """Advance through [t0, t1) under ``cap_w`` and report demand.
+    ) -> tuple[int, bool]:
+        """Prepare the stack for the epoch [t0, t1) under ``cap_w``.
+
+        Builds the stack on first use (or after a restart), retargets
+        the cap, applies the lease supervisor's safe-mode verdict, and
+        returns ``(n_ticks, crashes_this_epoch)`` — how far the node's
+        engine must advance (a node dying mid-epoch stops at its crash
+        point) — without running anything.  Split from the run so the
+        stacked stepper can gang-step many prepared nodes as one array
+        batch; :meth:`step_epoch` composes the two halves.
 
         ``safe_mode`` is the lease supervisor's verdict that this node
         has lost the arbiter (lease expired past its TTL): the daemon's
@@ -194,12 +202,40 @@ class ClusterNode:
             # stops at the crash point and never resumes.
             run_until = crash_at
             crashed = True
-        self.stack.engine.run(run_until - t0)
+        # identical tick rounding to SimEngine.run(duration)
+        n_ticks = int(round((run_until - t0) / self.stack.chip.tick_s))
+        if n_ticks < 0:
+            raise ConfigError(
+                f"{self.spec.name}: epoch window [{t0}, {t1}) is negative"
+            )
+        return n_ticks, crashed
+
+    def finish_epoch(
+        self, epoch: int, cap_w: float, t1: float, crashed: bool
+    ) -> NodeEpochReport:
+        """Condense the epoch's daemon samples into the demand report."""
+        assert self.stack is not None
         window = self.stack.daemon.history[self._history_mark:]
         self._history_mark = len(self.stack.daemon.history)
         if crashed:
             self._crashed = True
         return self._report(epoch, cap_w, t1, window, crashed)
+
+    def step_epoch(
+        self,
+        epoch: int,
+        cap_w: float,
+        t0: float,
+        t1: float,
+        safe_mode: bool = False,
+    ) -> NodeEpochReport:
+        """Advance through [t0, t1) under ``cap_w`` and report demand.
+
+        See :meth:`begin_epoch` for the ``safe_mode`` semantics.
+        """
+        n_ticks, crashed = self.begin_epoch(cap_w, t0, t1, safe_mode)
+        self.stack.engine.run_ticks(n_ticks)
+        return self.finish_epoch(epoch, cap_w, t1, crashed)
 
     def _report(
         self, epoch: int, cap_w: float, t_end_s: float, window, crashed: bool

@@ -8,6 +8,7 @@ validation everywhere.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -29,7 +30,7 @@ from repro.core.rapl_baseline import RaplBaselinePolicy
 from repro.core.types import ManagedApp, Priority
 from repro.hw.platform import PlatformSpec, get_platform
 from repro.sim.chip import Chip
-from repro.sim.engine import SimEngine
+from repro.sim.engine import ENGINES, SimEngine
 from repro.sim.perf_model import highest_useful_frequency, max_standalone_ips
 from repro.sched.pinning import pin_apps
 from repro.workloads.spec import spec_app
@@ -42,6 +43,21 @@ POLICY_REGISTRY: dict[str, type[Policy]] = {
     "rapl": RaplBaselinePolicy,
     "hwp-hints": HwpHintsPolicy,
 }
+
+
+def default_engine() -> str:
+    """Session-default simulation engine.
+
+    ``REPRO_SIM_ENGINE`` overrides the built-in ``"array"`` default so
+    CI (and anyone bisecting an equivalence failure) can force the
+    scalar reference path for a whole run without touching configs.
+    """
+    engine = os.environ.get("REPRO_SIM_ENGINE", "array")
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"REPRO_SIM_ENGINE={engine!r} is not one of {ENGINES}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -72,6 +88,11 @@ class ExperimentConfig:
     faults: str | None = None
     #: seed for the fault schedule (deterministic replay).
     fault_seed: int = 0
+    #: simulation engine: ``"array"`` (vectorized, default) or
+    #: ``"scalar"`` (per-tick reference).  Results are bit-identical by
+    #: contract, so the experiment cache deliberately ignores this field
+    #: (see :mod:`repro.experiments.cache`).
+    engine: str = field(default_factory=default_engine)
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_REGISTRY:
@@ -81,6 +102,10 @@ class ExperimentConfig:
             )
         if not self.apps:
             raise ConfigError("experiment needs at least one app")
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
         if self.faults is not None:
             get_scenario(self.faults)  # validate the name early
 
@@ -118,7 +143,7 @@ def build_stack(
             f"{len(config.apps)} apps exceed {platform.n_cores} cores"
         )
     chip = Chip(platform, tick_s=config.tick_s)
-    engine = SimEngine(chip)
+    engine = SimEngine(chip, engine=config.engine)
     models = [
         spec_app(spec.benchmark, steady=spec.steady) for spec in config.apps
     ]

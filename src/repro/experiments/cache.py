@@ -79,8 +79,17 @@ def _jsonable(obj: object) -> object:
 
 
 def config_to_jsonable(config: ExperimentConfig) -> dict[str, Any]:
-    """Full-fidelity JSON form of a config (enums by name)."""
+    """JSON form of a config (enums by name), minus the engine.
+
+    The engine selector is deliberately excluded from the cache
+    identity: the scalar and array engines are bit-identical by
+    contract (the equivalence suite enforces it), so a result computed
+    by either must hit for both — and keys stay byte-compatible with
+    pre-engine cache entries, which is why ``CACHE_VERSION`` did not
+    bump when the field appeared.
+    """
     raw = asdict(config)
+    raw.pop("engine", None)
     for app in raw["apps"]:
         app["priority"] = app["priority"].name
     return raw

@@ -67,9 +67,25 @@ class SteadyRunResult:
         return sum(values) / len(values)
 
 
-@lru_cache(maxsize=None)
+#: bounded memo: 2 registry platforms x ~11 benchmarks today, with slack
+#: for growth — an explicit cap so the cache can never grow without
+#: bound if platform registration ever becomes dynamic.
+_STANDALONE_CACHE_SIZE = 256
+
+
+@lru_cache(maxsize=_STANDALONE_CACHE_SIZE)
 def _standalone_reference_ips(platform_name: str, benchmark: str) -> float:
     return max_standalone_ips(get_platform(platform_name), spec_app(benchmark))
+
+
+def clear_standalone_reference_cache() -> None:
+    """Drop the (platform, benchmark) baseline memo.
+
+    Test hook: equivalence suites that compare engine traces must not
+    observe baselines cached by an earlier test against a same-named
+    platform object with different tables.
+    """
+    _standalone_reference_ips.cache_clear()
 
 
 def standalone_reference_ips(platform: PlatformSpec, benchmark: str) -> float:

@@ -173,6 +173,21 @@ class RaplLimiter:
             )
         self._limit_w = limit_w
 
+    def control_state(self) -> tuple[float, float, bool]:
+        """Snapshot of the mutable control-loop state.
+
+        The batched array engine runs the limiter's recurrence forward
+        optimistically and must be able to roll it back when a shorter
+        prefix of the batch commits (see :mod:`repro.sim.soa`).
+        """
+        return (self._avg_power_w, self._cap_mhz, self._primed)
+
+    def restore_control_state(
+        self, state: tuple[float, float, bool]
+    ) -> None:
+        """Restore a snapshot taken by :meth:`control_state`."""
+        self._avg_power_w, self._cap_mhz, self._primed = state
+
     def observe(self, pkg_power_w: float, dt_s: float) -> None:
         """Feed one tick of measured package power into the control loop."""
         if dt_s <= 0:

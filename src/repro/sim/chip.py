@@ -99,6 +99,10 @@ class Chip:
         #: every tick (reference mode for the fast-path equivalence tests)
         self.dirty_caching = True
         self._dirty = True
+        #: bumped on every P-state view refresh; the array engine keys
+        #: its cached static rows on it, so a refresh triggered by the
+        #: scalar path (which consumes ``_dirty``) still invalidates them
+        self._view_generation = 0
         self._base_effective_mhz = [0.0] * n
         self._prev_sample_done = [False] * n
         self._register_msrs()
@@ -236,6 +240,7 @@ class Chip:
                 eff = min(eff, avx_cap)
             base[core.core_id] = eff
         self._dirty = False
+        self._view_generation += 1
 
     def tick(self) -> None:
         """Advance the chip by one tick."""

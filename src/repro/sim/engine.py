@@ -29,16 +29,29 @@ every deadline with the fault stream drawn in per-deadline order, so
 fault-injected runs keep PR 1's chaos semantics bit-identical.  Setting
 ``engine.batching = False`` also forces the slow path (the equivalence
 tests' reference mode).
+
+Orthogonally to *when* callbacks fire, ``engine="scalar"|"array"``
+selects *how* a batched gap is stepped: the per-tick reference loop or
+the struct-of-arrays numpy kernel (:mod:`repro.sim.soa`), which is
+bit-identical by contract and falls back to the scalar loop for
+anything it cannot reproduce exactly.  :func:`run_lockstep` extends the
+array path across engines: chips of multiple nodes stepped through the
+same window are stacked along the core axis into one batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Union
+from typing import Callable, Sequence, Union
 
 from repro.errors import SimulationError
+from repro.sim import soa
 from repro.sim.chip import Chip
 from repro.units import is_zero
+
+#: engine selector values accepted by :class:`SimEngine` and the config
+#: layers above it.
+ENGINES = ("scalar", "array")
 
 #: What a gate may return: ``"fire"`` (or ``None``) runs the callback,
 #: ``"drop"`` skips this deadline entirely, a positive float defers the
@@ -65,8 +78,18 @@ class _OneShot:
 class SimEngine:
     """Drives a chip and its periodic software."""
 
-    def __init__(self, chip: Chip):
+    def __init__(self, chip: Chip, *, engine: str = "array"):
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if engine == "array" and not soa.HAVE_NUMPY:
+            # numpy is an optional dependency of the fast path only;
+            # without it the reference loop is the engine
+            engine = "scalar"
         self.chip = chip
+        #: resolved stepping mode: ``"scalar"`` or ``"array"``.
+        self.engine_mode = engine
         self._periodics: list[_Periodic] = []
         self._oneshots: list[_OneShot] = []
         self._ticks_run = 0
@@ -205,12 +228,16 @@ class SimEngine:
             return remaining
         return max(1, min(remaining, gap))
 
+    def _needs_slow_path(self) -> bool:
+        """Whether callback semantics force the per-tick dispatch."""
+        return not self.batching or any(
+            p.gate is not None for p in self._periodics
+        )
+
     def run_ticks(self, n_ticks: int) -> None:
         remaining = n_ticks
         while remaining > 0:
-            if not self.batching or any(
-                p.gate is not None for p in self._periodics
-            ):
+            if self._needs_slow_path():
                 # slow path: gates draw from a seeded fault stream at
                 # every deadline, so chaos runs stay bit-identical
                 self.chip.tick()
@@ -218,7 +245,10 @@ class SimEngine:
                 remaining -= 1
             else:
                 gap = self._gap_to_next_deadline(remaining)
-                self.chip.advance_ticks(gap)
+                if self.engine_mode == "array":
+                    soa.advance_chip(self.chip, gap)
+                else:
+                    self.chip.advance_ticks(gap)
                 self._ticks_run += gap
                 remaining -= gap
                 self.batched_segments += 1
@@ -238,3 +268,39 @@ class SimEngine:
                 return True
             self.run_ticks(1)
         return condition()
+
+
+def run_lockstep(engines: Sequence[SimEngine], n_ticks: int) -> None:
+    """Advance several engines through the same tick window together.
+
+    Engines that must take the per-tick slow path (gates, reference
+    mode) or that run the scalar engine step individually; the rest are
+    gang-stepped: their chips advance as one stacked ``(ticks, nodes x
+    cores)`` array batch per shared deadline gap, with each engine's
+    callbacks fired at its own deadlines exactly as :meth:`SimEngine.\
+run_ticks` would.  Semantically equivalent to running each engine's
+    ``run_ticks(n_ticks)`` in sequence — node chips are independent, so
+    interleaving their ticks cannot change any result.
+    """
+    gang: list[SimEngine] = []
+    for engine in engines:
+        if engine._needs_slow_path() or engine.engine_mode != "array":
+            engine.run_ticks(n_ticks)
+        else:
+            gang.append(engine)
+    if not gang:
+        return
+    chips = [engine.chip for engine in gang]
+    remaining = n_ticks
+    while remaining > 0:
+        gap = min(
+            engine._gap_to_next_deadline(remaining) for engine in gang
+        )
+        soa.advance_chips(chips, gap)
+        for engine in gang:
+            engine._ticks_run += gap
+            engine.batched_segments += 1
+            engine._process_due_callbacks()
+        remaining -= gap
+    for engine in gang:
+        engine.chip.flush_counters()

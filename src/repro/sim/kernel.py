@@ -1,0 +1,178 @@
+"""Pure numpy kernels for the struct-of-arrays batched simulator step.
+
+Every function here is a *pure array transform*: arrays in, arrays out,
+no object traversal, no Python-level per-core loops (the ``kernel-purity``
+repro-lint rule enforces both).  The orchestration layer
+(:mod:`repro.sim.soa`) gathers chip state into arrays, calls these
+kernels over a ``(ticks, cores)`` batch, and commits the results back.
+
+Bit-exactness contract (DESIGN.md section 13): each kernel replicates the
+scalar hot loop's float operations *in the same order and association*,
+so elementwise results are bit-identical to the per-tick reference
+implementation.  Two rules keep that true:
+
+* order-sensitive running sums use ``np.add.accumulate`` (strictly
+  sequential per axis), never ``np.sum``/``np.add.reduce`` (pairwise);
+* interpolation is spelled out with ``searchsorted`` + the exact
+  ``lo + frac * (hi - lo)`` form the scalar table uses — ``np.interp``
+  rounds differently and must not be used.
+"""
+
+from __future__ import annotations
+
+import math
+
+try:  # pragma: no cover - exercised by absence only
+    import numpy as np
+except ImportError:  # pragma: no cover - the array engine is then disabled
+    np = None  # type: ignore[assignment]
+
+#: precomputed ``2.0 * math.pi``: the scalar phase model computes
+#: ``2.0 * math.pi * t`` left-associated, so ``(2.0 * pi)`` first is the
+#: identical constant fold.
+TWO_PI = 2.0 * math.pi
+
+
+def seeded_series(seed, increments):
+    """Running sum of a 1-D increment series, seeded with ``seed``.
+
+    Returns length ``len(increments) + 1``: element ``k`` is the value
+    after folding the first ``k`` increments into ``seed`` one at a
+    time, bit-identical to the scalar ``acc += inc`` chain.
+    """
+    stacked = np.concatenate(
+        (np.asarray((seed,), dtype=np.float64), increments)
+    )
+    return np.add.accumulate(stacked)
+
+
+def seeded_accumulate(seed_row, increments):
+    """Column-wise running sums of a ``(T, C)`` increment matrix.
+
+    ``seed_row`` is the ``(C,)`` vector of starting values; the result
+    is ``(T + 1, C)`` with row ``k`` holding each column's value after
+    ``k`` chained additions (``np.add.accumulate`` is strictly
+    sequential along the accumulation axis).
+    """
+    stacked = np.concatenate(
+        (np.reshape(seed_row, (1, -1)), increments), axis=0
+    )
+    return np.add.accumulate(stacked, axis=0)
+
+
+def sequential_row_sum(matrix):
+    """Left-fold of each row of ``(T, C)``, matching ``sum(list)``.
+
+    Python's ``sum`` folds ``((0.0 + p0) + p1) + ...``; for the
+    non-negative per-core powers ``0.0 + p0 == p0`` bit-exactly, so the
+    sequential accumulate's last column is the identical fold.
+    """
+    return np.add.accumulate(matrix, axis=1)[:, -1]
+
+
+def phase_factors(times, period, offset, ipc_amp, pow_amp):
+    """IPC and power phase multipliers for a ``(T, C)`` time matrix.
+
+    Replicates ``AppModel.ipc_factor`` / ``power_factor``: the angle is
+    ``((2*pi * t) / period) + offset`` and zero amplitudes reduce to an
+    exact ``1.0`` because ``1.0 + 0.0 * sin(x) == 1.0``.
+    """
+    angle = (TWO_PI * times) / period + offset
+    return 1.0 + ipc_amp * np.sin(angle), 1.0 + pow_amp * np.sin(angle * 0.5)
+
+
+def roofline_rows(eff, ref, mem_frac, base_ipc, stall):
+    """Per-core roofline throughput and activity-power factor.
+
+    Returns ``(rate, factor)``: instructions/second at the effective
+    frequency (``AppModel.ips``) and the time-weighted dynamic-power
+    activity factor (``AppModel.activity_power_factor``), with every
+    intermediate in the scalar model's association order.
+    """
+    cpu_time = ((1.0 - mem_frac) * ref) / eff
+    speedup = 1.0 / (cpu_time + mem_frac)
+    rate = (base_ipc * ref) * 1e6 * speedup
+    active = cpu_time / (cpu_time + mem_frac)
+    factor = active + (1.0 - active) * stall
+    return rate, factor
+
+
+def voltage_rows(freq, grid_freqs, grid_volts):
+    """V/f table lookup, bit-identical to the scalar bisect form.
+
+    ``PStateTable.voltage_for_frequency`` interpolates with
+    ``bisect_right`` and ``lo + frac * (hi - lo)``; ``searchsorted``
+    with ``side="right"`` selects the same bracket, and the boundary
+    lanes collapse onto the table's end voltages.
+    """
+    pos = np.searchsorted(grid_freqs, freq, side="right")
+    pos = np.clip(pos, 1, len(grid_freqs) - 1)
+    lo_f = grid_freqs[pos - 1]
+    hi_f = grid_freqs[pos]
+    lo_v = grid_volts[pos - 1]
+    hi_v = grid_volts[pos]
+    frac = (freq - lo_f) / (hi_f - lo_f)
+    mid = lo_v + frac * (hi_v - lo_v)
+    return np.where(
+        freq <= grid_freqs[0],
+        grid_volts[0],
+        np.where(freq >= grid_freqs[-1], grid_volts[-1], mid),
+    )
+
+
+def retired_rows(rate, ipc_t, dt):
+    """Instructions retired per tick: ``(rate * ipc_factor) * dt``.
+
+    The scalar app computes ``rate *= ipc_factor`` then
+    ``retired = rate * dt * share`` with ``share == 1.0`` (an exact
+    multiplicative identity), so the two-factor product matches.
+    """
+    return (rate * ipc_t) * dt
+
+
+def power_rows(ceff_t, volt, f_ghz, scale, leak_coeff, idle_w, running):
+    """Per-core power matrix, replicating ``core_power_breakdown``.
+
+    Running lanes: ``scale*c_eff*V*V*f_ghz*busy + leak*V + idle*(1-busy)``
+    with ``busy == 1.0``, so the trailing identities (``* 1.0`` and
+    ``+ 0.0``) drop out bit-exactly.  Idle and parked lanes draw the
+    deep-idle floor.
+    """
+    dyn = scale * ceff_t * volt * volt * f_ghz
+    return np.where(running, dyn + leak_coeff * volt, idle_w)
+
+
+def first_hit_rows(hits, n_ticks):
+    """First tick index where each column of ``hits`` is True.
+
+    Columns with no hit report ``n_ticks`` (one past the window), the
+    sentinel the event-split logic treats as "no behaviour change".
+    """
+    any_hit = np.any(hits, axis=0)
+    first = np.argmax(hits, axis=0)
+    return np.where(any_hit, first, n_ticks)
+
+
+def counter_increment_rows(eff, dt, tsc, running):
+    """Per-tick APERF/MPERF increments for running lanes.
+
+    The scalar loop adds ``eff * 1e6 * dt * busy`` with ``busy == 1.0``
+    (exact identity); idle lanes contribute an exact ``0.0``, which is a
+    bitwise no-op on the non-negative accumulators.
+    """
+    aperf = np.where(running, (eff * 1e6) * dt, 0.0)
+    mperf = np.where(running, (tsc * 1e6) * dt, 0.0)
+    return aperf, mperf
+
+
+def residency_increment_rows(dt, running, parked):
+    """Per-tick C0/C1/C6 residency increments by lane classification.
+
+    Running lanes accrue ``dt * busy == dt`` of C0 (the C1 remainder is
+    an exact ``0.0``), unparked idle lanes accrue ``dt`` of C1, parked
+    lanes ``dt`` of C6.
+    """
+    c0 = np.where(running, dt, 0.0)
+    c1 = np.where(running, 0.0, np.where(parked, 0.0, dt))
+    c6 = np.where(parked, dt, 0.0)
+    return c0, c1, c6

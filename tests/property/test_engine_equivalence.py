@@ -1,0 +1,151 @@
+"""Property tests: the array engine is bit-identical to the scalar one.
+
+Two chips fed the same schedule — one stepped tick-by-tick by the
+scalar reference loop, one through :func:`repro.sim.soa.advance_chip`'s
+batched array path — must agree on *every* float observable, to the
+bit, after every segment.  Schedules draw from everything the daemon
+does at its cadence: P-state retargets, park/unpark (the quarantine
+and consolidation mechanisms both reduce to parking at chip level),
+RAPL limit programming and removal (window boundaries where the
+firmware control loop engages mid-batch), and uneven run lengths that
+misalign batch edges with behaviour changes.
+
+The same property is asserted one level up through
+:class:`~repro.sim.engine.SimEngine`, where callback deadlines carve
+the run into batches.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.hw.platform import skylake_xeon_4114
+from repro.sim import soa
+from repro.sim.chip import Chip
+from repro.sim.core import BatchCoreLoad
+from repro.sim.engine import SimEngine
+from repro.workloads.app import RunningApp
+from repro.workloads.spec import spec_app
+
+from tests.unit.test_array_kernel import chip_fingerprint
+
+SKYLAKE = skylake_xeon_4114()
+FREQS = SKYLAKE.pstates.frequencies_mhz
+
+#: benchmarks spanning compute-bound, memory-bound, and phased models.
+BENCHMARKS = ("leela", "cactusBSSN", "omnetpp", "gcc", "imagick")
+
+#: in-range RAPL limits plus None (limiting disabled).
+RAPL_LIMITS = (None, 25.0, 38.0, 50.0, 70.0)
+
+ops = st.one_of(
+    st.tuples(st.just("freq"),
+              st.integers(0, SKYLAKE.n_cores - 1),
+              st.sampled_from(FREQS)),
+    st.tuples(st.just("park"),
+              st.integers(0, SKYLAKE.n_cores - 1),
+              st.booleans()),
+    st.tuples(st.just("rapl"),
+              st.sampled_from(RAPL_LIMITS),
+              st.none()),
+    st.tuples(st.just("run"), st.integers(1, 300), st.none()),
+)
+
+placements = st.dictionaries(
+    st.integers(0, SKYLAKE.n_cores - 1),
+    st.tuples(
+        st.sampled_from(BENCHMARKS),
+        # None -> steady service; a budget -> finishes mid-run
+        st.one_of(st.none(), st.floats(min_value=1e8, max_value=4e9)),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_chip(placement) -> Chip:
+    chip = Chip(SKYLAKE, tick_s=5e-3)
+    ref = SKYLAKE.reference_frequency_mhz
+    for core_id, (name, budget) in placement.items():
+        model = spec_app(name, steady=budget is None)
+        if budget is not None:
+            model = model.with_instructions(budget)
+        chip.assign_load(
+            core_id, BatchCoreLoad(RunningApp(model, instance=core_id), ref)
+        )
+    return chip
+
+
+def apply(chip, op, *, array: bool) -> None:
+    kind, a, b = op
+    if kind == "freq":
+        chip.set_requested_frequency(a, b)
+    elif kind == "park":
+        chip.park(a, b)
+    elif kind == "rapl":
+        chip.set_rapl_limit(a)
+    elif array:
+        soa.advance_chip(chip, a)
+    else:
+        chip.advance_ticks(a)
+
+
+@given(placements, st.lists(ops, min_size=1, max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_array_advance_is_bit_identical(placement, schedule):
+    scalar = build_chip(placement)
+    array = build_chip(placement)
+    for op in schedule:
+        apply(scalar, op, array=False)
+        apply(array, op, array=True)
+        assert chip_fingerprint(scalar) == chip_fingerprint(array)
+
+
+@given(
+    placements,
+    st.lists(st.sampled_from(FREQS), min_size=1, max_size=8),
+    st.lists(st.sampled_from(RAPL_LIMITS), min_size=1, max_size=4),
+    st.integers(5, 80),    # callback period in ticks
+    st.integers(50, 900),  # total ticks
+)
+@settings(max_examples=30, deadline=None)
+def test_engine_batches_are_bit_identical(
+    placement, freq_cycle, limit_cycle, period, total
+):
+    chips = []
+    for mode in ("scalar", "array"):
+        engine = SimEngine(build_chip(placement), engine=mode)
+        beat = [0]
+
+        def retune(now, chip=engine.chip, beat=beat):
+            chip.set_requested_frequency(
+                0, freq_cycle[beat[0] % len(freq_cycle)]
+            )
+            chip.park(1, beat[0] % 2 == 0)
+            chip.set_rapl_limit(limit_cycle[beat[0] % len(limit_cycle)])
+            beat[0] += 1
+
+        engine.every(period * engine.chip.tick_s, retune)
+        engine.run_ticks(total)
+        engine.chip.flush_counters()
+        chips.append(engine.chip)
+    assert chip_fingerprint(chips[0]) == chip_fingerprint(chips[1])
+
+
+@pytest.mark.soak
+@given(placements, st.lists(ops, min_size=20, max_size=120))
+@settings(max_examples=120, deadline=None)
+def test_array_advance_is_bit_identical_soak(placement, schedule):
+    """Long-schedule variant: many segments, only a final fingerprint
+    compare per op batch (the per-op assert above already localizes
+    failures; this one buys depth)."""
+    scalar = build_chip(placement)
+    array = build_chip(placement)
+    for op in schedule:
+        apply(scalar, op, array=False)
+        apply(array, op, array=True)
+    assert chip_fingerprint(scalar) == chip_fingerprint(array)

@@ -1,0 +1,408 @@
+"""Unit tests for the batched array engine: kernels, gathering, fallback.
+
+The array path has exactly one contract: **bit-identical to the scalar
+reference**.  These tests pin it down at every layer — the numpy
+kernels against hand-rolled scalar chains, the RAPL replay against the
+live limiter, the gather/commit round trip against ``advance_ticks``
+on a cloned chip — plus the support gates that force the scalar slow
+path, the engine selector's validation, and the cache's deliberate
+blindness to the engine field.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.config import AppSpec, ExperimentConfig, default_engine
+from repro.errors import ConfigError, SimulationError
+from repro.hw.platform import get_platform
+from repro.hw.rapl import RaplLimiter
+from repro.sim import kernel, soa
+from repro.sim.chip import Chip
+from repro.sim.core import BatchCoreLoad, LoadSample
+from repro.sim.engine import ENGINES, SimEngine
+from repro.workloads.app import RunningApp
+from repro.workloads.spec import spec_app
+
+
+def chip_fingerprint(chip) -> list[str]:
+    """Every float observable of a chip, in exact-hex form.
+
+    ``float.hex`` round-trips the full 64-bit pattern, so equal
+    fingerprints mean equal bits — the equivalence the array engine
+    promises, not approximate closeness.
+    """
+    parts = [chip.time_s.hex(), chip.last_package_power_w.hex()]
+    parts.extend(p.hex() for p in chip.last_core_powers_w)
+    parts.append(chip.energy.package_energy_joules.hex())
+    for core in chip.cores:
+        cpu = core.core_id
+        parts.append(core.effective_mhz.hex())
+        parts.append(core.total_instructions.hex())
+        parts.append(core.total_energy_j.hex())
+        parts.append(core.total_busy_s.hex())
+        parts.append(core.total_time_s.hex())
+        parts.append(str(core.parked))
+        sample = core.last_sample
+        parts.append(
+            "none" if sample is None else
+            f"{sample.instructions.hex()}|{sample.busy_fraction.hex()}|"
+            f"{sample.c_eff.hex()}|{sample.done}"
+        )
+        parts.append(chip._aperf_cycles[cpu].hex())
+        parts.append(chip._mperf_cycles[cpu].hex())
+        parts.append(chip._instr_total[cpu].hex())
+        parts.append(chip.energy.core_energy_joules(cpu).hex())
+        parts.append(str(chip._prev_sample_done[cpu]))
+        res = chip.cstates._cores[cpu]
+        parts.append(res.c0_s.hex())
+        parts.append(res.c1_s.hex())
+        parts.append(res.c6_s.hex())
+        parts.append(str(res.current))
+        parts.append(str(res.transitions))
+        load = core.load
+        if isinstance(load, BatchCoreLoad):
+            parts.append(load.app.retired_instructions.hex())
+            parts.append(load.app.elapsed_s.hex())
+            parts.append(str(load.app.finished))
+    if chip.rapl is not None:
+        parts.append(chip.rapl.average_power_w.hex())
+        parts.append(chip.rapl.cap_mhz.hex())
+        parts.append(str(chip.rapl.limit_w))
+    return parts
+
+
+def batch_chip(platform_name="skylake", *, finite_budget=None) -> Chip:
+    """A chip the array path supports: SPEC apps on the first cores."""
+    platform = get_platform(platform_name)
+    chip = Chip(platform, tick_s=5e-3)
+    ref = platform.reference_frequency_mhz
+    for i, name in enumerate(["leela", "cactusBSSN", "omnetpp"]):
+        model = spec_app(name, steady=True)
+        chip.assign_load(
+            i, BatchCoreLoad(RunningApp(model, instance=i), ref)
+        )
+    if finite_budget is not None:
+        model = spec_app("leela").with_instructions(finite_budget)
+        chip.assign_load(
+            3, BatchCoreLoad(RunningApp(model, instance=9), ref)
+        )
+    return chip
+
+
+class TestKernels:
+    def test_seeded_series_matches_scalar_chain(self):
+        incs = [0.1, 0.7, -0.3, 1e-9, 2.5e8, 0.1]
+        series = kernel.seeded_series(3.7, np.asarray(incs))
+        acc = 3.7
+        expected = [acc]
+        for inc in incs:
+            acc += inc
+            expected.append(acc)
+        assert [v.hex() for v in series.tolist()] == [
+            v.hex() for v in expected
+        ]
+
+    def test_seeded_accumulate_is_columnwise_sequential(self):
+        rows = np.asarray([[0.1, 1e8], [0.2, -3.0], [0.4, 0.7]])
+        out = kernel.seeded_accumulate(np.asarray([1.0, 2.0]), rows)
+        for col in range(2):
+            acc = [1.0, 2.0][col]
+            for k, row in enumerate([[0.1, 1e8], [0.2, -3.0], [0.4, 0.7]]):
+                acc += row[col]
+                assert out[k + 1, col].hex() == acc.hex()
+
+    def test_sequential_row_sum_matches_python_sum(self):
+        rows = [[3.1, 0.2, 7.9, 1e-8], [0.0, 5.5, 2.2, 9.1]]
+        out = kernel.sequential_row_sum(np.asarray(rows))
+        assert [v.hex() for v in out.tolist()] == [
+            sum(row).hex() for row in rows
+        ]
+
+    def test_phase_factors_match_scalar_formula(self):
+        times = np.asarray([[0.0, 0.5], [1.25, 3.0]])
+        ipc, pw = kernel.phase_factors(times, 10.0, 0.3, 0.05, 0.02)
+        for (i, j), t in np.ndenumerate(times):
+            angle = (2.0 * math.pi * t) / 10.0 + 0.3
+            assert ipc[i, j].hex() == (
+                1.0 + 0.05 * math.sin(angle)
+            ).hex()
+            assert pw[i, j].hex() == (
+                1.0 + 0.02 * math.sin(angle * 0.5)
+            ).hex()
+
+    def test_voltage_rows_match_pstate_table(self, skylake):
+        table = skylake.pstates
+        grid_f = np.asarray(table.frequencies_mhz)
+        grid_v = np.asarray(
+            [table.voltage_for_frequency(f) for f in table.frequencies_mhz]
+        )
+        freqs = np.linspace(grid_f[0] - 100.0, grid_f[-1] + 100.0, 173)
+        out = kernel.voltage_rows(freqs, grid_f, grid_v)
+        for f, v in zip(freqs.tolist(), out.tolist()):
+            assert v.hex() == table.voltage_for_frequency(f).hex()
+
+    def test_first_hit_rows_sentinel(self):
+        hits = np.asarray(
+            [[False, True], [False, False], [True, True]]
+        )
+        out = kernel.first_hit_rows(hits, 3)
+        assert out.tolist() == [2, 0]
+        none = kernel.first_hit_rows(np.zeros((3, 2), dtype=bool), 3)
+        assert none.tolist() == [3, 3]
+
+
+class TestRaplReplay:
+    def _limiter(self, skylake, limit_w):
+        limiter = RaplLimiter(skylake)
+        limiter.set_limit(limit_w)
+        return limiter
+
+    @pytest.mark.parametrize("limit_w", [None, 60.0, 40.0])
+    def test_replay_matches_live_observe(self, skylake, limit_w):
+        powers = [42.0, 55.0, 61.0, 58.0, 70.0, 30.0, 30.0, 65.0]
+        dt = 5e-3
+        live = self._limiter(skylake, limit_w)
+        replayed = self._limiter(skylake, limit_w)
+        observed, state = soa._replay_rapl(
+            replayed, powers, dt, skylake.max_frequency_mhz, len(powers)
+        )
+        for pkg in powers[:observed]:
+            live.observe(pkg, dt)
+        replayed.restore_control_state(state)
+        assert replayed.average_power_w.hex() == (
+            live.average_power_w.hex()
+        )
+        assert replayed.cap_mhz.hex() == live.cap_mhz.hex()
+        assert replayed._primed == live._primed
+
+    def test_replay_stops_when_cap_binds(self, skylake):
+        limiter = self._limiter(skylake, 40.0)
+        # a huge overshoot drags the cap below max on the first observe,
+        # so only that single tick is batchable
+        observed, state = soa._replay_rapl(
+            limiter, [500.0, 500.0, 500.0], 5e-3,
+            skylake.max_frequency_mhz, 3,
+        )
+        assert observed == 1
+        assert state[1] < skylake.max_frequency_mhz
+
+    def test_replay_refuses_already_bound_cap(self, skylake):
+        limiter = self._limiter(skylake, 40.0)
+        limiter.observe(500.0, 5e-3)
+        assert limiter.cap_mhz < skylake.max_frequency_mhz
+        observed, _ = soa._replay_rapl(
+            limiter, [10.0], 5e-3, skylake.max_frequency_mhz, 1
+        )
+        assert observed == 0
+
+    def test_replay_mutates_nothing_until_restore(self, skylake):
+        limiter = self._limiter(skylake, 40.0)
+        before = limiter.control_state()
+        soa._replay_rapl(
+            limiter, [90.0, 90.0], 5e-3, skylake.max_frequency_mhz, 2
+        )
+        assert limiter.control_state() == before
+
+
+class TestSupportGates:
+    def test_batch_chip_is_supported(self):
+        assert soa.chip_supports_array(batch_chip())
+
+    def test_reference_mode_forces_scalar(self):
+        chip = batch_chip()
+        chip.dirty_caching = False
+        assert not soa.chip_supports_array(chip)
+
+    def test_foreign_load_forces_scalar(self):
+        class WeirdLoad:
+            name = "weird"
+            uses_avx = False
+
+            def advance(self, dt_s, frequency_mhz, sim_time_s):
+                return LoadSample(0.0, 0.0, 0.0, done=True)
+
+        chip = batch_chip()
+        chip.assign_load(5, WeirdLoad())
+        assert not soa.chip_supports_array(chip)
+
+    def test_unsupported_chip_still_advances_exactly(self):
+        chips = []
+        for _ in range(2):
+            chip = batch_chip()
+            chip.dirty_caching = False
+            chips.append(chip)
+        chips[0].advance_ticks(100)
+        soa.advance_chip(chips[1], 100)  # silently takes the scalar loop
+        assert chip_fingerprint(chips[0]) == chip_fingerprint(chips[1])
+
+    def test_tiny_batches_take_the_scalar_loop(self):
+        a, b = batch_chip(), batch_chip()
+        a.advance_ticks(soa.MIN_BATCH_TICKS - 1)
+        soa.advance_chip(b, soa.MIN_BATCH_TICKS - 1)
+        assert chip_fingerprint(a) == chip_fingerprint(b)
+
+
+class TestArrayAdvance:
+    @pytest.mark.parametrize("platform_name", ["skylake", "ryzen"])
+    def test_plain_advance_bit_identical(self, platform_name):
+        a = batch_chip(platform_name, finite_budget=2.0e9)
+        b = batch_chip(platform_name, finite_budget=2.0e9)
+        a.advance_ticks(600)
+        soa.advance_chip(b, 600)
+        assert chip_fingerprint(a) == chip_fingerprint(b)
+
+    def test_mutation_schedule_bit_identical(self):
+        chips = [
+            batch_chip(finite_budget=1.5e9),
+            batch_chip(finite_budget=1.5e9),
+        ]
+        grid = chips[0].platform.pstates.nominal_frequencies_mhz()
+        for seg in range(8):
+            for chip in chips:
+                if seg == 2:
+                    chip.park(6, True)
+                if seg == 5:
+                    chip.park(6, False)
+                for i in range(len(chip.cores)):
+                    chip.set_requested_frequency(
+                        i, grid[(seg + i) % len(grid)]
+                    )
+            chips[0].advance_ticks(150)
+            soa.advance_chip(chips[1], 150)
+            assert chip_fingerprint(chips[0]) == chip_fingerprint(chips[1])
+
+    def test_rapl_window_boundaries_bit_identical(self):
+        chips = [batch_chip(), batch_chip()]
+        for seg in range(10):
+            for chip in chips:
+                if seg == 2:
+                    chip.set_rapl_limit(38.0)
+                if seg == 7:
+                    chip.set_rapl_limit(None)
+            chips[0].advance_ticks(130)
+            soa.advance_chip(chips[1], 130)
+            assert chip_fingerprint(chips[0]) == chip_fingerprint(chips[1])
+
+    def test_scalar_refresh_invalidates_cached_static_rows(self):
+        """A scalar tick that consumes the dirty flag must not leave the
+        array path holding static rows gathered from the older P-state
+        view (found by the equivalence property suite)."""
+        chips = [batch_chip(), batch_chip()]
+        for chip in chips:
+            chip.set_requested_frequency(0, 800.0)
+        chips[0].advance_ticks(8)
+        soa.advance_chip(chips[1], 8)  # caches static rows at 800 MHz
+        for chip in chips:
+            chip.set_requested_frequency(0, 900.0)
+        # a sub-batch run takes the scalar loop, refreshing the view and
+        # clearing the dirty flag without touching the cached rows
+        chips[0].advance_ticks(1)
+        soa.advance_chip(chips[1], 1)
+        chips[0].advance_ticks(8)
+        soa.advance_chip(chips[1], 8)
+        assert chip_fingerprint(chips[0]) == chip_fingerprint(chips[1])
+
+    def test_stacked_chips_match_individual_stepping(self):
+        stacked = [batch_chip(), batch_chip("ryzen"), batch_chip()]
+        solo = [batch_chip(), batch_chip("ryzen"), batch_chip()]
+        soa.advance_chips(stacked, 400)
+        for chip in solo:
+            chip.advance_ticks(400)
+        for a, b in zip(solo, stacked):
+            assert chip_fingerprint(a) == chip_fingerprint(b)
+
+
+class TestEngineSelector:
+    def test_engine_modes(self):
+        assert SimEngine(batch_chip(), engine="array").engine_mode == "array"
+        assert SimEngine(batch_chip(), engine="scalar").engine_mode == (
+            "scalar"
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            SimEngine(batch_chip(), engine="simd")
+
+    def test_missing_numpy_falls_back_to_scalar(self, monkeypatch):
+        monkeypatch.setattr(soa, "HAVE_NUMPY", False)
+        engine = SimEngine(batch_chip(), engine="array")
+        assert engine.engine_mode == "scalar"
+
+    def test_config_validates_engine(self):
+        apps = (AppSpec("leela"),)
+        assert ExperimentConfig(
+            platform="skylake", policy="frequency-shares",
+            limit_w=50.0, apps=apps, engine="scalar",
+        ).engine == "scalar"
+        with pytest.raises(ConfigError):
+            ExperimentConfig(
+                platform="skylake", policy="frequency-shares",
+                limit_w=50.0, apps=apps, engine="vector",
+            )
+
+    def test_default_engine_reads_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert default_engine() == "array"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "scalar")
+        assert default_engine() == "scalar"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "cuda")
+        with pytest.raises(ConfigError):
+            default_engine()
+
+    def test_engines_tuple_is_the_contract(self):
+        assert ENGINES == ("scalar", "array")
+
+
+class TestCacheEngineBlindness:
+    def _config(self, engine):
+        return ExperimentConfig(
+            platform="skylake", policy="frequency-shares", limit_w=50.0,
+            apps=(AppSpec("leela"), AppSpec("cactusBSSN")), engine=engine,
+        )
+
+    def test_single_socket_keys_ignore_engine(self):
+        from repro.experiments.cache import cache_key, config_to_jsonable
+
+        scalar, array = self._config("scalar"), self._config("array")
+        assert cache_key(scalar, 60.0, 20.0) == cache_key(array, 60.0, 20.0)
+        assert "engine" not in json.dumps(config_to_jsonable(scalar))
+
+    def test_cluster_keys_ignore_engine(self):
+        import dataclasses
+
+        from repro.experiments.cache import cluster_cache_key
+        from repro.experiments.cluster_exp import default_cluster_config
+
+        base = default_cluster_config()
+        assert cluster_cache_key(
+            dataclasses.replace(base, engine="scalar"), 120.0, 40.0
+        ) == cluster_cache_key(
+            dataclasses.replace(base, engine="array"), 120.0, 40.0
+        )
+
+    def test_config_roundtrip_tolerates_missing_engine(self):
+        from repro.experiments.cache import (
+            config_from_jsonable,
+            config_to_jsonable,
+        )
+
+        data = config_to_jsonable(self._config("scalar"))
+        restored = config_from_jsonable(data)
+        assert restored.engine in ENGINES
+
+    def test_standalone_reference_cache_clear_hook(self):
+        from repro.experiments.runner import (
+            _standalone_reference_ips,
+            clear_standalone_reference_cache,
+        )
+
+        _standalone_reference_ips("skylake", "leela")
+        assert _standalone_reference_ips.cache_info().currsize > 0
+        clear_standalone_reference_cache()
+        assert _standalone_reference_ips.cache_info().currsize == 0

@@ -15,6 +15,7 @@ from repro.analysis.rules.cache_purity import CachePurityRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.fail_safety import FailSafetyRule
 from repro.analysis.rules.float_equality import FloatEqualityRule
+from repro.analysis.rules.kernel_purity import KernelPurityRule
 from repro.analysis.rules.unit_safety import UnitSafetyRule, unit_of_name
 
 
@@ -497,12 +498,109 @@ class TestCachePurity:
         )
 
 
+class TestKernelPurity:
+    KERNEL_PATH = "src/repro/sim/kernel.py"
+
+    def test_rule_only_applies_to_the_kernel_module(self):
+        code = """
+        def gather(chip):
+            return [core.load for core in chip.cores]
+        """
+        assert run_rule(
+            KernelPurityRule(), code, path=self.KERNEL_PATH
+        )
+        assert not run_rule(
+            KernelPurityRule(), code, path="src/repro/sim/soa.py"
+        )
+
+    def test_for_loop_flagged(self):
+        findings = run_rule(
+            KernelPurityRule(),
+            """
+            def bad(rows):
+                total = 0.0
+                for row in rows:
+                    total = total + row
+                return total
+            """,
+            path=self.KERNEL_PATH,
+        )
+        assert any("for loop" in f.message for f in findings)
+
+    def test_comprehension_flagged(self):
+        findings = run_rule(
+            KernelPurityRule(),
+            """
+            def bad(values):
+                return [v * 2.0 for v in values]
+            """,
+            path=self.KERNEL_PATH,
+        )
+        assert any("comprehension" in f.message for f in findings)
+
+    def test_object_attribute_flagged(self):
+        findings = run_rule(
+            KernelPurityRule(),
+            """
+            def bad(core):
+                return core.effective_mhz * 2.0
+            """,
+            path=self.KERNEL_PATH,
+        )
+        assert len(findings) == 1
+        assert "core.effective_mhz" in findings[0].message
+
+    def test_derived_object_attribute_flagged(self):
+        findings = run_rule(
+            KernelPurityRule(),
+            """
+            def bad(chips):
+                return chips[0].tick_s
+            """,
+            path=self.KERNEL_PATH,
+        )
+        assert len(findings) == 1
+        assert ".tick_s" in findings[0].message
+
+    def test_numpy_and_math_chains_pass(self):
+        assert not run_rule(
+            KernelPurityRule(),
+            """
+            import math
+
+            import numpy as np
+
+            TWO_PI = 2.0 * math.pi
+
+
+            def good(seed_row, increments):
+                stacked = np.concatenate(
+                    (np.reshape(seed_row, (1, -1)), increments), axis=0
+                )
+                return np.add.accumulate(stacked, axis=0)
+            """,
+            path=self.KERNEL_PATH,
+        )
+
+    def test_shipped_kernel_is_clean(self):
+        from pathlib import Path
+
+        kernel = Path(__file__).resolve().parents[2] / (
+            "src/repro/sim/kernel.py"
+        )
+        src = SourceFile.from_text(
+            "src/repro/sim/kernel.py",
+            kernel.read_text(encoding="utf-8"),
+        )
+        assert not list(KernelPurityRule().check(src))
+
+
 class TestRegistry:
-    def test_default_registry_has_all_five_rules(self):
+    def test_default_registry_has_all_six_rules(self):
         names = default_registry().names()
         assert names == (
             "determinism", "unit-safety", "fail-safety",
-            "float-equality", "cache-purity",
+            "float-equality", "cache-purity", "kernel-purity",
         )
 
     def test_findings_carry_location_and_design_ref(self):
