@@ -20,6 +20,17 @@ Measures the numbers that bound every workflow in this repo:
   the canonical four-node cluster under the arbiter's epoch loop
   (:mod:`repro.cluster`), in-process stacked stepping (array engine).
   Guards the cluster path's per-epoch node rebuild/condense overhead.
+* **fleet_ticks_per_sec** — nominal node-ticks per wall second of a
+  128-node diurnal fleet (:mod:`repro.fleet`), idle-skipped ticks
+  included: the diurnal schedule leaves most nodes idle, the stacked
+  stepper skips them, and this metric guards exactly that sparsity win
+  plus the hierarchical arbitration overhead.
+* **fleet_arbitration_ms** — mean wall milliseconds per
+  ``FleetArbiter.rebalance`` over a synthetic steady-state
+  1,024-node fleet where only ~2 % of nodes move demand per epoch,
+  alongside ``fleet_arbitration_full_ms`` (the same epochs with the
+  dirty-subtree cache disabled) and ``fleet_arbitration_speedup`` —
+  the incremental win the fleet design doc promises, measured.
 * **report_quick_s** — wall time of ``generate_report(quick=True)``
   with a cold cache and one worker: the end-to-end cost of the thing a
   user actually runs.
@@ -66,12 +77,28 @@ TICK_S = 5e-3
 #: at the default 10 s epoch).
 CLUSTER_SIM_SECONDS = 20.0
 
+#: fleet throughput grid: 2 rows x 4 racks x 16 nodes = 128 nodes.
+FLEET_GRID = (2, 4, 16)
+
+#: arbitration-latency grid: 4 rows x 8 racks x 32 nodes = 1,024 nodes.
+FLEET_ARB_GRID = (4, 8, 32)
+
+#: epochs timed for the arbitration-latency measurement (after warmup).
+FLEET_ARB_EPOCHS = 8
+
+#: racks whose nodes move demand per steady-state epoch (~3 % of the
+#: fleet, localized the way real load shifts are: a spike rolls
+#: through one rack while the rest of the fleet jitters sub-quantum).
+FLEET_ARB_CHURN_RACKS = 1
+
 #: which engine produced each committed throughput metric.
 METRIC_ENGINES = {
     "ticks_per_sec": "array",
     "scalar_ticks_per_sec": "scalar",
     "array_speedup": "array/scalar",
     "cluster_ticks_per_sec": "array",
+    "fleet_ticks_per_sec": "array",
+    "fleet_arbitration_ms": "arbiter-only",
 }
 
 
@@ -137,6 +164,110 @@ def measure_cluster_ticks_per_sec(
     return node_ticks / (time.perf_counter() - start)
 
 
+def measure_fleet_ticks_per_sec(engine: str = "array") -> float:
+    """Nominal node-ticks/sec of a 128-node idle-heavy diurnal fleet.
+
+    One short diurnal period at 10–30 % activation: most of the fleet
+    is idle every epoch and the stacked stepper must skip it.  The
+    numerator counts every node's nominal ticks — idle-skipped ones
+    included — because the skip *is* the throughput being guarded; the
+    wall clock also pays the hierarchical refill every epoch.
+    """
+    from repro.cluster import run_cluster
+    from repro.experiments.fleet_exp import fleet_config
+    from repro.fleet import DiurnalSchedule
+
+    schedule = DiurnalSchedule(
+        period_epochs=8,
+        base_active_fraction=0.1,
+        peak_active_fraction=0.3,
+        row_phase_epochs=2,
+    )
+    config = fleet_config(
+        *FLEET_GRID, schedule=schedule, epoch_ticks=5, engine=engine
+    )
+    duration_s = schedule.period_epochs * config.epoch_s
+    node_ticks = len(config.nodes) * int(round(duration_s / config.tick_s))
+    start = time.perf_counter()
+    run_cluster(config, duration_s, jobs=1)
+    return node_ticks / (time.perf_counter() - start)
+
+
+def _fleet_arb_reports(config, epoch: int, movers: range):
+    """Steady grid-stable demand with a rolling rack of movers.
+
+    Bases are multiples of 0.4 W, so after the arbiter's 1.25x demand
+    slack they land exactly on the 0.5 W claim quantum and a clean rack
+    re-quantizes to the identical fill; movers step by a whole number
+    of grid cells, dirtying only their own rack.
+    """
+    from repro.cluster.node import NodeEpochReport
+
+    reports = {}
+    for index, spec in enumerate(config.nodes):
+        power = 16.0 + 0.4 * (index % 40)
+        if index in movers:
+            power += 6.0
+        reports[spec.name] = NodeEpochReport(
+            name=spec.name,
+            epoch=epoch,
+            t_end_s=(epoch + 1) * 1.0,
+            cap_w=45.0,
+            mean_power_w=power,
+            throttle_pressure=0.2,
+            headroom_w=max(45.0 - power, 0.0),
+            parked_cores=0,
+            quarantined_cores=0,
+            samples=10,
+        )
+    return reports
+
+
+def measure_fleet_arbitration_ms() -> dict:
+    """Mean rebalance wall-ms at 1,024 nodes: incremental vs full.
+
+    The same steady-state epoch stream (one rack's worth of demand
+    movement rolling through the fleet per epoch, everything else
+    jittering below the claim quantum) drives two FleetArbiters — one
+    with the dirty-subtree cache, one with ``incremental = False``
+    re-water-filling every rack — so the speedup is the incremental
+    refill's win in isolation.
+    """
+    from repro.experiments.fleet_exp import fleet_config
+    from repro.fleet.arbiter import FleetArbiter
+
+    config = fleet_config(
+        *FLEET_ARB_GRID,
+        schedule=None,
+        budget_w=FLEET_ARB_GRID[0] * FLEET_ARB_GRID[1]
+        * FLEET_ARB_GRID[2] * 24.0,  # contended: below mean demand-hi
+    )
+    names = [spec.name for spec in config.nodes]
+    n = len(names)
+    timings = {}
+    for label, incremental in (("incremental", True), ("full", False)):
+        arbiter = FleetArbiter(config)
+        arbiter.incremental = incremental
+        arbiter.admit(names)
+        elapsed = 0.0
+        rack_size = FLEET_ARB_GRID[2]
+        n_racks = n // rack_size
+        for epoch in range(2 + FLEET_ARB_EPOCHS):
+            first = (epoch % n_racks) * rack_size
+            movers = range(first, first + FLEET_ARB_CHURN_RACKS * rack_size)
+            reports = _fleet_arb_reports(config, epoch, movers)
+            start = time.perf_counter()
+            arbiter.rebalance(epoch, reports)
+            if epoch >= 2:  # first epochs build the caches: warmup
+                elapsed += time.perf_counter() - start
+        timings[label] = 1e3 * elapsed / FLEET_ARB_EPOCHS
+    timings["speedup"] = (
+        timings["full"] / timings["incremental"]
+        if timings["incremental"] > 0 else float("inf")
+    )
+    return timings
+
+
 def measure_report_quick_s() -> float:
     """Wall time of a quick report, cold cache, one worker."""
     from repro.experiments.full_report import generate_report
@@ -173,6 +304,7 @@ def check_regression(baseline_path: Path = BASELINE_PATH) -> int:
         baselines = {
             "ticks/sec": float(baseline["ticks_per_sec"]),
             "cluster ticks/sec": float(baseline["cluster_ticks_per_sec"]),
+            "fleet ticks/sec": float(baseline["fleet_ticks_per_sec"]),
         }
     except (OSError, KeyError, ValueError, TypeError) as exc:
         print(f"bench: no usable baseline at {baseline_path}: {exc}",
@@ -181,10 +313,12 @@ def check_regression(baseline_path: Path = BASELINE_PATH) -> int:
     scalar_measures = {
         "ticks/sec": measure_ticks_per_sec,
         "cluster ticks/sec": measure_cluster_ticks_per_sec,
+        "fleet ticks/sec": measure_fleet_ticks_per_sec,
     }
     measured = {
         "ticks/sec": measure_ticks_per_sec(),
         "cluster ticks/sec": measure_cluster_ticks_per_sec(),
+        "fleet ticks/sec": measure_fleet_ticks_per_sec(),
     }
     rc = 0
     for name, baseline_rate in baselines.items():
@@ -221,6 +355,7 @@ def main(argv: list[str] | None = None) -> int:
 
     array_rate = measure_ticks_per_sec(engine="array")
     scalar_rate = measure_ticks_per_sec(engine="scalar")
+    fleet_arb = measure_fleet_arbitration_ms()
     result = {
         "ticks_per_sec": round(array_rate, 1),
         "scalar_ticks_per_sec": round(scalar_rate, 1),
@@ -228,6 +363,12 @@ def main(argv: list[str] | None = None) -> int:
         "cluster_ticks_per_sec": round(
             measure_cluster_ticks_per_sec(engine="array"), 1
         ),
+        "fleet_ticks_per_sec": round(
+            measure_fleet_ticks_per_sec(engine="array"), 1
+        ),
+        "fleet_arbitration_ms": round(fleet_arb["incremental"], 3),
+        "fleet_arbitration_full_ms": round(fleet_arb["full"], 3),
+        "fleet_arbitration_speedup": round(fleet_arb["speedup"], 2),
         "report_quick_s": None,
         "engines": METRIC_ENGINES,
         "git": git_revision(),
@@ -237,6 +378,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"array speedup: {result['array_speedup']:.1f}x")
     print(f"cluster ticks/sec: {result['cluster_ticks_per_sec']:,.0f} "
           f"(array, stacked)")
+    print(f"fleet ticks/sec: {result['fleet_ticks_per_sec']:,.0f} "
+          f"(array, 128 nodes, idle-skipped ticks included)")
+    print(f"fleet arbitration: {result['fleet_arbitration_ms']:.2f} ms "
+          f"incremental vs {result['fleet_arbitration_full_ms']:.2f} ms "
+          f"full at 1,024 nodes "
+          f"({result['fleet_arbitration_speedup']:.1f}x)")
     if args.skip_report:
         try:
             previous = json.loads(args.output.read_text())

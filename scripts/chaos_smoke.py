@@ -24,15 +24,26 @@ epochs.  On failure the run's write-ahead journal and cluster trace are
 dumped under ``--artifact-dir`` (default ``chaos-artifacts/``) so CI
 can upload them.
 
+A fleet drill closes the set: a 1,024-node facility → row → rack →
+node grid runs a low-activation diurnal day with one whole rack
+partitioned mid-run.  The facility cap-sum invariant must hold at
+every epoch, the partitioned rack must walk the lease ladder while
+*no* lease outside the rack ever leaves GRANTED (the partition stays
+contained to its subtree), every lease must be GRANTED again by the
+final epoch, and the incremental dirty-subtree refill must have reused
+cached rack fills (the 1,024-node control plane is only affordable
+because of it).
+
 Exits nonzero on any violation.  Intended for CI::
 
     PYTHONPATH=src python scripts/chaos_smoke.py --check
     PYTHONPATH=src python scripts/chaos_smoke.py --duration 600 --seed 11
 
 ``--check`` is the CI gate: storm invariants plus the committed
-``BENCH_sim.json`` throughput floors (single-socket *and* cluster
-ticks/sec, via ``bench.check_regression``).  Without it the bench gate
-still runs by default; ``--skip-bench`` drops it for quick local runs.
+``BENCH_sim.json`` throughput floors (single-socket, cluster, *and*
+fleet ticks/sec, via ``bench.check_regression``).  Without it the
+bench gate still runs by default; ``--skip-bench`` drops it for quick
+local runs.
 """
 
 from __future__ import annotations
@@ -243,6 +254,102 @@ def run_crash_drill(seed: int, artifact_dir: str) -> int:
     return 1 if failures else 0
 
 
+def run_fleet_drill(seed: int) -> int:
+    """A 1,024-node diurnal fleet day with one rack partitioned.
+
+    4 rows x 16 racks x 16 nodes under an oversubscribed budget at
+    4–10 % activation; ``row1/rack3`` loses its arbiter links for
+    epochs 2–4.  Checks the fleet acceptance invariants: cap-sum at or
+    under budget every epoch, the partition contained to exactly its
+    own subtree, full recovery by the final epoch, and the incremental
+    refill actually reusing cached rack fills at this scale.
+    """
+    import dataclasses
+
+    from repro.cluster import run_cluster
+    from repro.experiments.fleet_exp import fleet_config, rack_partition
+    from repro.fleet import DiurnalSchedule
+
+    schedule = DiurnalSchedule(
+        period_epochs=8,
+        base_active_fraction=0.04,
+        peak_active_fraction=0.10,
+        row_phase_epochs=2,
+    )
+    base = fleet_config(
+        4, 16, 16, schedule=schedule, epoch_ticks=1, seed=seed
+    )
+    rack = "row1/rack3"
+    start, end = 2, 5
+    config = dataclasses.replace(
+        base, transport=rack_partition(base.topology, rack, start, end)
+    )
+    run = run_cluster(config, schedule.period_epochs * config.epoch_s)
+    inside = {
+        name for name in (spec.name for spec in config.nodes)
+        if name.startswith(rack)
+    }
+    failures = []
+    for epoch, grant in enumerate(run.grants):
+        total = grant.total_w + sum(
+            w for n, w in grant.reserved_w.items() if n not in grant.caps_w
+        )
+        if total > config.budget_w + 1e-6:
+            failures.append(
+                f"fleet cap-sum {total:.3f} W over the "
+                f"{config.budget_w:.0f} W budget at epoch {epoch}"
+            )
+    ladder = set()
+    for states in run.lease_states:
+        for name, state in states.items():
+            if name in inside:
+                if state != "granted":
+                    ladder.add(state)
+            elif state != "granted":
+                failures.append(
+                    f"partition leaked: {name} outside {rack} "
+                    f"reached {state}"
+                )
+    for grant in run.grants:
+        leaked = set(grant.degraded) - inside
+        if leaked:
+            failures.append(
+                f"demand-blind grants outside the partitioned rack: "
+                f"{sorted(leaked)[:4]}"
+            )
+    if not ladder:
+        failures.append(
+            f"partitioned rack {rack} never left GRANTED: the "
+            f"partition had no effect"
+        )
+    final = run.lease_states[-1]
+    unhealed = sorted(n for n, s in final.items() if s != "granted")
+    if unhealed:
+        failures.append(
+            f"{len(unhealed)} leases not GRANTED at the final epoch: "
+            f"{unhealed[:4]}"
+        )
+    reused = sum(g.fleet_stats.get("reused", 0) for g in run.grants)
+    refilled = sum(g.fleet_stats.get("refilled", 0) for g in run.grants)
+    if reused == 0:
+        failures.append(
+            "the incremental refill never reused a rack fill at "
+            "1,024 nodes"
+        )
+    status = "FAIL" if failures else "ok"
+    idle = sum(len(s) for s in run.idle_sets)
+    print(f"[{status}] fleet drill: {len(config.nodes)} nodes, "
+          f"rack {rack} cut off epochs {start}-{end - 1} "
+          f"(ladder: {','.join(sorted(ladder)) or 'none'}), "
+          f"max cap sum {run.max_cap_sum_w():.1f} W of "
+          f"{config.budget_w:.0f} W, "
+          f"{reused} rack fills reused vs {refilled} recomputed, "
+          f"{idle} idle node-epochs skipped")
+    for failure in failures[:10]:
+        print(f"  {failure}")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--duration", type=float, default=60.0,
@@ -256,8 +363,8 @@ def main(argv: list[str] | None = None) -> int:
                              "and trace (default chaos-artifacts/)")
     parser.add_argument("--check", action="store_true",
                         help="CI mode: enforce every gate, including the "
-                             "bench throughput floors (single-socket and "
-                             "cluster ticks/sec)")
+                             "bench throughput floors (single-socket, "
+                             "cluster, and fleet ticks/sec)")
     args = parser.parse_args(argv)
     if args.check and args.skip_bench:
         parser.error("--check enforces the bench gate; drop --skip-bench")
@@ -272,6 +379,7 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     rc |= run_partition_check(args.seed)
     rc |= run_crash_drill(args.seed, args.artifact_dir)
+    rc |= run_fleet_drill(args.seed)
     if not args.skip_bench:
         # guard the simulator's throughput alongside its safety: fail
         # when ticks/sec regresses >30% against the committed baseline.

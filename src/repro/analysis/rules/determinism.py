@@ -18,7 +18,7 @@ from repro.analysis.source import SourceFile
 
 #: directories where simulated results are produced or aggregated;
 #: wall-clock and filesystem-order reads are banned here.
-DETERMINISTIC_SCOPES = ("/sim/", "/cluster/", "/experiments/")
+DETERMINISTIC_SCOPES = ("/sim/", "/cluster/", "/fleet/", "/experiments/")
 
 #: exact ``time`` module calls that read the host clock.
 WALL_CLOCK_CALLS = frozenset(

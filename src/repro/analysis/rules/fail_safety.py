@@ -17,12 +17,12 @@ shadow of that contract:
   that programs MSRs must also call a park/quarantine handler — a write
   path with no fail-safe reachable from it is exactly the bug that
   leaves a core burning at a stale frequency;
-* in ``repro/cluster/``, the same containment contract applies to the
-  control plane: every ``.send(...)`` either goes through the
-  envelope/sequence-guarded transport layer or sits inside a ``try``
-  that catches the pipe failure modes — a raw unguarded send is the
-  cluster analog of an uncontained MSR write (a cap "applied" that
-  nobody enforces).
+* in ``repro/cluster/`` and ``repro/fleet/``, the same containment
+  contract applies to the control plane: every ``.send(...)`` either
+  goes through the envelope/sequence-guarded transport layer or sits
+  inside a ``try`` that catches the pipe failure modes — a raw
+  unguarded send is the cluster analog of an uncontained MSR write (a
+  cap "applied" that nobody enforces).
 """
 
 from __future__ import annotations
@@ -37,9 +37,11 @@ from repro.analysis.source import SourceFile
 #: layer whose write paths must be containment-wrapped.
 DAEMON_SCOPE = "/core/"
 
-#: layer whose control-plane sends must be transport- or containment-
+#: layers whose control-plane sends must be transport- or containment-
 #: wrapped; the transport module itself is the designated raw layer.
-CLUSTER_SCOPE = "/cluster/"
+#: The fleet arbitration layer rides the same control plane, so the
+#: same contract applies there.
+CLUSTER_SCOPES = ("/cluster/", "/fleet/")
 TRANSPORT_MODULE = "transport.py"
 
 #: receiver-name fragments marking the guarded envelope path.
@@ -124,9 +126,9 @@ class FailSafetyRule(Rule):
         yield from self._check_retry_loops(src)
         if DAEMON_SCOPE in f"/{src.path}":
             yield from self._check_write_containment(src)
-        if CLUSTER_SCOPE in f"/{src.path}" and not src.path.endswith(
-            TRANSPORT_MODULE
-        ):
+        if any(
+            scope in f"/{src.path}" for scope in CLUSTER_SCOPES
+        ) and not src.path.endswith(TRANSPORT_MODULE):
             yield from self._check_send_containment(src)
 
     # -- broad/bare handlers ------------------------------------------------------

@@ -11,7 +11,9 @@ Usage::
     repro-power run --faults full-storm --fault-seed 7 --duration 120
     repro-power report --quick --jobs 4
     repro-power sweep --seeds 10 --jobs 4
-    repro-power faults
+    repro-power fleet --quick
+    repro-power fleet --partition-rack row1/rack3
+    repro-power faults [--json]
 
 ``--quick`` shortens runs for smoke testing; results keep their shape
 but are noisier.  ``--jobs N`` (report/sweep) fans independent runs
@@ -299,6 +301,120 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.fleet_exp import (
+        fleet_config,
+        fleet_rollup,
+        oversubscription_report,
+        rack_partition,
+        run_fleet_experiment,
+    )
+    from repro.fleet import DiurnalSchedule, grid_topology
+
+    if args.quick:
+        rows, racks, rack_nodes, epoch_ticks = 2, 2, 8, 4
+    else:
+        rows, racks, rack_nodes, epoch_ticks = (
+            args.rows, args.racks, args.rack_nodes, args.epoch_ticks
+        )
+    schedule = DiurnalSchedule(
+        period_epochs=args.period,
+        base_active_fraction=args.trough,
+        peak_active_fraction=args.peak,
+        row_phase_epochs=args.row_phase,
+    )
+    transport = None
+    if args.partition_rack is not None:
+        topology, _ = grid_topology(rows, racks, rack_nodes)
+        transport = rack_partition(
+            topology,
+            args.partition_rack,
+            args.partition_start,
+            args.partition_end,
+        )
+    config = fleet_config(
+        rows,
+        racks,
+        rack_nodes,
+        seed=args.seed,
+        schedule=schedule,
+        budget_w=args.budget,
+        transport=transport,
+        crash_faults=args.crash_faults,
+        lease_ttl_epochs=args.lease_ttl,
+        epoch_ticks=epoch_ticks,
+        engine=args.engine,
+    )
+    forecast = oversubscription_report(config)
+    n_nodes = len(config.nodes)
+    print(render_kv(
+        {
+            "nodes": f"{rows} rows x {racks} racks x {rack_nodes} "
+                     f"= {n_nodes}",
+            "budget_w": f"{config.budget_w:.1f}",
+            "sum_ceilings_w": f"{forecast.ceiling_sum_w:.1f}",
+            "oversubscription": f"{forecast.ratio:.2f}x",
+            "forecast_peak_w": f"{forecast.peak_demand_w:.1f}",
+            "forecast_margin_w": f"{forecast.margin_w:.1f}",
+            "statistically_safe": str(forecast.safe).lower(),
+        },
+        title="Fleet — oversubscribed facility budget",
+    ))
+    cache = ResultCache.from_env(enabled=not args.no_cache)
+    result = run_fleet_experiment(
+        config,
+        duration_s=(
+            args.days * args.period * config.epoch_s
+            if args.days is not None else None
+        ),
+        jobs=args.jobs,
+        cache=cache,
+    )
+    print(render_table(fleet_rollup(result), title=(
+        f"Row roll-up — diurnal day, {result.duration_s:.0f}s "
+        f"simulated"
+    )))
+    total_epochs = int(result.duration_s / config.epoch_s)
+    print(
+        f"invariant: max cap sum {result.max_cap_sum_w:.1f} W of "
+        f"{config.budget_w:.1f} W budget over {total_epochs} epochs; "
+        f"violations {result.cap_violations}"
+    )
+    print(
+        f"SLO attainment {result.slo_attainment:.3f} "
+        f"(throttle <= 0.25 on active node-epochs); "
+        f"{result.shed_grants} grants shed to floor; "
+        f"{result.idle_node_epochs} idle node-epochs skipped"
+    )
+    refills = result.fleet_refilled + result.fleet_reused
+    reuse_pct = 100.0 * result.fleet_reused / refills if refills else 0.0
+    print(
+        f"incremental arbitration: {result.fleet_refilled} rack "
+        f"water-fills recomputed, {result.fleet_reused} reused from "
+        f"clean subtrees ({reuse_pct:.0f}% reuse)"
+    )
+    if transport is not None:
+        print(
+            f"rack partition {args.partition_rack} epochs "
+            f"{args.partition_start}-{args.partition_end}: "
+            f"{result.safe_node_epochs} safe node-epochs, "
+            f"{result.degraded_grants} degraded grants "
+            f"(contained to {rack_nodes} nodes)"
+        )
+    if args.crash_faults is not None:
+        print(
+            f"crash faults ({args.crash_faults}): "
+            f"{result.crash_recoveries} arbiter recoveries, "
+            f"{result.node_restarts} node restarts"
+        )
+    if cache is not None:
+        print(f"cache: {cache.stats.hits} hits, "
+              f"{cache.stats.misses} misses, "
+              f"{cache.stats.stores} stored")
+    return 0
+
+
 def _cmd_gaming(args) -> int:
     from repro.experiments.gaming_exp import run_gaming_experiment
 
@@ -474,8 +590,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     list_parser = sub.add_parser("list", help="list available experiments")
-    sub.add_parser(
+    faults_parser = sub.add_parser(
         "faults", help="list fault-injection scenarios for --faults"
+    )
+    faults_parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable listing (all scenario fields, one JSON "
+             "object keyed by scenario family)",
     )
     for name in _COMMANDS:
         exp_parser = sub.add_parser(name, help=f"regenerate {name}")
@@ -570,6 +691,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine for every node stack (default: "
              "REPRO_SIM_ENGINE or 'array'; results are bit-identical)",
     )
+    fleet = sub.add_parser(
+        "fleet",
+        help="facility -> row -> rack -> node hierarchy at 1,000+ "
+             "nodes: diurnal traffic under an oversubscribed budget",
+    )
+    fleet.add_argument("--rows", type=int, default=4,
+                       help="rows in the facility (default 4)")
+    fleet.add_argument("--racks", type=int, default=8, metavar="N",
+                       help="racks per row (default 8)")
+    fleet.add_argument("--rack-nodes", type=int, default=32, metavar="N",
+                       help="nodes per rack (default 32; 4x8x32=1024)")
+    fleet.add_argument(
+        "--budget", type=float, default=None,
+        help="facility budget, watts (default: 1.02x the forecast "
+             "diurnal peak — statistically-safe oversubscription)",
+    )
+    fleet.add_argument("--period", type=int, default=24, metavar="EPOCHS",
+                       help="diurnal period length (default 24)")
+    fleet.add_argument("--trough", type=float, default=0.15,
+                       help="active fraction at the diurnal trough")
+    fleet.add_argument("--peak", type=float, default=0.65,
+                       help="active fraction at the diurnal peak")
+    fleet.add_argument(
+        "--row-phase", type=int, default=2, metavar="EPOCHS",
+        help="phase shift between rows (traffic rolls across the fleet)",
+    )
+    fleet.add_argument(
+        "--days", type=float, default=None,
+        help="periods to simulate (default 1.0 — one full day)",
+    )
+    fleet.add_argument("--epoch-ticks", type=int, default=10,
+                       help="daemon iterations per arbitration epoch")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--partition-rack", default=None, metavar="ROW/RACK",
+        help="sever one whole rack from the arbiter (e.g. row1/rack3); "
+             "only that subtree degrades to floors and SAFE",
+    )
+    fleet.add_argument(
+        "--partition-start", type=int, default=8, metavar="EPOCH",
+        help="partition window start (with --partition-rack)",
+    )
+    fleet.add_argument(
+        "--partition-end", type=int, default=14, metavar="EPOCH",
+        help="partition window end, exclusive (with --partition-rack)",
+    )
+    fleet.add_argument(
+        "--crash-faults", default=None, metavar="SCENARIO",
+        help="inject a named crash scenario (see 'repro-power faults')",
+    )
+    fleet.add_argument(
+        "--lease-ttl", type=int, default=3, metavar="EPOCHS",
+        help="cap-lease TTL in epochs",
+    )
+    fleet.add_argument(
+        "--quick", action="store_true",
+        help="small smoke fleet (2x2x8 nodes, short epochs)",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="step nodes across N worker processes (byte-identical "
+             "to serial)",
+    )
+    fleet.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache",
+    )
+    fleet.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="simulation engine for every node stack",
+    )
     sweep = sub.add_parser(
         "sweep", help="seeded random-mix sweep (generalized Fig 11)"
     )
@@ -637,7 +829,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for name in sorted(_COMMANDS) + [
-            "cluster", "lint", "run", "sweep", "watch"
+            "cluster", "fleet", "lint", "run", "sweep", "watch"
         ]:
             print(name)
         return 0
@@ -648,6 +840,26 @@ def main(argv: list[str] | None = None) -> int:
             TRANSPORT_SCENARIOS,
         )
 
+        if args.json:
+            import dataclasses
+            import json
+
+            payload = {
+                "daemon": {
+                    name: dataclasses.asdict(s)
+                    for name, s in SCENARIOS.items()
+                },
+                "transport": {
+                    name: dataclasses.asdict(s)
+                    for name, s in TRANSPORT_SCENARIOS.items()
+                },
+                "crash": {
+                    name: dataclasses.asdict(s)
+                    for name, s in CRASH_SCENARIOS.items()
+                },
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         width = max(
             len(name)
             for name in (
@@ -700,6 +912,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "cluster":
             return _cmd_cluster(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

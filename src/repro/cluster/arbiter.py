@@ -70,6 +70,11 @@ DEMAND_SLACK = 1.25
 #: numeric tolerance on the cap-sum invariant before trimming.
 _SUM_TOLERANCE = 1e-9
 
+#: allowed drift between the incrementally-maintained cap sum and a
+#: full rescan (float addition is not associative, so the two
+#: accumulate in different orders; at fleet scale the gap is ~1e-9).
+_SUM_DRIFT_TOLERANCE = 1e-6
+
 
 @dataclass(frozen=True)
 class Arbitration:
@@ -85,6 +90,13 @@ class Arbitration:
     degraded: tuple[str, ...] = ()
     #: silent members' reservations (a subset of ``caps_w``).
     reserved_w: dict[str, float] = field(default_factory=dict)
+    #: members whose demand lost the oversubscription bet this round:
+    #: they asked for more than their floor but the water-fill pinned
+    #: them at it (fleet arbitration; empty on the flat path).
+    shed: tuple[str, ...] = ()
+    #: fleet arbitration counters (racks refilled vs reused, dirty
+    #: nodes); empty on the flat path.
+    fleet_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_w(self) -> float:
@@ -103,6 +115,10 @@ class ClusterArbiter:
         self._members: set[str] = set()
         #: the caps of the last arbitration round.
         self._caps: dict[str, float] = {}
+        #: incrementally-maintained sum of ``_caps`` — kept in lock
+        #: step with every grant/retire so :meth:`check_invariant` is
+        #: O(1) instead of rescanning the fleet every epoch.
+        self._cap_sum = 0.0
         #: last usable demand report per node (held over when a tick
         #: storm produces an empty epoch).
         self._last_report: dict[str, NodeEpochReport] = {}
@@ -133,11 +149,17 @@ class ClusterArbiter:
         """Remove announced leavers / detected crashers."""
         for name in names:
             self._members.discard(name)
-            self._caps.pop(name, None)
+            self._drop_cap(name)
             self._last_report.pop(name, None)
             self._last_seen.pop(name, None)
             self._last_fresh.pop(name, None)
             self._admitted_at.pop(name, None)
+
+    def _drop_cap(self, name: str) -> None:
+        """Forget a member's cap, keeping the maintained sum honest."""
+        cap = self._caps.pop(name, None)
+        if cap is not None:
+            self._cap_sum -= cap
 
     def readmit(self, name: str, epoch: int) -> None:
         """Re-admit a rebooted member without double-counting it.
@@ -176,6 +198,7 @@ class ClusterArbiter:
     def restore(self, state: dict) -> None:
         self._members = set(state["members"])
         self._caps = dict(state["caps"])
+        self._cap_sum = sum(self._caps.values())
         self._last_report = dict(state["last_report"])
         self._last_seen = dict(state["last_seen"])
         self._last_fresh = dict(state["last_fresh"])
@@ -215,13 +238,52 @@ class ClusterArbiter:
                     self._last_fresh[name] = epoch
         if not self._members:
             self._caps = {}
+            self._cap_sum = 0.0
             return Arbitration(epoch, {}, {})
         for name in self._members:
             self._admitted_at.setdefault(name, epoch)
 
         live, reserved, degraded = self._classify(epoch)
-        budget = self.budget_w - sum(reserved.values())
+        reserved_sum = sum(reserved[name] for name in sorted(reserved))
+        budget = self.budget_w - reserved_sum
 
+        caps = dict(reserved)
+        group_pools, shed, stats, live_sum = self._arbitrate(
+            epoch, live, budget, caps, degraded
+        )
+        total = self._trim(caps, reserved_sum + live_sum)
+        self._caps = caps
+        self._cap_sum = total
+        return Arbitration(
+            epoch,
+            dict(caps),
+            group_pools,
+            degraded=tuple(sorted(degraded)),
+            reserved_w=dict(reserved),
+            shed=shed,
+            fleet_stats=stats,
+        )
+
+    def _arbitrate(
+        self,
+        epoch: int,
+        live: list[str],
+        budget: float,
+        caps: dict[str, float],
+        degraded: list[str],
+    ) -> tuple[dict[str, float], tuple[str, ...], dict[str, int], float]:
+        """Water-fill the bidding budget over the live members.
+
+        Fills ``caps`` in place (on top of the reservations already
+        there), appends demand-blind members to ``degraded``, and
+        returns ``(pools, shed, stats, live_sum)`` — the per-group (or
+        per-domain) pools, the members shed to their floors under
+        contention, arbitration counters, and the float sum of the
+        caps placed (so the caller can maintain the cap-sum
+        incrementally).  This flat two-level implementation is the
+        PR-3 arbiter; :class:`repro.fleet.arbiter.FleetArbiter`
+        overrides it with the hierarchical dirty-subtree scheme.
+        """
         claims_by_group: dict[str, list[Claim]] = {}
         for name in live:
             spec = self.config.node(name)
@@ -235,21 +297,15 @@ class ClusterArbiter:
             group = self.config.group_of(spec)
             claims_by_group.setdefault(group, []).append(claim)
 
-        caps = dict(reserved)
         group_pools: dict[str, float] = {}
+        live_sum = 0.0
         if claims_by_group:
             group_pools = self._split_groups(claims_by_group, budget)
             for group, claims in claims_by_group.items():
-                caps.update(refill_pool(group_pools[group], claims))
-        self._trim(caps)
-        self._caps = caps
-        return Arbitration(
-            epoch,
-            dict(caps),
-            group_pools,
-            degraded=tuple(sorted(degraded)),
-            reserved_w=dict(reserved),
-        )
+                fill = refill_pool(group_pools[group], claims)
+                caps.update(fill)
+                live_sum += sum(fill[c.label] for c in claims)
+        return group_pools, (), {}, live_sum
 
     def _classify(
         self, epoch: int
@@ -367,30 +423,57 @@ class ClusterArbiter:
         ]
         return refill_pool(budget_w, group_claims)
 
-    def _trim(self, caps: dict[str, float]) -> None:
+    def _trim(self, caps: dict[str, float], total: float) -> float:
         """Shave the water-filling bisection residue so the cap sum is
         *exactly* at or under budget, largest caps first (never below a
-        node's floor)."""
-        excess = sum(caps.values()) - self.budget_w
+        node's floor).  Returns the post-trim total."""
+        excess = total - self.budget_w
         if excess <= _SUM_TOLERANCE:
-            return
+            return total
+        shaved = 0.0
         for name in sorted(caps, key=lambda n: (-caps[n], n)):
             floor = self.config.node(name).min_cap_w
             give = min(excess, caps[name] - floor)
             if give > 0:
                 caps[name] -= give
                 excess -= give
+                shaved += give
             if excess <= 0:
-                return
+                break
         if excess > _SUM_TOLERANCE:  # pragma: no cover - config validation
             raise ConfigError(
                 "cap floors exceed the cluster budget; config validation "
                 "should have rejected this"
             )
+        self._caches_invalidated()
+        return total - shaved
 
-    def check_invariant(self) -> None:
-        """Raise unless live caps sum to at most the budget."""
-        total = sum(self._caps.values())
+    def _caches_invalidated(self) -> None:
+        """Hook: the trim mutated caps behind any incremental caches.
+
+        The flat arbiter keeps none; the fleet arbiter drops its
+        per-rack reuse caches so the next epoch re-fills from scratch.
+        """
+
+    def check_invariant(self, *, full: bool = False) -> None:
+        """Raise unless live caps sum to at most the budget.
+
+        The per-epoch check reads the incrementally-maintained sum —
+        O(1), so a 1,000-node fleet pays nothing for the safety net.
+        ``full=True`` additionally rescans the caps dict and verifies
+        the maintained sum has not drifted from it (a debugging /
+        regression-test mode; float addition order differs between the
+        two, hence the drift tolerance).
+        """
+        total = self._cap_sum
+        if full:
+            rescan = sum(self._caps.values())
+            if abs(rescan - total) > _SUM_DRIFT_TOLERANCE:
+                raise ConfigError(
+                    f"cap-sum accounting drift: maintained "
+                    f"{total:.9f} W vs rescanned {rescan:.9f} W"
+                )
+            total = rescan
         if total > self.budget_w + _SUM_TOLERANCE:
             raise ConfigError(
                 f"cap invariant violated: {total:.6f} W granted against "

@@ -30,9 +30,17 @@ from repro.core.types import Priority
 from repro.errors import ConfigError
 from repro.faults import (
     CrashScenario,
+    LinkPartition,
+    TransportScenario,
     get_crash_scenario,
     get_scenario,
     get_transport_scenario,
+)
+from repro.fleet.schedule import DiurnalSchedule
+from repro.fleet.topology import (
+    DomainSpec,
+    domain_from_jsonable,
+    validate_topology,
 )
 from repro.hw.platform import get_platform
 
@@ -144,10 +152,12 @@ class ClusterConfig:
     tick_s: float = 5e-3
     #: master seed; per-node fault seeds derive from it.
     seed: int = 0
-    #: named control-plane fault scenario (``repro.faults.
-    #: TRANSPORT_SCENARIOS``); ``None`` keeps the transport quiet —
-    #: every envelope delivered, byte-identical to the PR 3 runtime.
-    transport: str | None = None
+    #: control-plane fault scenario: a name from ``repro.faults.
+    #: TRANSPORT_SCENARIOS`` or an inline :class:`TransportScenario`
+    #: (fleet experiments build rack-partition scenarios on the fly);
+    #: ``None`` keeps the transport quiet — every envelope delivered,
+    #: byte-identical to the PR 3 runtime.
+    transport: str | TransportScenario | None = None
     #: cap-lease TTL in arbitration epochs: how long a node keeps
     #: enforcing a grant it cannot renew before stepping down, and how
     #: long the arbiter reserves a silent node's budget.
@@ -159,6 +169,13 @@ class ClusterConfig:
     #: simulation engine for every node stack (``"array"``/``"scalar"``);
     #: bit-identical by contract, so the result cache ignores it.
     engine: str = field(default_factory=default_engine)
+    #: hierarchical budget-domain tree (facility → row → rack → node);
+    #: ``None`` keeps the flat two-level groups arbitration.  Mutually
+    #: exclusive with ``groups``.
+    topology: DomainSpec | None = None
+    #: diurnal traffic curve driving per-epoch node activation; needs a
+    #: topology (rows phase the curve).  ``None`` keeps every node busy.
+    schedule: DiurnalSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.budget_w <= 0:
@@ -178,7 +195,7 @@ class ClusterConfig:
                 f"unknown engine {self.engine!r}; "
                 "expected 'scalar' or 'array'"
             )
-        if self.transport is not None:
+        if isinstance(self.transport, str):
             get_transport_scenario(self.transport)  # validate early
         if self.crash_faults is not None:
             crash = get_crash_scenario(self.crash_faults)
@@ -217,6 +234,22 @@ class ClusterConfig:
                 f"sum of node cap floors ({floor_sum:.1f} W) exceeds the "
                 f"cluster budget ({self.budget_w:.1f} W)"
             )
+        if self.topology is not None:
+            if self.groups:
+                raise ConfigError(
+                    "topology and groups are mutually exclusive shares "
+                    "trees; declare one or the other"
+                )
+            validate_topology(
+                self.topology,
+                tuple(node.name for node in self.nodes),
+                {node.name: node.min_cap_w for node in self.nodes},
+            )
+        if self.schedule is not None and self.topology is None:
+            raise ConfigError(
+                "a diurnal schedule needs a topology (rows phase the "
+                "traffic curve)"
+            )
 
     @property
     def epoch_s(self) -> float:
@@ -224,10 +257,25 @@ class ClusterConfig:
         return self.epoch_ticks * self.interval_s
 
     def node(self, name: str) -> NodeSpec:
-        for spec in self.nodes:
-            if spec.name == name:
-                return spec
-        raise ConfigError(f"no node {name!r} in cluster config")
+        # the arbiter resolves specs per member per epoch: at fleet
+        # scale a linear scan here would be O(n^2) per rebalance, so
+        # the index is built once and memoized on the frozen instance
+        index = self.__dict__.get("_node_by_name")
+        if index is None:
+            index = {spec.name: spec for spec in self.nodes}
+            object.__setattr__(self, "_node_by_name", index)
+        try:
+            return index[name]
+        except KeyError:
+            raise ConfigError(
+                f"no node {name!r} in cluster config"
+            ) from None
+
+    def transport_scenario(self) -> TransportScenario | None:
+        """Resolve the transport field (named or inline) to a scenario."""
+        if isinstance(self.transport, str):
+            return get_transport_scenario(self.transport)
+        return self.transport
 
     def node_fault_seed(self, index: int, incarnation: int = 0) -> int:
         """Deterministic per-node fault seed derived from the master.
@@ -271,6 +319,13 @@ def cluster_config_to_jsonable(config: ClusterConfig) -> dict:
     # enforces it), so a result computed by either must hit for both —
     # and keys stay byte-compatible with pre-engine cache entries.
     raw.pop("engine", None)
+    # unset fleet fields are dropped so pre-fleet configs keep their
+    # exact cache keys (asdict already expanded an inline transport
+    # scenario and the topology/schedule dataclasses to plain dicts)
+    if raw.get("topology") is None:
+        raw.pop("topology", None)
+    if raw.get("schedule") is None:
+        raw.pop("schedule", None)
     for node in raw["nodes"]:
         for app in node["apps"]:
             app["priority"] = app["priority"].name
@@ -291,6 +346,23 @@ def cluster_config_from_jsonable(data: dict) -> ClusterConfig:
         )
         nodes.append(NodeSpec(**{**node, "apps": apps}))
     groups = tuple(GroupSpec(**group) for group in data.get("groups", ()))
+    extra: dict = {}
+    transport = data.get("transport")
+    if isinstance(transport, dict):
+        extra["transport"] = TransportScenario(
+            **{
+                **transport,
+                "partitions": tuple(
+                    LinkPartition(**p) for p in transport["partitions"]
+                ),
+            }
+        )
+    topology = data.get("topology")
+    if topology is not None:
+        extra["topology"] = domain_from_jsonable(topology)
+    schedule = data.get("schedule")
+    if schedule is not None:
+        extra["schedule"] = DiurnalSchedule(**schedule)
     return ClusterConfig(
-        **{**data, "nodes": tuple(nodes), "groups": groups}
+        **{**data, "nodes": tuple(nodes), "groups": groups, **extra}
     )

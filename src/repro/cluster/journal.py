@@ -94,9 +94,10 @@ class RecoveredState:
     arbiter: dict | None
     guard: dict[str, int]
     leases: dict[str, dict]
-    #: per fenced epoch: (epoch, caps_w, safe, down, restarts).
+    #: per fenced epoch: (epoch, caps_w, safe, down, restarts, idle).
     steps: tuple[tuple[int, dict[str, float], tuple[str, ...],
-                       tuple[str, ...], tuple[str, ...]], ...]
+                       tuple[str, ...], tuple[str, ...],
+                       tuple[str, ...]], ...]
 
 
 class Journal:
@@ -169,6 +170,8 @@ class Journal:
                     tuple(entry.data["safe"]),
                     tuple(entry.data["down"]),
                     tuple(entry.data["restarts"]),
+                    # pre-fleet journals carry no idle set
+                    tuple(entry.data.get("idle", ())),
                 ))
         return RecoveredState(
             last_fenced_epoch=self._last_fenced,

@@ -39,6 +39,11 @@ from repro.cluster.config import ClusterConfig, NodeSpec
 from repro.config import ExperimentConfig, ExperimentStack, build_stack
 from repro.errors import ConfigError
 
+#: synthetic draw an idle node reports, as a fraction of its cap floor.
+#: Below 1.0 by construction: idle demand must water-fill to the floor
+#: (never above it) and stay constant so idle racks arbitrate clean.
+IDLE_POWER_FRACTION = 0.6
+
 
 @dataclass(frozen=True)
 class NodeEpochReport:
@@ -236,6 +241,41 @@ class ClusterNode:
         n_ticks, crashed = self.begin_epoch(cap_w, t0, t1, safe_mode)
         self.stack.engine.run_ticks(n_ticks)
         return self.finish_epoch(epoch, cap_w, t1, crashed)
+
+    def idle_report(
+        self, epoch: int, cap_w: float, t0: float, t1: float
+    ) -> NodeEpochReport:
+        """The epoch's report for a node the schedule left idle.
+
+        An idle node serves no traffic, so its simulation is not
+        advanced at all — the fleet-scale sparsity win: 10 daemon
+        iterations of an empty machine cost one dataclass here.  It
+        still reports every epoch (keeping its lease GRANTED and its
+        liveness fresh) with a constant synthetic draw below its cap
+        floor, so its demand claim pins to the floor and never dirties
+        its rack in the arbiter's incremental scheme.  A crash window
+        opening mid-epoch still kills it — death does not wait for
+        traffic.
+        """
+        crash_at = self.spec.crashes_at_s
+        crashed = crash_at is not None and t0 < crash_at <= t1
+        if crashed:
+            self._crashed = True
+        idle_power = IDLE_POWER_FRACTION * self.spec.min_cap_w
+        return NodeEpochReport(
+            name=self.spec.name,
+            epoch=epoch,
+            t_end_s=t1,
+            cap_w=cap_w,
+            mean_power_w=idle_power,
+            throttle_pressure=0.0,
+            headroom_w=max(cap_w - idle_power, 0.0),
+            parked_cores=len(self.spec.apps),
+            quarantined_cores=0,
+            samples=self._cluster.epoch_ticks,
+            mode="normal",
+            crashed=crashed,
+        )
 
     def _report(
         self, epoch: int, cap_w: float, t_end_s: float, window, crashed: bool

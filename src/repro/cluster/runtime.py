@@ -60,7 +60,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster.arbiter import Arbitration, ClusterArbiter
+from repro.cluster.arbiter import Arbitration
 from repro.cluster.config import ClusterConfig
 from repro.cluster.journal import Journal
 from repro.cluster.lease import LEASE_CODES, NodeLease
@@ -79,6 +79,8 @@ from repro.cluster.transport import (
 )
 from repro.errors import ConfigError, SimulationError
 from repro.faults.scenario import TransportScenario, get_transport_scenario
+from repro.fleet.arbiter import make_arbiter
+from repro.fleet.topology import leaf_racks, rack_row_indices
 
 
 @dataclass
@@ -99,6 +101,9 @@ class ClusterRun:
     crash_recoveries: int = 0
     #: ``(epoch, node)`` for every node reboot the run executed.
     node_restarts: list[tuple[int, str]] = field(default_factory=list)
+    #: per epoch: the nodes the diurnal schedule left idle (empty sets
+    #: on flat runs with no schedule).
+    idle_sets: list[frozenset[str]] = field(default_factory=list)
     #: the write-ahead journal the run appended to.
     journal: Journal | None = None
 
@@ -118,7 +123,7 @@ class ClusterSim:
 
     def __init__(self, config: ClusterConfig, *, jobs: int | None = None):
         self.config = config
-        self.arbiter = ClusterArbiter(config)
+        self.arbiter = make_arbiter(config)
         self.trace = ClusterTrace()
         self.journal = Journal()
         self._jobs = jobs
@@ -147,13 +152,23 @@ class ClusterSim:
         self._down: set[str] = set()
         self.crash_recoveries = 0
         self.node_restarts: list[tuple[int, str]] = []
+        #: diurnal-schedule structure: (rack member names, row index)
+        #: per rack, precomputed once; empty without a schedule.
+        self._sched_racks: tuple[tuple[tuple[str, ...], int], ...] = ()
+        if config.schedule is not None and config.topology is not None:
+            rows = rack_row_indices(config.topology)
+            self._sched_racks = tuple(
+                (rack.nodes, rows[rack.name])
+                for rack in leaf_racks(config.topology)
+            )
 
     @staticmethod
     def _scenario(config: ClusterConfig) -> TransportScenario:
         """Resolve the transport: explicit config beats the crash
         scenario's companion transport beats quiet."""
-        if config.transport is not None:
-            return get_transport_scenario(config.transport)
+        explicit = config.transport_scenario()
+        if explicit is not None:
+            return explicit
         companion = config.crash_scenario().transport
         if companion is not None:
             return get_transport_scenario(companion)
@@ -228,7 +243,7 @@ class ClusterSim:
                 f"arbiter crash at epoch {epoch} but the journal holds "
                 f"no arbitration entry for it"
             )
-        fresh = ClusterArbiter(self.config)
+        fresh = make_arbiter(self.config)
         fresh.restore(entry.data["arbiter"])
         self.arbiter = fresh
         guard = SequenceGuard(self.transport.stats)
@@ -242,6 +257,8 @@ class ClusterSim:
             group_pools_w=dict(entry.data["pools"]),
             degraded=tuple(entry.data["degraded"]),
             reserved_w=dict(entry.data["reserved"]),
+            shed=tuple(entry.data.get("shed", ())),
+            fleet_stats=dict(entry.data.get("stats", {})),
         )
 
     # -- epoch phases ------------------------------------------------------------
@@ -313,6 +330,29 @@ class ClusterSim:
                 ),
                 epoch,
             )
+
+    def _idle_set(
+        self, epoch: int, caps_w: dict[str, float]
+    ) -> frozenset[str]:
+        """Nodes the diurnal schedule leaves without traffic this epoch.
+
+        Within each rack the first ``k`` members (rack declaration
+        order) are active; the rest are idle.  Pure arithmetic on the
+        epoch counter, decided here in the parent so serial, stacked,
+        and fork stepping see the identical set.  Down nodes and
+        un-granted nodes are excluded — crash windows outrank idleness.
+        """
+        if not self._sched_racks:
+            return frozenset()
+        schedule = self.config.schedule
+        assert schedule is not None
+        idle: set[str] = set()
+        for members, row in self._sched_racks:
+            k = schedule.active_count(len(members), epoch, row)
+            for name in members[k:]:
+                if name in caps_w and name not in self._down:
+                    idle.add(name)
+        return frozenset(idle)
 
     def _observe_leases(
         self, epoch: int
@@ -389,6 +429,8 @@ class ClusterSim:
                         "pools": dict(grant.group_pools_w),
                         "degraded": list(grant.degraded),
                         "reserved": dict(grant.reserved_w),
+                        "shed": list(grant.shed),
+                        "stats": dict(grant.fleet_stats),
                         "arbiter": self.arbiter.snapshot(),
                         "guard": self._arbiter_guard.snapshot(),
                         "seq": self._seqs.get(ARBITER, 0),
@@ -398,6 +440,7 @@ class ClusterSim:
                     grant = self._recover_arbiter(epoch)
                 self._send_grants(epoch, grant)
                 caps_w, safe_names = self._observe_leases(epoch)
+                idle = self._idle_set(epoch, caps_w)
                 self.journal.append(
                     "leases",
                     epoch,
@@ -414,6 +457,7 @@ class ClusterSim:
                         "safe": sorted(safe_names),
                         "down": sorted(self._down),
                         "restarts": sorted(restarts),
+                        "idle": sorted(idle),
                     },
                 )
                 reports = stepper.step(
@@ -424,6 +468,7 @@ class ClusterSim:
                     safe_names,
                     frozenset(self._down),
                     restarts,
+                    idle,
                 )
                 self._send_reports(epoch, reports)
                 self.trace.record_epoch(
@@ -433,6 +478,13 @@ class ClusterSim:
                     name: self._leases[name].state.value
                     for name in sorted(self._leases)
                 }
+                fleet_counters = None
+                if self.config.topology is not None:
+                    fleet_counters = {
+                        **grant.fleet_stats,
+                        "shed": len(grant.shed),
+                        "idle": len(idle),
+                    }
                 self.trace.record_control(
                     t1,
                     transport_epoch=self.transport.stats.take_epoch(),
@@ -446,10 +498,12 @@ class ClusterSim:
                     crash_recoveries=(
                         1 if epoch in self._arbiter_crashes else 0
                     ),
+                    fleet=fleet_counters,
                 )
                 run.grants.append(grant)
                 run.reports.append(reports)
                 run.lease_states.append(lease_states)
+                run.idle_sets.append(idle)
                 self.journal.append(
                     "fence",
                     epoch,
@@ -511,7 +565,7 @@ def recover_cluster_sim(
         sim._leases[name] = lease
     epoch_s = config.epoch_s
     stepper = sim._ensure_stepper()
-    for epoch, caps_w, safe, down, restarts in state.steps:
+    for epoch, caps_w, safe, down, restarts, idle in state.steps:
         t0 = epoch * epoch_s
         # reports are discarded: their downstream effects (envelopes,
         # grants, trace) are already part of the fenced checkpoint
@@ -523,6 +577,7 @@ def recover_cluster_sim(
             frozenset(safe),
             frozenset(down),
             frozenset(restarts),
+            frozenset(idle),
         )
     return sim, state.last_fenced_epoch + 1
 

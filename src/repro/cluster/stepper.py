@@ -40,15 +40,19 @@ def _step_nodes(
     safe_names: frozenset[str],
     down: frozenset[str],
     restarts: frozenset[str],
+    idle: frozenset[str],
 ) -> list[NodeEpochReport]:
     """Step one node subset — the single code path both steppers share.
 
     ``restarts`` names nodes rebooting at this boundary (old incarnation
     discarded, fresh stack built with the safe latch held); ``down``
     names nodes inside a crash window — their simulation does not run
-    and they file no report, exactly like a dead machine.  Both sets are
-    decided in the parent, so serial and fork-parallel stepping stay
-    byte-identical under crash faults.
+    and they file no report, exactly like a dead machine.  ``idle``
+    names nodes the diurnal schedule left without traffic: their
+    simulation is frozen for the epoch and a synthetic idle report
+    filed instead (see :meth:`ClusterNode.idle_report`).  All three
+    sets are decided in the parent, so serial and fork-parallel
+    stepping stay byte-identical under crash and schedule faults.
     """
     reports: list[NodeEpochReport] = []
     for node in nodes:
@@ -58,6 +62,11 @@ def _step_nodes(
         if name in down:
             continue
         if name in caps_w and node.active_in(t0, t1):
+            if name in idle:
+                reports.append(
+                    node.idle_report(epoch, caps_w[name], t0, t1)
+                )
+                continue
             reports.append(
                 node.step_epoch(
                     epoch,
@@ -87,9 +96,11 @@ class SerialNodeStepper:
         safe_names: frozenset[str] = frozenset(),
         down: frozenset[str] = frozenset(),
         restarts: frozenset[str] = frozenset(),
+        idle: frozenset[str] = frozenset(),
     ) -> dict[str, NodeEpochReport]:
         reports = _step_nodes(
-            self.nodes, epoch, t0, t1, caps_w, safe_names, down, restarts
+            self.nodes, epoch, t0, t1, caps_w, safe_names, down, restarts,
+            idle,
         )
         return {report.name: report for report in reports}
 
@@ -125,7 +136,9 @@ class StackedNodeStepper(SerialNodeStepper):
         safe_names: frozenset[str] = frozenset(),
         down: frozenset[str] = frozenset(),
         restarts: frozenset[str] = frozenset(),
+        idle: frozenset[str] = frozenset(),
     ) -> dict[str, NodeEpochReport]:
+        idle_reports: list[NodeEpochReport] = []
         pending: list[tuple[ClusterNode, int, bool]] = []
         for node in self.nodes:
             name = node.spec.name
@@ -134,6 +147,12 @@ class StackedNodeStepper(SerialNodeStepper):
             if name in down:
                 continue
             if name in caps_w and node.active_in(t0, t1):
+                if name in idle:
+                    # schedule says no traffic: skip the batch entirely
+                    idle_reports.append(
+                        node.idle_report(epoch, caps_w[name], t0, t1)
+                    )
+                    continue
                 n_ticks, crashed = node.begin_epoch(
                     caps_w[name], t0, t1, safe_mode=name in safe_names
                 )
@@ -152,6 +171,8 @@ class StackedNodeStepper(SerialNodeStepper):
                 epoch, caps_w[node.spec.name], t1, crashed
             )
             reports[report.name] = report
+        for report in idle_reports:
+            reports[report.name] = report
         return reports
 
 
@@ -163,10 +184,13 @@ def _worker_main(config: ClusterConfig, indices: list[int], conn) -> None:
             message = conn.recv()
             if message[0] == "stop":
                 return
-            _, epoch, t0, t1, caps_w, safe_names, down, restarts = message
+            (
+                _, epoch, t0, t1, caps_w, safe_names, down, restarts, idle,
+            ) = message
             try:
                 reports = _step_nodes(
-                    nodes, epoch, t0, t1, caps_w, safe_names, down, restarts
+                    nodes, epoch, t0, t1, caps_w, safe_names, down, restarts,
+                    idle,
                 )
             # worker boundary: any failure is serialized to the parent
             # and re-raised there, so nothing is swallowed
@@ -209,11 +233,15 @@ class ParallelNodeStepper:
         safe_names: frozenset[str] = frozenset(),
         down: frozenset[str] = frozenset(),
         restarts: frozenset[str] = frozenset(),
+        idle: frozenset[str] = frozenset(),
     ) -> dict[str, NodeEpochReport]:
         for _, conn in self._workers:
             try:
                 conn.send(
-                    ("step", epoch, t0, t1, caps_w, safe_names, down, restarts)
+                    (
+                        "step", epoch, t0, t1, caps_w, safe_names, down,
+                        restarts, idle,
+                    )
                 )
             except (BrokenPipeError, OSError) as exc:
                 self.close()

@@ -81,6 +81,7 @@ class ClusterTrace:
         degraded_grants: int,
         restarts: int = 0,
         crash_recoveries: int = 0,
+        fleet: dict[str, int] | None = None,
     ) -> None:
         """Fold one epoch's control-plane health into the series.
 
@@ -89,7 +90,11 @@ class ClusterTrace:
         name to its :data:`~repro.cluster.lease.LEASE_CODES` value at
         the end of the epoch; ``restarts`` counts node reboots executed
         at this epoch's boundary and ``crash_recoveries`` arbiter
-        crashes redone from the journal this epoch.
+        crashes redone from the journal this epoch.  ``fleet`` carries
+        hierarchical-arbitration counters (racks refilled vs reused,
+        shed members, idle nodes) when a topology is configured; flat
+        runs pass ``None`` and their traces stay byte-identical to
+        pre-fleet ones.
         """
         rec = self.trace.record
         for event in sorted(transport_epoch):
@@ -100,6 +105,9 @@ class ClusterTrace:
         rec("cluster.degraded_grants", t_end_s, float(degraded_grants))
         rec("cluster.restarts", t_end_s, float(restarts))
         rec("cluster.crash_recoveries", t_end_s, float(crash_recoveries))
+        if fleet is not None:
+            for key in sorted(fleet):
+                rec(f"fleet.{key}", t_end_s, float(fleet[key]))
 
     def series(self, name: str) -> TraceSeries:
         return self.trace.series(name)

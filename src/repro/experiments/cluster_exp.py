@@ -39,6 +39,11 @@ from repro.errors import ConfigError
 #: tolerance when counting cap-sum violations, watts.
 _INVARIANT_SLACK_W = 1e-6
 
+#: throttle-pressure ceiling for the tail-latency SLO proxy: an active
+#: node-epoch meeting it ran its apps within 25% of platform max
+#: frequency — the paper's stand-in for "the service held its tail".
+SLO_THROTTLE_CEILING = 0.25
+
 
 @dataclass(frozen=True)
 class NodeClusterResult:
@@ -82,6 +87,18 @@ class ClusterRunResult:
     crash_recoveries: int = 0
     #: node reboots executed by the crash schedule during the run.
     node_restarts: int = 0
+    #: grants shed to the floor under oversubscription contention
+    #: (sum of per-epoch shed members; fleet runs only).
+    shed_grants: int = 0
+    #: node-epochs the diurnal schedule left idle (simulation skipped).
+    idle_node_epochs: int = 0
+    #: rack water-fills actually recomputed across the run.
+    fleet_refilled: int = 0
+    #: rack fills reused from the dirty-subtree cache across the run.
+    fleet_reused: int = 0
+    #: fraction of post-warm-up *active* node-epochs meeting the
+    #: throttle SLO (1.0 when there were none, or on flat runs).
+    slo_attainment: float = 1.0
 
     def node(self, name: str) -> NodeClusterResult:
         for result in self.nodes:
@@ -202,6 +219,19 @@ def summarize_cluster_run(
         for state in states.values()
         if state == "safe"
     )
+    epoch_s = run.config.epoch_s
+    slo_met = slo_total = 0
+    for index, reports in enumerate(run.reports):
+        if (index + 1) * epoch_s <= warmup_s:
+            continue
+        idle = run.idle_sets[index] if index < len(run.idle_sets) else ()
+        for name in reports:
+            if name in idle:
+                continue
+            slo_total += 1
+            pressure = reports[name].throttle_pressure
+            if pressure <= SLO_THROTTLE_CEILING:
+                slo_met += 1
     return ClusterRunResult(
         config=run.config,
         duration_s=duration_s,
@@ -215,6 +245,15 @@ def summarize_cluster_run(
         degraded_grants=sum(len(g.degraded) for g in run.grants),
         crash_recoveries=run.crash_recoveries,
         node_restarts=len(run.node_restarts),
+        shed_grants=sum(len(g.shed) for g in run.grants),
+        idle_node_epochs=sum(len(idle) for idle in run.idle_sets),
+        fleet_refilled=sum(
+            g.fleet_stats.get("refilled", 0) for g in run.grants
+        ),
+        fleet_reused=sum(
+            g.fleet_stats.get("reused", 0) for g in run.grants
+        ),
+        slo_attainment=slo_met / slo_total if slo_total else 1.0,
     )
 
 
@@ -259,6 +298,11 @@ def cluster_result_to_jsonable(result: ClusterRunResult) -> dict:
         "degraded_grants": result.degraded_grants,
         "crash_recoveries": result.crash_recoveries,
         "node_restarts": result.node_restarts,
+        "shed_grants": result.shed_grants,
+        "idle_node_epochs": result.idle_node_epochs,
+        "fleet_refilled": result.fleet_refilled,
+        "fleet_reused": result.fleet_reused,
+        "slo_attainment": result.slo_attainment,
     }
 
 
@@ -278,4 +322,9 @@ def cluster_result_from_jsonable(data: dict) -> ClusterRunResult:
         degraded_grants=data.get("degraded_grants", 0),
         crash_recoveries=data.get("crash_recoveries", 0),
         node_restarts=data.get("node_restarts", 0),
+        shed_grants=data.get("shed_grants", 0),
+        idle_node_epochs=data.get("idle_node_epochs", 0),
+        fleet_refilled=data.get("fleet_refilled", 0),
+        fleet_reused=data.get("fleet_reused", 0),
+        slo_attainment=data.get("slo_attainment", 1.0),
     )

@@ -1,0 +1,53 @@
+"""Fleet-scale hierarchical power arbitration.
+
+Facility → row → rack → node budget domains (:mod:`.topology`), exact
+FastCap-style water-filling at the rack level (:mod:`.waterfill`), the
+diurnal traffic schedule and oversubscription safety check
+(:mod:`.schedule`), and the incremental dirty-subtree arbiter
+(:mod:`.arbiter`).
+"""
+
+from repro.fleet.schedule import (
+    DiurnalSchedule,
+    OversubscriptionReport,
+    assess_oversubscription,
+)
+from repro.fleet.topology import (
+    DomainSpec,
+    domain_from_jsonable,
+    grid_topology,
+    iter_domains,
+    leaf_racks,
+    rack_of_map,
+    rack_row_indices,
+    validate_topology,
+)
+from repro.fleet.waterfill import waterfill, waterfill_level
+
+__all__ = [
+    "DiurnalSchedule",
+    "DomainSpec",
+    "FleetArbiter",
+    "OversubscriptionReport",
+    "assess_oversubscription",
+    "domain_from_jsonable",
+    "grid_topology",
+    "iter_domains",
+    "leaf_racks",
+    "make_arbiter",
+    "rack_of_map",
+    "rack_row_indices",
+    "validate_topology",
+    "waterfill",
+    "waterfill_level",
+]
+
+
+def __getattr__(name: str):
+    # FleetArbiter pulls in repro.cluster, which itself imports
+    # repro.fleet.topology — resolve lazily to keep the import DAG.
+    if name in ("FleetArbiter", "make_arbiter"):
+        from repro.fleet import arbiter
+
+        return getattr(arbiter, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

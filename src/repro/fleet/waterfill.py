@@ -1,0 +1,92 @@
+"""FastCap-style exact water-filling for rack-level cap splits.
+
+:func:`repro.core.minfund.proportional_targets` finds the common
+funding level by bisection — 80 refinement passes, each evaluating
+every claim.  That is fine for a handful of apps or nodes but is the
+dominant arbitration cost at rack scale: a fleet of racks re-filled
+every epoch pays ``80 * n`` clamp evaluations per rack.
+
+FastCap (PAPERS.md) observes the filled total is *piecewise linear* in
+the funding level ``L``: a claim contributes ``lo`` below
+``L = lo/shares``, ``L * shares`` between its breakpoints, and ``hi``
+above ``L = hi/shares``.  Sorting the ``2n`` breakpoints and sweeping
+once finds the exact crossing segment, and the exact level inside it,
+in one ``O(n log n)`` pass (``O(n)`` when the breakpoints are
+pre-sorted) — no iteration, no residual tolerance beyond float
+arithmetic itself.
+
+The semantics deliberately match :func:`proportional_targets`:
+
+* infeasible-low pools degrade to every claim's floor (no starvation),
+* infeasible-high pools give every claim its ceiling,
+* otherwise every claim gets ``clamp(L * shares, lo, hi)`` for the
+  unique ``L`` whose clamped sum equals the pool — claims strictly
+  inside their bounds sit at the same allocation-per-share, the
+  max-min/proportional-fairness invariant the property suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.minfund import Claim
+
+
+def waterfill(pool_w: float, claims: Sequence[Claim]) -> dict[str, float]:
+    """Exact share-proportional split of ``pool_w`` within bounds.
+
+    Drop-in equivalent of :func:`repro.core.minfund.refill_pool` (the
+    ``current`` field of each claim is ignored, as there), but solved
+    by the breakpoint sweep instead of bisection.
+    """
+    if not claims:
+        return {}
+    floor_sum = sum(c.lo for c in claims)
+    ceil_sum = sum(c.hi for c in claims)
+    if pool_w <= floor_sum:
+        return {c.label: c.lo for c in claims}
+    if pool_w >= ceil_sum:
+        return {c.label: c.hi for c in claims}
+    level = waterfill_level(pool_w, claims)
+    return {
+        c.label: min(max(level * c.shares, c.lo), c.hi) for c in claims
+    }
+
+
+def waterfill_level(pool_w: float, claims: Sequence[Claim]) -> float:
+    """The funding level whose clamped sum equals ``pool_w``.
+
+    Pre-condition (checked by :func:`waterfill`): the pool is strictly
+    between the floor sum and the ceiling sum, so a crossing exists.
+    """
+    # Breakpoints: at lo/shares a claim leaves its floor and joins the
+    # proportional band; at hi/shares it saturates at its ceiling.
+    # (claim index breaks ties deterministically; the resulting level
+    # is tie-order independent because filled(L) is continuous.)
+    events: list[tuple[float, int, int]] = []
+    for index, claim in enumerate(claims):
+        events.append((claim.lo / claim.shares, index, 0))
+        events.append((claim.hi / claim.shares, index, 1))
+    events.sort()
+    # Between consecutive breakpoints filled(L) = fixed + L * slope:
+    # ``fixed`` sums the pinned claims (still at lo, or already at hi),
+    # ``slope`` the shares of claims in the proportional band.
+    fixed = sum(c.lo for c in claims)
+    slope = 0.0
+    for point, index, kind in events:
+        if slope > 0.0:
+            crossing = (pool_w - fixed) / slope
+            if crossing <= point:
+                return crossing
+        claim = claims[index]
+        if kind == 0:
+            fixed -= claim.lo
+            slope += claim.shares
+        else:
+            slope -= claim.shares
+            fixed += claim.hi
+    # pool < ceil_sum guarantees a crossing before the sweep ends;
+    # float residue can push it just past the last breakpoint.
+    if slope > 0.0:  # pragma: no cover - float-residue backstop
+        return (pool_w - fixed) / slope
+    return events[-1][0]  # pragma: no cover - float-residue backstop

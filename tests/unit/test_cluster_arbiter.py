@@ -177,8 +177,34 @@ class TestInvariant:
         arbiter = make_arbiter(node("a"))
         arbiter.rebalance(0, {})
         arbiter._caps["a"] = 1000.0
+        arbiter._cap_sum = 1000.0
         with pytest.raises(ConfigError, match="invariant"):
             arbiter.check_invariant()
+
+    def test_full_check_catches_out_of_band_cap_edits(self):
+        # the O(1) check reads the maintained sum; full=True rescans
+        # and flags accounting drift from caps edited behind its back
+        arbiter = make_arbiter(node("a"))
+        arbiter.rebalance(0, {})
+        arbiter._caps["a"] = 1000.0
+        arbiter.check_invariant()  # maintained sum unaware: passes
+        with pytest.raises(ConfigError, match="drift"):
+            arbiter.check_invariant(full=True)
+
+    def test_check_invariant_is_constant_time(self):
+        # regression guard for the fleet-scale cost bound: the default
+        # check must not rescan the caps dict
+        arbiter = make_arbiter(node("a"), node("b"))
+        arbiter.rebalance(0, {})
+
+        class ExplodingDict(dict):
+            def values(self):
+                raise AssertionError("check_invariant rescanned caps")
+
+        arbiter._caps = ExplodingDict(arbiter._caps)
+        arbiter.check_invariant()  # O(1): never touches values()
+        with pytest.raises(AssertionError):
+            arbiter.check_invariant(full=True)
 
     def test_retire_removes_cap_and_history(self):
         arbiter = make_arbiter(node("a"), node("b"))

@@ -1,0 +1,280 @@
+"""Unit tests for the hierarchical fleet arbiter.
+
+The contract under test: the FleetArbiter is a drop-in
+:class:`~repro.cluster.arbiter.ClusterArbiter` whose grants honour the
+budget invariant at every tree depth, whose incremental dirty-subtree
+path agrees with full recomputation to within the documented pool
+deadband, and whose caches ride snapshots so crash recovery replays
+the same reuse decisions byte for byte.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import ClusterArbiter, ClusterConfig, NodeSpec
+from repro.cluster.node import NodeEpochReport
+from repro.config import AppSpec
+from repro.errors import ConfigError
+from repro.fleet import grid_topology
+from repro.fleet.arbiter import POOL_SLACK_W, FleetArbiter, make_arbiter
+
+APPS = tuple(AppSpec("cactusBSSN", shares=50.0) for _ in range(4))
+
+
+def fleet_config(rows=2, racks=2, rack_nodes=2, budget_w=220.0, **kwargs):
+    topology, names = grid_topology(rows, racks, rack_nodes)
+    nodes = tuple(
+        NodeSpec(name=n, apps=APPS, min_cap_w=10.0, max_cap_w=45.0)
+        for n in names
+    )
+    return ClusterConfig(
+        budget_w=budget_w, nodes=nodes, topology=topology, **kwargs
+    )
+
+
+def report(name, epoch, power, *, cap=45.0, throttle=0.0, samples=10,
+           crashed=False):
+    return NodeEpochReport(
+        name=name,
+        epoch=epoch,
+        t_end_s=(epoch + 1) * 1.0,
+        cap_w=cap,
+        mean_power_w=power,
+        throttle_pressure=throttle,
+        headroom_w=max(cap - power, 0.0),
+        parked_cores=0,
+        quarantined_cores=0,
+        samples=samples,
+        crashed=crashed,
+    )
+
+
+def demand_wave(config, epoch, *, jitter=0.0):
+    """Deterministic per-node demand, optionally watt-jittered.
+
+    The bases are multiples of 0.4 W, so after the arbiter's 1.25x
+    demand slack they land exactly on the 0.5 W quantization grid and
+    jitter below 0.2 W provably re-quantizes to the same claim.
+    """
+    reports = {}
+    for index, spec in enumerate(config.nodes):
+        base = 16.0 + 2.0 * (index % 5)
+        wobble = jitter * math.sin(epoch * 1.7 + index)
+        reports[spec.name] = report(spec.name, epoch, base + wobble)
+    return reports
+
+
+class TestDispatch:
+    def test_make_arbiter_picks_fleet_for_topology(self):
+        assert isinstance(make_arbiter(fleet_config()), FleetArbiter)
+
+    def test_make_arbiter_picks_flat_without(self):
+        config = ClusterConfig(
+            budget_w=100.0,
+            nodes=(NodeSpec("a", apps=APPS, min_cap_w=10.0),),
+        )
+        arbiter = make_arbiter(config)
+        assert type(arbiter) is ClusterArbiter
+
+    def test_fleet_arbiter_requires_topology(self):
+        config = ClusterConfig(
+            budget_w=100.0,
+            nodes=(NodeSpec("a", apps=APPS, min_cap_w=10.0),),
+        )
+        with pytest.raises(ConfigError, match="topology"):
+            FleetArbiter(config)
+
+
+class TestInvariants:
+    def test_budget_and_bounds_hold_every_epoch(self):
+        config = fleet_config()
+        arbiter = FleetArbiter(config)
+        arbiter.admit([s.name for s in config.nodes])
+        grant = arbiter.rebalance(0, {})
+        for epoch in range(1, 10):
+            assert grant.total_w <= config.budget_w + 1e-9
+            arbiter.check_invariant()
+            arbiter.check_invariant(full=True)
+            for name, cap in grant.caps_w.items():
+                assert 10.0 - 1e-9 <= cap <= 45.0 + 1e-9
+            grant = arbiter.rebalance(
+                epoch, demand_wave(config, epoch, jitter=2.0)
+            )
+
+    def test_rack_ceiling_bounds_the_rack_grant(self):
+        topology, names = grid_topology(1, 2, 2, rack_ceiling_w=55.0)
+        nodes = tuple(
+            NodeSpec(name=n, apps=APPS, min_cap_w=10.0, max_cap_w=45.0)
+            for n in names
+        )
+        config = ClusterConfig(
+            budget_w=500.0, nodes=nodes, topology=topology
+        )
+        arbiter = FleetArbiter(config)
+        arbiter.admit(list(names))
+        arbiter.rebalance(0, {})
+        grant = arbiter.rebalance(
+            1, {n: report(n, 1, 40.0, throttle=0.5) for n in names}
+        )
+        for rack in ("row0/rack0", "row0/rack1"):
+            rack_sum = sum(
+                cap for name, cap in grant.caps_w.items()
+                if name.startswith(rack)
+            )
+            assert rack_sum <= 55.0 + 1e-9
+
+    def test_contention_sheds_low_entitlement_members_to_floors(self):
+        # budget barely above the floor sum plus heterogeneous shares:
+        # the low-shares member of each rack must lose the bet
+        topology, names = grid_topology(2, 2, 2)
+        nodes = tuple(
+            NodeSpec(
+                name=n,
+                apps=APPS,
+                shares=3.0 if i % 2 == 0 else 1.0,
+                min_cap_w=10.0,
+                max_cap_w=45.0,
+            )
+            for i, n in enumerate(names)
+        )
+        config = ClusterConfig(
+            budget_w=8 * 10.0 + 12.0, nodes=nodes, topology=topology
+        )
+        arbiter = FleetArbiter(config)
+        names = [s.name for s in config.nodes]
+        arbiter.admit(names)
+        arbiter.rebalance(0, {})
+        grant = arbiter.rebalance(
+            1, {n: report(n, 1, 40.0, throttle=0.8) for n in names}
+        )
+        assert grant.total_w <= config.budget_w + 1e-9
+        assert grant.shed  # contention surfaced, not silently floored
+        for name in grant.shed:
+            assert grant.caps_w[name] == pytest.approx(10.0, abs=1e-6)
+
+    def test_crashed_reporter_leaves_the_tree(self):
+        config = fleet_config()
+        arbiter = FleetArbiter(config)
+        names = [s.name for s in config.nodes]
+        arbiter.admit(names)
+        arbiter.rebalance(0, {})
+        dead = names[0]
+        reports = demand_wave(config, 1)
+        reports[dead] = report(dead, 1, 20.0, crashed=True)
+        grant = arbiter.rebalance(1, reports)
+        assert dead not in grant.caps_w
+        arbiter.check_invariant(full=True)
+
+
+class TestIncremental:
+    def test_steady_demand_reuses_every_rack(self):
+        config = fleet_config()
+        arbiter = FleetArbiter(config)
+        names = [s.name for s in config.nodes]
+        arbiter.admit(names)
+        arbiter.rebalance(0, {})
+        arbiter.rebalance(1, demand_wave(config, 1))
+        # sub-quantum jitter: claims re-quantize to the same grid point,
+        # every rack stays clean, every fill is reused
+        for epoch in range(2, 6):
+            grant = arbiter.rebalance(
+                epoch, demand_wave(config, epoch, jitter=0.1)
+            )
+            assert grant.fleet_stats["reused"] == 4
+            assert grant.fleet_stats["refilled"] == 0
+
+    def test_demand_step_dirties_only_its_rack(self):
+        config = fleet_config()
+        arbiter = FleetArbiter(config)
+        names = [s.name for s in config.nodes]
+        arbiter.admit(names)
+        arbiter.rebalance(0, {})
+        arbiter.rebalance(1, demand_wave(config, 1))
+        reports = demand_wave(config, 2)
+        mover = names[0]
+        reports[mover] = report(mover, 2, 38.0, throttle=0.6)
+        grant = arbiter.rebalance(2, reports)
+        assert grant.fleet_stats["dirty_nodes"] == 1
+        assert grant.fleet_stats["refilled"] >= 1
+        # the other racks reuse unless the mover shifted their pools
+        # beyond the deadband
+        assert (
+            grant.fleet_stats["refilled"] + grant.fleet_stats["reused"]
+            == 4
+        )
+
+    def test_incremental_matches_full_within_deadband(self):
+        config = fleet_config(rows=2, racks=3, rack_nodes=3,
+                              budget_w=300.0)
+        names = [s.name for s in config.nodes]
+        incremental = FleetArbiter(config)
+        full = FleetArbiter(config)
+        full.incremental = False
+        incremental.admit(names)
+        full.admit(names)
+        for epoch in range(10):
+            reports = demand_wave(config, epoch, jitter=1.5)
+            a = incremental.rebalance(epoch, reports)
+            b = full.rebalance(epoch, reports)
+            assert set(a.caps_w) == set(b.caps_w)
+            for name in a.caps_w:
+                assert abs(a.caps_w[name] - b.caps_w[name]) <= (
+                    POOL_SLACK_W + 1e-6
+                )
+            assert b.fleet_stats["reused"] == 0
+
+    def test_first_epoch_is_exact(self):
+        config = fleet_config()
+        names = [s.name for s in config.nodes]
+        incremental = FleetArbiter(config)
+        full = FleetArbiter(config)
+        full.incremental = False
+        incremental.admit(names)
+        full.admit(names)
+        reports = demand_wave(config, 0)
+        a = incremental.rebalance(0, reports)
+        b = full.rebalance(0, reports)
+        assert a.caps_w == b.caps_w
+
+
+class TestSnapshot:
+    def test_restored_arbiter_replays_identically(self):
+        config = fleet_config()
+        names = [s.name for s in config.nodes]
+        arbiter = FleetArbiter(config)
+        arbiter.admit(names)
+        for epoch in range(4):
+            arbiter.rebalance(
+                epoch, demand_wave(config, epoch, jitter=1.0)
+            )
+        state = arbiter.snapshot()
+
+        clone = FleetArbiter(config)
+        clone.restore(state)
+        for epoch in range(4, 9):
+            reports = demand_wave(config, epoch, jitter=1.0)
+            a = arbiter.rebalance(epoch, reports)
+            b = clone.rebalance(epoch, reports)
+            assert a == b  # caps, pools, shed, stats: reuse decisions too
+
+    def test_snapshot_round_trips_through_json(self):
+        import json
+
+        from repro.cluster.journal import (
+            _arbiter_from_jsonable,
+            _arbiter_to_jsonable,
+        )
+
+        config = fleet_config()
+        names = [s.name for s in config.nodes]
+        arbiter = FleetArbiter(config)
+        arbiter.admit(names)
+        for epoch in range(3):
+            arbiter.rebalance(epoch, demand_wave(config, epoch))
+        state = arbiter.snapshot()
+        wire = json.loads(json.dumps(_arbiter_to_jsonable(state)))
+        clone = FleetArbiter(config)
+        clone.restore(_arbiter_from_jsonable(wire))
+        reports = demand_wave(config, 3)
+        assert arbiter.rebalance(3, reports) == clone.rebalance(3, reports)
