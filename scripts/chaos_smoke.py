@@ -24,6 +24,13 @@ epochs.  On failure the run's write-ahead journal and cluster trace are
 dumped under ``--artifact-dir`` (default ``chaos-artifacts/``) so CI
 can upload them.
 
+A determinism-sanitizer drill rides along too: the same small cluster
+is run under the serial scalar engine, the stacked array engine, and
+fork workers with per-epoch state digests recording
+(:mod:`repro.analysis.sanitizer`), and all three recordings must be
+identical — any divergence is reported as the first differing epoch,
+node, and field with both values.
+
 A fleet drill closes the set: a 1,024-node facility → row → rack →
 node grid runs a low-activation diurnal day with one whole rack
 partitioned mid-run.  The facility cap-sum invariant must hold at
@@ -350,6 +357,46 @@ def run_fleet_drill(seed: int) -> int:
     return 1 if failures else 0
 
 
+def run_sanitizer_drill(seed: int) -> int:
+    """The determinism sanitizer must agree across every stepping mode.
+
+    Runs the same 3-node cluster three ways — serial scalar engine,
+    stacked array engine, and fork workers — with per-epoch state
+    digests on, and requires all three recordings to be identical.  On
+    divergence the sanitizer names the first epoch, node, and field
+    with both values, which is the whole point: a parallelism or
+    vectorisation bug surfaces as a readable diff, not a byte mismatch.
+    """
+    import dataclasses
+
+    from repro.analysis.sanitizer import compare_all
+    from repro.cluster import run_cluster
+    from repro.experiments.cluster_exp import default_cluster_config
+
+    base = default_cluster_config(n_nodes=3, seed=seed)
+    modes = (
+        ("scalar", None),  # serial reference loop
+        ("array", 1),      # stacked struct-of-arrays batch
+        ("array", 2),      # fork workers
+    )
+    digests = []
+    for engine, jobs in modes:
+        config = dataclasses.replace(base, engine=engine)
+        run = run_cluster(config, 100.0, jobs=jobs, sanitize=True)
+        assert run.sanitizer is not None
+        digests.append(run.sanitizer)
+    divergence = compare_all(digests)
+    status = "FAIL" if divergence else "ok"
+    rows = len(digests[0])
+    print(f"[{status}] sanitizer drill: {len(modes)} stepping modes, "
+          f"{rows} node-epoch digests each, "
+          f"digest {digests[0].digest()[:12]}")
+    if divergence is not None:
+        print(f"  {divergence.describe()}")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--duration", type=float, default=60.0,
@@ -380,6 +427,7 @@ def main(argv: list[str] | None = None) -> int:
     rc |= run_partition_check(args.seed)
     rc |= run_crash_drill(args.seed, args.artifact_dir)
     rc |= run_fleet_drill(args.seed)
+    rc |= run_sanitizer_drill(args.seed)
     if not args.skip_bench:
         # guard the simulator's throughput alongside its safety: fail
         # when ticks/sec regresses >30% against the committed baseline.

@@ -1,0 +1,483 @@
+"""Project symbol table and call graph for whole-program lint rules.
+
+PR 4's rules are strictly per-file: each sees one AST and nothing else.
+The bug classes that actually bit this repo — shared-object mutation
+inside fork workers, RNG seeds laundered through a helper, snapshot
+dicts missing an attribute — are *cross-module* properties, so the
+analyser needs a whole-program view:
+
+* :func:`module_name` maps a repo-relative path to its dotted module
+  (``src/repro/cluster/stepper.py`` → ``repro.cluster.stepper``);
+* :class:`Project` indexes every :class:`~repro.analysis.source.\
+SourceFile` into modules, top-level functions, classes and methods,
+  per-module import aliases, and module-level global names;
+* :meth:`Project.call_sites` resolves every call expression to project
+  functions, giving the call graph;
+* :meth:`Project.worker_roots` finds fork-worker entry points
+  *structurally* — functions passed as ``target=`` to a
+  ``Process(...)`` spawn or as the callable of a ``pool.map``-family
+  dispatch — and :meth:`Project.reachable_from` walks the graph from
+  them.
+
+**Soundness limits** (documented, deliberate): calls through variables
+of unknown type resolve to *every* project method of that name (an
+over-approximation — reachability may include functions a precise
+points-to analysis would exclude, never fewer); calls through values
+the resolver cannot name at all (subscripts, call results) resolve to
+nothing.  Rules built on the graph therefore treat reachability as
+"possibly runs in a worker" and keep their *finding* predicates narrow.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.registry import dotted_name
+from repro.analysis.source import SourceFile
+
+#: ``pool``-style dispatch methods whose first argument runs in a
+#: worker process.
+POOL_DISPATCH = frozenset({
+    "map", "imap", "imap_unordered", "starmap", "apply_async", "submit",
+})
+
+
+def module_name(path: str) -> str:
+    """Dotted module for a repo-relative posix path."""
+    parts = path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or class method."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    src: SourceFile
+    #: unqualified owning class name (``None`` for plain functions).
+    class_name: str | None = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def positional_params(self) -> tuple[str, ...]:
+        """Positional parameter names, including ``self``/``cls``."""
+        args = self.node.args
+        return tuple(
+            a.arg for a in (*args.posonlyargs, *args.args)
+        )
+
+    def keyword_params(self) -> tuple[str, ...]:
+        return tuple(a.arg for a in self.node.args.kwonlyargs)
+
+    def param_default(self, param: str) -> ast.expr | None:
+        """The default expression bound to ``param`` (``None``: none)."""
+        args = self.node.args
+        positional = [*args.posonlyargs, *args.args]
+        n_defaults = len(args.defaults)
+        for offset, arg in enumerate(positional[-n_defaults:] if n_defaults else []):
+            if arg.arg == param:
+                return args.defaults[offset]
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if arg.arg == param and default is not None:
+                return default
+        return None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its directly-defined methods."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    src: SourceFile
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: raw dotted base-class names as written (resolved lazily).
+    base_names: tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table of one module."""
+
+    name: str
+    src: SourceFile
+    #: local alias -> fully qualified dotted name it binds.
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: names assigned at module level (mutable-global candidates).
+    global_names: set[str] = field(default_factory=set)
+    #: module-level names bound to literal constants (seed salts etc.).
+    const_names: set[str] = field(default_factory=set)
+
+
+@dataclass
+class CallSite:
+    """One call expression resolved to a project function."""
+
+    #: enclosing project function (``None``: module-level code).
+    caller: FunctionInfo | None
+    callee: FunctionInfo
+    call: ast.Call
+    src: SourceFile
+    #: resolved only by bare method-name match (receiver type unknown);
+    #: ``True`` edges over-approximate.
+    fuzzy: bool = False
+
+
+class Project:
+    """Whole-program index over a set of parsed sources."""
+
+    def __init__(self, sources: Iterable[SourceFile]) -> None:
+        self.sources: list[SourceFile] = list(sources)
+        self.by_path: dict[str, SourceFile] = {
+            src.path: src for src in self.sources
+        }
+        self.modules: dict[str, ModuleInfo] = {}
+        #: qualname -> function, for both plain functions and methods.
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._methods_by_name: dict[str, list[FunctionInfo]] = {}
+        for src in self.sources:
+            self._index(src)
+        self._call_sites: list[CallSite] | None = None
+        self._edges: dict[str, list[tuple[str, bool]]] | None = None
+
+    # -- indexing ----------------------------------------------------------------
+
+    def _index(self, src: SourceFile) -> None:
+        mod = ModuleInfo(name=module_name(src.path), src=src)
+        self.modules[mod.name] = mod
+        for node in src.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    bound = alias.name if alias.asname else alias.name.split(".")[0]
+                    mod.imports[local] = bound
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(mod.name, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{mod.name}.{node.name}",
+                    module=mod.name, name=node.name, node=node, src=src,
+                )
+                mod.functions[node.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(mod, node, src)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for name in _assigned_names(node):
+                    mod.global_names.add(name)
+                    if _is_const_assign(node):
+                        mod.const_names.add(name)
+
+    def _index_class(
+        self, mod: ModuleInfo, node: ast.ClassDef, src: SourceFile
+    ) -> None:
+        cls = ClassInfo(
+            qualname=f"{mod.name}.{node.name}",
+            module=mod.name, name=node.name, node=node, src=src,
+            base_names=tuple(
+                name for base in node.bases
+                if (name := dotted_name(base))
+            ),
+        )
+        mod.classes[node.name] = cls
+        self.classes[cls.qualname] = cls
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{cls.qualname}.{item.name}",
+                    module=mod.name, name=item.name, node=item, src=src,
+                    class_name=node.name,
+                )
+                cls.methods[item.name] = info
+                self.functions[info.qualname] = info
+                self._methods_by_name.setdefault(item.name, []).append(info)
+
+    @staticmethod
+    def _resolve_from(module: str, node: ast.ImportFrom) -> str:
+        """Absolute base module of a ``from ... import`` statement."""
+        if not node.level:
+            return node.module or ""
+        parts = module.split(".")
+        # level 1 = the containing package of this module
+        base_parts = parts[: len(parts) - node.level]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+    # -- class hierarchy ---------------------------------------------------------
+
+    def resolve_class_name(
+        self, name: str, mod: ModuleInfo
+    ) -> ClassInfo | None:
+        """A class visible under ``name`` inside ``mod``."""
+        if name in mod.classes:
+            return mod.classes[name]
+        head, _, rest = name.partition(".")
+        if head in mod.imports:
+            qual = mod.imports[head] + (f".{rest}" if rest else "")
+            return self.classes.get(qual)
+        return self.classes.get(name)
+
+    def method_in_hierarchy(
+        self, cls: ClassInfo, method: str
+    ) -> FunctionInfo | None:
+        """Look ``method`` up on ``cls`` then its base classes."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            cur = stack.pop(0)
+            if cur.qualname in seen:
+                continue
+            seen.add(cur.qualname)
+            if method in cur.methods:
+                return cur.methods[method]
+            mod = self.modules[cur.module]
+            for base_name in cur.base_names:
+                base = self.resolve_class_name(base_name, mod)
+                if base is not None:
+                    stack.append(base)
+        return None
+
+    def methods_named(self, name: str) -> list[FunctionInfo]:
+        """Every project method with this bare name (fuzzy targets)."""
+        if name.startswith("__") and name.endswith("__"):
+            return []
+        return list(self._methods_by_name.get(name, []))
+
+    # -- call resolution ---------------------------------------------------------
+
+    def resolve_callable_ref(
+        self, expr: ast.expr, mod: ModuleInfo
+    ) -> FunctionInfo | None:
+        """A *reference* to a function (not a call) — spawn targets."""
+        dotted = dotted_name(expr)
+        if not dotted:
+            return None
+        resolved = self._resolve_direct(dotted, mod, cls=None)
+        if resolved is not None:
+            return resolved
+        if "." in dotted:
+            candidates = self.methods_named(dotted.rsplit(".", 1)[1])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def _resolve_direct(
+        self, dotted: str, mod: ModuleInfo, cls: ClassInfo | None
+    ) -> FunctionInfo | None:
+        """Exact (non-fuzzy) resolution of a dotted callable name."""
+        if "." not in dotted:
+            if dotted in mod.functions:
+                return mod.functions[dotted]
+            if dotted in mod.classes:
+                return mod.classes[dotted].methods.get("__init__")
+            if dotted in mod.imports:
+                qual = mod.imports[dotted]
+                if qual in self.functions:
+                    return self.functions[qual]
+                if qual in self.classes:
+                    return self.method_in_hierarchy(
+                        self.classes[qual], "__init__"
+                    )
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in ("self", "cls") and cls is not None and "." not in rest:
+            return self.method_in_hierarchy(cls, rest)
+        if head in mod.classes and "." not in rest:
+            return self.method_in_hierarchy(mod.classes[head], rest)
+        if head in mod.imports:
+            qual = f"{mod.imports[head]}.{rest}"
+            if qual in self.functions:
+                return self.functions[qual]
+            if qual in self.classes:
+                return self.method_in_hierarchy(
+                    self.classes[qual], "__init__"
+                )
+            holder, _, meth = qual.rpartition(".")
+            if holder in self.classes:
+                return self.method_in_hierarchy(self.classes[holder], meth)
+        return None
+
+    def resolve_call(
+        self, call: ast.Call, mod: ModuleInfo, cls: ClassInfo | None
+    ) -> list[tuple[FunctionInfo, bool]]:
+        """Possible targets of a call: ``(function, fuzzy)`` pairs."""
+        dotted = dotted_name(call.func)
+        if not dotted:
+            return []
+        direct = self._resolve_direct(dotted, mod, cls)
+        if direct is not None:
+            return [(direct, False)]
+        if "." in dotted:
+            head = dotted.split(".", 1)[0]
+            if head in mod.imports and "." not in dotted.split(".", 1)[1]:
+                # a call into a real imported module that the project
+                # does not contain — external, not fuzzy-matchable
+                return []
+            last = dotted.rsplit(".", 1)[1]
+            return [(info, True) for info in self.methods_named(last)]
+        return []
+
+    # -- the graph ---------------------------------------------------------------
+
+    def call_sites(self) -> list[CallSite]:
+        """Every call expression resolved to project functions."""
+        if self._call_sites is not None:
+            return self._call_sites
+        sites: list[CallSite] = []
+        for mod in self.modules.values():
+            for caller, scope_cls, node in _call_scopes(mod):
+                for call in _walk_calls(node):
+                    for target, fuzzy in self.resolve_call(
+                        call, mod, scope_cls
+                    ):
+                        sites.append(CallSite(
+                            caller=caller, callee=target,
+                            call=call, src=mod.src, fuzzy=fuzzy,
+                        ))
+        self._call_sites = sites
+        return sites
+
+    def edges(self) -> dict[str, list[tuple[str, bool]]]:
+        """caller qualname -> [(callee qualname, fuzzy)] adjacency."""
+        if self._edges is not None:
+            return self._edges
+        out: dict[str, list[tuple[str, bool]]] = {}
+        for site in self.call_sites():
+            if site.caller is None:
+                continue
+            pairs = out.setdefault(site.caller.qualname, [])
+            pair = (site.callee.qualname, site.fuzzy)
+            if pair not in pairs:
+                pairs.append(pair)
+        self._edges = out
+        return out
+
+    def worker_roots(self) -> list[FunctionInfo]:
+        """Functions dispatched into forked worker processes."""
+        roots: dict[str, FunctionInfo] = {}
+        for mod in self.modules.values():
+            for call in _walk_calls(mod.src.tree):
+                dotted = dotted_name(call.func)
+                if not dotted:
+                    continue
+                last = dotted.rsplit(".", 1)[-1]
+                target_expr: ast.expr | None = None
+                if last == "Process":
+                    for kw in call.keywords:
+                        if kw.arg == "target":
+                            target_expr = kw.value
+                elif last in POOL_DISPATCH and call.args:
+                    target_expr = call.args[0]
+                if target_expr is None:
+                    continue
+                info = self.resolve_callable_ref(target_expr, mod)
+                if info is not None:
+                    roots[info.qualname] = info
+        return [roots[name] for name in sorted(roots)]
+
+    def reachable_from(
+        self, roots: Sequence[FunctionInfo]
+    ) -> dict[str, tuple[str, ...]]:
+        """BFS closure: qualname -> call chain from its nearest root."""
+        edges = self.edges()
+        chains: dict[str, tuple[str, ...]] = {}
+        queue: list[str] = []
+        for root in roots:
+            if root.qualname not in chains:
+                chains[root.qualname] = (root.qualname,)
+                queue.append(root.qualname)
+        while queue:
+            current = queue.pop(0)
+            for callee, _fuzzy in edges.get(current, []):
+                if callee not in chains:
+                    chains[callee] = chains[current] + (callee,)
+                    queue.append(callee)
+        return chains
+
+
+def _assigned_names(
+    node: ast.Assign | ast.AnnAssign | ast.AugAssign,
+) -> list[str]:
+    targets: list[ast.expr]
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    else:
+        targets = [node.target]
+    names: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                el.id for el in target.elts if isinstance(el, ast.Name)
+            )
+    return names
+
+
+def _is_const_assign(
+    node: ast.Assign | ast.AnnAssign | ast.AugAssign,
+) -> bool:
+    value = node.value
+    return isinstance(value, ast.Constant) or (
+        isinstance(value, ast.UnaryOp)
+        and isinstance(value.operand, ast.Constant)
+    )
+
+
+def _call_scopes(
+    mod: ModuleInfo,
+) -> Iterator[tuple[FunctionInfo | None, ClassInfo | None, ast.AST]]:
+    """(enclosing function, enclosing class, body) triples to scan.
+
+    Module-level code is scanned with no enclosing function; nested
+    closures are attributed to their outermost named function.
+    """
+    for func in mod.functions.values():
+        yield func, None, func.node
+    for cls in mod.classes.values():
+        for method in cls.methods.values():
+            yield method, cls, method.node
+    yield None, None, _module_level_only(mod.src.tree)
+
+
+def _module_level_only(tree: ast.Module) -> ast.Module:
+    """The module body with function/class definitions stripped."""
+    body = [
+        node for node in tree.body
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+    ]
+    return ast.Module(body=body, type_ignores=[])
+
+
+def _walk_calls(node: ast.AST) -> Iterator[ast.Call]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            yield sub

@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
              "committed ledger drift apart",
     )
     parser.add_argument(
+        "--graph", action="store_true",
+        help="print the project call-graph summary the whole-program "
+             "rules analyse (modules, edges, fork-worker roots, "
+             "reachability), then exit",
+    )
+    parser.add_argument(
         "--explain", default=None, metavar="RULE",
         help="print a rule's contract and DESIGN.md reference, then exit",
     )
@@ -98,6 +104,51 @@ def _explain(rule_name: str, registry: RuleRegistry, stream: TextIO) -> int:
     return 0
 
 
+def _print_graph(paths: Sequence[Path], root: Path, stream: TextIO) -> int:
+    """Summarise the call graph the whole-program rules run over."""
+    from repro.analysis.callgraph import Project
+    from repro.analysis.engine import iter_python_files
+    from repro.analysis.source import SourceFile
+
+    sources: list[SourceFile] = []
+    for file_path in iter_python_files(paths):
+        try:
+            sources.append(SourceFile.from_path(file_path, root))
+        except SyntaxError:
+            continue  # the lint pass reports parse errors; skip here
+    project = Project(sources)
+    edges = project.edges()
+    n_edges = sum(len(callees) for callees in edges.values())
+    n_fuzzy = sum(
+        1 for callees in edges.values() for _, fuzzy in callees if fuzzy
+    )
+    roots = project.worker_roots()
+    reachable = project.reachable_from(roots)
+    n_functions = sum(
+        len(mod.functions)
+        + sum(len(cls.methods) for cls in mod.classes.values())
+        for mod in project.modules.values()
+    )
+    stream.write(
+        f"call graph: {len(project.modules)} modules, "
+        f"{n_functions} functions, {n_edges} call edges "
+        f"({n_fuzzy} fuzzy)\n"
+    )
+    if roots:
+        stream.write(f"fork-worker roots ({len(roots)}):\n")
+        for func in sorted(roots, key=lambda f: f.qualname):
+            stream.write(f"  {func.qualname}\n")
+        stream.write(
+            f"reachable from workers: {len(reachable)} functions\n"
+        )
+        for qualname in sorted(reachable):
+            chain = " -> ".join(reachable[qualname])
+            stream.write(f"  {qualname}  (via {chain})\n")
+    else:
+        stream.write("fork-worker roots: none detected\n")
+    return 0
+
+
 def run_lint(
     argv: Sequence[str] | None = None,
     *,
@@ -124,6 +175,8 @@ def run_lint(
     if missing:
         print(f"error: no such path: {missing[0]}", file=sys.stderr)
         return 2
+    if args.graph:
+        return _print_graph(paths, root, stream)
     baseline_path = (
         Path(args.baseline) if args.baseline
         else root / DEFAULT_BASELINE_NAME

@@ -1,0 +1,495 @@
+"""Interprocedural seed-provenance dataflow ("taint") analysis.
+
+The determinism contract says every RNG in the tree replays from a
+config/scenario/incarnation seed.  The per-file heuristic PR 4 shipped
+could only see ``random.Random()`` with *no* argument; a seed laundered
+through one helper call (``make_rng(time.time_ns())``) sailed past it.
+This pass traces seed values across call boundaries.
+
+**The lattice.**  Every expression evaluates to a :class:`Taint`:
+
+* ``SEEDED`` — provably derived from a seed source: literal constants,
+  attribute chains ending in a seed-ish name (``config.seed``,
+  ``scenario.fault_seed``, ``self._SEED_SALT``, ``incarnation``),
+  module-level constants, arithmetic over seeded operands, allowlisted
+  pure builtins of seeded arguments, methods called *on* a seeded RNG
+  (``rng.randint(...)`` — child seeds drawn from a seeded parent), and
+  calls to functions whose name or summary says they derive seeds;
+* ``Taint(params={p, ...})`` — seeded if and only if the arguments
+  bound to those parameters are seeded (resolved at each call site);
+* ``UNSEEDED`` — everything else (wall clocks, I/O, unknown calls).
+  Any unseeded operand poisons the expression.
+
+**Summaries.**  A fixpoint over all project functions computes, per
+function, (a) *rng params*: parameters that flow into an RNG seed
+position — directly into ``random.Random(p)`` or onward into another
+function's rng param — and (b) the return taint in terms of its own
+parameters.  A final pass then reports two event kinds:
+
+* an RNG constructed from a plainly-unseeded expression, and
+* a call passing a plainly-unseeded argument into a callee's rng
+  param — the "unseeded RNG one call hop away" case.
+
+**Soundness limits** (see DESIGN.md §15): statements are evaluated in
+source order with no branch joins (the last write wins), comprehension
+scopes are approximated, ambiguous method calls are not followed, and
+``*args`` splats at a call site skip the check.  The pass is therefore
+a bug-finder, not a verifier: it never proves seededness, it reports
+flows it can prove are *not* seeded.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.callgraph import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+)
+from repro.analysis.registry import dotted_name
+
+#: attribute / parameter names that are seed sources by convention.
+SEED_NAME_RE = re.compile(r"seed|incarnation", re.IGNORECASE)
+
+#: RNG constructors whose first argument is the seed.
+RNG_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng", "np.random.default_rng",
+    "numpy.random.RandomState", "np.random.RandomState",
+})
+
+#: pure builtins that pass seededness through their arguments.
+PASSTHROUGH_BUILTINS = frozenset({
+    "int", "float", "bool", "str", "abs", "round", "min", "max",
+    "sum", "len", "hash", "ord", "pow", "divmod", "tuple", "sorted",
+})
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Seedness of one expression value."""
+
+    seeded: bool
+    #: caller parameters this value's seedness depends on.
+    params: frozenset[str] = frozenset()
+
+    @property
+    def poisoned(self) -> bool:
+        """Plainly unseeded: no parameter could rescue it."""
+        return not self.seeded and not self.params
+
+
+SEEDED = Taint(True)
+UNSEEDED = Taint(False)
+
+
+def join(a: Taint, b: Taint) -> Taint:
+    """Combine operand taints: any poisoned operand poisons the result."""
+    if a.poisoned or b.poisoned:
+        return UNSEEDED
+    if a.params or b.params:
+        return Taint(False, a.params | b.params)
+    return SEEDED
+
+
+@dataclass(frozen=True)
+class SeedEvent:
+    """One provable unseeded flow, to be turned into a finding."""
+
+    kind: str  # "construct" | "argument"
+    path: str
+    node: ast.AST
+    message: str
+
+
+class SeedAnalysis:
+    """Fixpoint seed-provenance analysis over a :class:`Project`."""
+
+    #: fixpoint iteration cap (call chains deeper than this are rare;
+    #: the loop exits early as soon as summaries stop changing).
+    MAX_ROUNDS = 12
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: qualname -> params that feed an RNG seed downstream.
+        self.rng_params: dict[str, set[str]] = {}
+        #: qualname -> return taint in terms of own params.
+        self.returns: dict[str, Taint] = {}
+        self.events: list[SeedEvent] = []
+
+    def run(self) -> None:
+        for _ in range(self.MAX_ROUNDS):
+            before = (
+                {k: frozenset(v) for k, v in self.rng_params.items()},
+                dict(self.returns),
+            )
+            for func in self.project.functions.values():
+                self._analyze_function(func, report=False)
+            after = (
+                {k: frozenset(v) for k, v in self.rng_params.items()},
+                dict(self.returns),
+            )
+            if after == before:
+                break
+        seen: set[tuple[str, int, int, str]] = set()
+        for func in self.project.functions.values():
+            for event in self._analyze_function(func, report=True):
+                line = getattr(event.node, "lineno", 0)
+                col = getattr(event.node, "col_offset", 0)
+                key = (event.path, line, col, event.message)
+                if key not in seen:
+                    seen.add(key)
+                    self.events.append(event)
+        for mod in self.project.modules.values():
+            for event in self._analyze_module_level(mod):
+                line = getattr(event.node, "lineno", 0)
+                col = getattr(event.node, "col_offset", 0)
+                key = (event.path, line, col, event.message)
+                if key not in seen:
+                    seen.add(key)
+                    self.events.append(event)
+
+    # -- per-scope walks ---------------------------------------------------------
+
+    def _analyze_function(
+        self, func: FunctionInfo, *, report: bool
+    ) -> list[SeedEvent]:
+        mod = self.project.modules[func.module]
+        cls = (
+            mod.classes.get(func.class_name)
+            if func.class_name is not None else None
+        )
+        env: dict[str, Taint] = {}
+        params = list(func.positional_params()) + list(func.keyword_params())
+        for param in params:
+            env[param] = Taint(False, frozenset({param}))
+        walker = _ScopeWalker(self, func, mod, cls, env, report)
+        walker.walk_body(func.node.body)
+        return walker.events
+
+    def _analyze_module_level(self, mod: ModuleInfo) -> list[SeedEvent]:
+        body = [
+            node for node in mod.src.tree.body
+            if not isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            )
+        ]
+        walker = _ScopeWalker(self, None, mod, None, {}, True)
+        walker.walk_body(body)
+        return walker.events
+
+
+class _ScopeWalker:
+    """Source-order statement walk of one function (or module) body."""
+
+    def __init__(
+        self,
+        analysis: SeedAnalysis,
+        func: FunctionInfo | None,
+        mod: ModuleInfo,
+        cls: ClassInfo | None,
+        env: dict[str, Taint],
+        report: bool,
+    ) -> None:
+        self.analysis = analysis
+        self.project = analysis.project
+        self.func = func
+        self.mod = mod
+        self.cls = cls
+        self.env = env
+        self.report = report
+        self.events: list[SeedEvent] = []
+
+    # -- statements --------------------------------------------------------------
+
+    def walk_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analysed on their own
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                prior = self.env.get(stmt.target.id, self.eval(stmt.target))
+                self.env[stmt.target.id] = join(prior, taint)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint = self.eval(stmt.value)
+                if self.func is not None:
+                    prior = self.analysis.returns.get(
+                        self.func.qualname, taint
+                    )
+                    self.analysis.returns[self.func.qualname] = join(
+                        prior, taint
+                    )
+        elif isinstance(stmt, ast.For):
+            self._bind(stmt.target, self._eval_iter(stmt.iter))
+            self.walk_body(stmt.body)
+            self.walk_body(stmt.orelse)
+            return
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        # recurse into compound statements in source order
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if isinstance(inner, list) and not isinstance(stmt, ast.For):
+                self.walk_body([s for s in inner if isinstance(s, ast.stmt)])
+        handlers = getattr(stmt, "handlers", None)
+        if isinstance(handlers, list):
+            for handler in handlers:
+                if isinstance(handler, ast.ExceptHandler):
+                    self.walk_body(handler.body)
+        for attr in ("test", "iter", "context_expr"):
+            value = getattr(stmt, attr, None)
+            if isinstance(value, ast.expr):
+                self.eval(value)
+        items = getattr(stmt, "items", None)
+        if isinstance(items, list):
+            for item in items:
+                if isinstance(item, ast.withitem):
+                    self.eval(item.context_expr)
+
+    def _bind(self, target: ast.expr, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint)
+
+    def _eval_iter(self, node: ast.expr) -> Taint:
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted in ("range", "enumerate", "zip", "reversed", "sorted"):
+                taint = SEEDED
+                for arg in node.args:
+                    taint = join(taint, self._eval_iter(arg))
+                return taint
+        return self.eval(node)
+
+    # -- expressions -------------------------------------------------------------
+
+    def eval(self, node: ast.expr) -> Taint:
+        if isinstance(node, ast.Constant):
+            return SEEDED
+        if isinstance(node, ast.Name):
+            return self._eval_name(node.id)
+        if isinstance(node, ast.Attribute):
+            if SEED_NAME_RE.search(node.attr):
+                return SEEDED
+            return UNSEEDED
+        if isinstance(node, ast.BinOp):
+            return join(self.eval(node.left), self.eval(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            taint = SEEDED
+            for element in node.elts:
+                taint = join(taint, self.eval(element))
+            return taint
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value)
+        if isinstance(node, ast.Compare):
+            return SEEDED  # booleans cannot carry entropy worth tracing
+        if isinstance(node, ast.JoinedStr):
+            return SEEDED
+        return UNSEEDED
+
+    def _eval_name(self, name: str) -> Taint:
+        if name in self.env:
+            return self.env[name]
+        if name in self.mod.const_names:
+            return SEEDED
+        if SEED_NAME_RE.search(name):
+            # a name we lost track of (branch/comprehension binding)
+            # that says it is a seed — trust the convention
+            return SEEDED
+        return UNSEEDED
+
+    def _eval_call(self, call: ast.Call) -> Taint:
+        dotted = dotted_name(call.func)
+        if dotted in RNG_CONSTRUCTORS:
+            self._check_rng_construction(call)
+            # a seeded constructor yields a seeded RNG object
+            return self._seed_argument_taint(call) or UNSEEDED
+        if dotted in PASSTHROUGH_BUILTINS:
+            taint = SEEDED
+            for arg in call.args:
+                taint = join(taint, self.eval(arg))
+            return taint
+        targets = (
+            self.project.resolve_call(call, self.mod, self.cls)
+            if dotted else []
+        )
+        exact = [info for info, fuzzy in targets if not fuzzy]
+        fuzzy = [info for info, fuzzy in targets if fuzzy]
+        callee: FunctionInfo | None = None
+        if exact:
+            callee = exact[0]
+        elif len(fuzzy) == 1:
+            callee = fuzzy[0]
+        if callee is not None:
+            self._check_call_arguments(call, callee)
+            return self._returned_taint(call, callee)
+        for arg in call.args:
+            self.eval(arg)
+        if dotted:
+            last = dotted.rsplit(".", 1)[-1]
+            if SEED_NAME_RE.search(last):
+                # e.g. config.node_fault_seed(i, incarnation): a seed
+                # derivation function by naming convention
+                return SEEDED
+            if "." in dotted:
+                receiver = dotted.rsplit(".", 1)[0]
+                if self._receiver_taint(receiver).seeded:
+                    # a draw from a seeded RNG is itself seeded
+                    return SEEDED
+        return UNSEEDED
+
+    def _receiver_taint(self, receiver_dotted: str) -> Taint:
+        head, _, rest = receiver_dotted.partition(".")
+        taint = self._eval_name(head)
+        for part in rest.split(".") if rest else []:
+            if SEED_NAME_RE.search(part):
+                return SEEDED
+            taint = UNSEEDED
+        return taint
+
+    # -- RNG checks --------------------------------------------------------------
+
+    def _seed_argument(self, call: ast.Call) -> ast.expr | None:
+        if call.args:
+            return call.args[0]
+        for kw in call.keywords:
+            if kw.arg in ("seed", "x"):
+                return kw.value
+        return None
+
+    def _seed_argument_taint(self, call: ast.Call) -> Taint | None:
+        arg = self._seed_argument(call)
+        if arg is None:
+            return None
+        taint = self.eval(arg)
+        return SEEDED if taint.seeded else taint
+
+    def _check_rng_construction(self, call: ast.Call) -> None:
+        arg = self._seed_argument(call)
+        if arg is None:
+            return  # the per-file rule flags the no-argument form
+        taint = self.eval(arg)
+        if taint.seeded:
+            return
+        if taint.params:
+            self._mark_rng_params(taint.params)
+            return
+        if self.report:
+            self.events.append(SeedEvent(
+                kind="construct",
+                path=self.mod.src.path,
+                node=call,
+                message=(
+                    f"RNG seeded from {_describe(arg)!r}, which does not "
+                    "trace to a config/scenario/incarnation seed"
+                ),
+            ))
+
+    def _mark_rng_params(self, params: frozenset[str]) -> None:
+        if self.func is None:
+            return
+        bucket = self.analysis.rng_params.setdefault(
+            self.func.qualname, set()
+        )
+        bucket.update(params)
+
+    def _check_call_arguments(
+        self, call: ast.Call, callee: FunctionInfo
+    ) -> None:
+        feeding = self.analysis.rng_params.get(callee.qualname)
+        if not feeding:
+            return
+        if any(isinstance(arg, ast.Starred) for arg in call.args):
+            return  # cannot map a splat; skip rather than guess
+        for param, arg in _map_arguments(call, callee).items():
+            if param not in feeding:
+                continue
+            taint = self.eval(arg)
+            if taint.seeded:
+                continue
+            if taint.params:
+                self._mark_rng_params(taint.params)
+                continue
+            if self.report:
+                self.events.append(SeedEvent(
+                    kind="argument",
+                    path=self.mod.src.path,
+                    node=call,
+                    message=(
+                        f"argument {param!r} of {callee.qualname}() "
+                        f"feeds an RNG seed, but {_describe(arg)!r} does "
+                        "not trace to a config/scenario/incarnation seed"
+                    ),
+                ))
+
+    def _returned_taint(self, call: ast.Call, callee: FunctionInfo) -> Taint:
+        summary = self.analysis.returns.get(callee.qualname)
+        if summary is None:
+            return UNSEEDED
+        if summary.seeded:
+            return SEEDED
+        if not summary.params:
+            return UNSEEDED
+        mapped = _map_arguments(call, callee)
+        taint = SEEDED
+        for param in summary.params:
+            arg = mapped.get(param)
+            if arg is None:
+                default = callee.param_default(param)
+                if default is not None and isinstance(default, ast.Constant):
+                    continue
+                return UNSEEDED
+            taint = join(taint, self.eval(arg))
+        return taint
+
+
+def _map_arguments(
+    call: ast.Call, callee: FunctionInfo
+) -> Mapping[str, ast.expr]:
+    """Best-effort call-argument -> callee-parameter binding."""
+    params = list(callee.positional_params())
+    bound_method = callee.is_method and params and params[0] in ("self", "cls")
+    if bound_method:
+        params = params[1:]
+    mapped: dict[str, ast.expr] = {}
+    for param, arg in zip(params, call.args):
+        mapped[param] = arg
+    keyword_ok = set(params) | set(callee.keyword_params())
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in keyword_ok:
+            mapped[kw.arg] = kw.value
+    return mapped
+
+
+def _describe(node: ast.expr) -> str:
+    try:
+        text = ast.unparse(node)
+    except ValueError:  # pragma: no cover - malformed synthetic nodes
+        text = "<expression>"
+    return text if len(text) <= 48 else text[:45] + "..."

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Iterable, Sequence, TextIO
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.callgraph import Project
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import RuleRegistry, default_registry
 from repro.analysis.source import SourceFile
@@ -85,10 +86,26 @@ def lint_sources(
     report = LintReport()
     matcher = baseline.matcher()
     meta: list[Finding] = []
+    sources = list(sources)
+
+    # per-file rules see one source at a time; project rules see the
+    # whole set at once (the findings land back in their files below)
+    per_path: dict[str, list[Finding]] = {src.path: [] for src in sources}
+    for src in sources:
+        for rule in registry.file_rules():
+            per_path[src.path].extend(rule.check(src))
+    if registry.project_rules():
+        project = Project(sources)
+        for project_rule in registry.project_rules():
+            for finding in project_rule.check_project(project):
+                per_path.setdefault(finding.path, []).append(finding)
 
     for src in sources:
         report.files_checked += 1
-        raw = registry.run(src)
+        raw = sorted(
+            per_path.get(src.path, ()),
+            key=lambda f: (f.line, f.col, f.rule, f.message),
+        )
         meta.extend(_suppression_hygiene(src, registry))
         for finding in raw:
             covering = src.suppressions_for(finding.line, finding.rule)

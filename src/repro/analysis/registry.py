@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import abc
 import ast
-from typing import ClassVar, Iterable, Iterator
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.source import SourceFile
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle
+    from repro.analysis.callgraph import Project
 
 
 def dotted_name(node: ast.expr) -> str:
@@ -96,6 +99,32 @@ class Rule(abc.ABC):
         )
 
 
+class ProjectRule(Rule):
+    """A rule that checks the whole program, not one file.
+
+    Project rules see every parsed source at once through a
+    :class:`~repro.analysis.callgraph.Project` (symbol table + call
+    graph) and may emit findings in *any* file.  Findings still flow
+    through the ordinary per-file suppression and baseline machinery —
+    an inline disable comment on the flagged line works exactly as for
+    per-file rules.
+
+    :meth:`check` is implemented as a single-file fallback (a project
+    of one file) so direct ``rule.check(src)`` unit tests keep working;
+    the engine calls :meth:`check_project` once over all sources so
+    cross-module flows are actually visible.
+    """
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        from repro.analysis.callgraph import Project
+
+        yield from self.check_project(Project([src]))
+
+    @abc.abstractmethod
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+
+
 class RuleRegistry:
     """Named rule collection; iteration order is registration order."""
 
@@ -126,8 +155,24 @@ class RuleRegistry:
     def __iter__(self) -> Iterator[Rule]:
         return iter(self._rules.values())
 
+    def file_rules(self) -> tuple[Rule, ...]:
+        """Rules that analyse one file at a time."""
+        return tuple(
+            rule for rule in self if not isinstance(rule, ProjectRule)
+        )
+
+    def project_rules(self) -> tuple[ProjectRule, ...]:
+        """Rules that analyse the whole program at once."""
+        return tuple(
+            rule for rule in self if isinstance(rule, ProjectRule)
+        )
+
     def run(self, src: SourceFile) -> list[Finding]:
-        """All rules over one file, ordered by location then rule."""
+        """All rules over one file, ordered by location then rule.
+
+        Project rules run in single-file-fallback mode here; the
+        engine runs them once over the whole source set instead.
+        """
         found: list[Finding] = []
         for rule in self:
             found.extend(rule.check(src))
@@ -136,7 +181,7 @@ class RuleRegistry:
 
 
 def default_registry() -> RuleRegistry:
-    """The six shipped contract rules."""
+    """The nine shipped contract rules."""
     from repro.analysis.rules import all_rules
 
     return RuleRegistry(all_rules())

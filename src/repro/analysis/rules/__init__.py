@@ -8,6 +8,11 @@ from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.fail_safety import FailSafetyRule
 from repro.analysis.rules.float_equality import FloatEqualityRule
 from repro.analysis.rules.kernel_purity import KernelPurityRule
+from repro.analysis.rules.rng_provenance import RngProvenanceRule
+from repro.analysis.rules.shared_state import SharedStateRaceRule
+from repro.analysis.rules.snapshot_completeness import (
+    SnapshotCompletenessRule,
+)
 from repro.analysis.rules.unit_safety import UnitSafetyRule
 
 __all__ = ["all_rules"]
@@ -22,4 +27,7 @@ def all_rules() -> tuple[Rule, ...]:
         FloatEqualityRule(),
         CachePurityRule(),
         KernelPurityRule(),
+        SharedStateRaceRule(),
+        RngProvenanceRule(),
+        SnapshotCompletenessRule(),
     )

@@ -1,10 +1,15 @@
-"""Determinism rule: no wall-clock, no unseeded randomness.
+"""Determinism rule: no wall-clock or filesystem-order reads.
 
 The reproduction's core contracts — byte-identical serial/parallel
 steppers, content-addressed result caching, seeded fault replay — all
 assume a simulated run is a pure function of its config.  Wall-clock
-reads and process-global RNG state break that silently: results still
-look plausible, they just stop being reproducible.
+and filesystem-order reads break that silently: results still look
+plausible, they just stop being reproducible.
+
+RNG checks used to live here as per-file heuristics; they are now
+owned by the interprocedural ``rng-provenance`` rule
+(:mod:`repro.analysis.rules.rng_provenance`), which traces seeds
+across call boundaries instead of guessing from one file.
 """
 
 from __future__ import annotations
@@ -31,16 +36,6 @@ WALL_CLOCK_CALLS = frozenset(
 #: ``datetime``-style constructors reading the host clock.
 DATE_ATTRS = frozenset({"now", "utcnow", "today"})
 
-#: module-level ``random`` functions driven by the process-global,
-#: implicitly-seeded RNG.
-GLOBAL_RANDOM_CALLS = frozenset(
-    f"random.{name}" for name in (
-        "random", "randint", "randrange", "choice", "choices", "shuffle",
-        "sample", "uniform", "gauss", "normalvariate", "expovariate",
-        "betavariate", "triangular", "seed", "getrandbits", "vonmisesvariate",
-    )
-)
-
 #: filesystem enumerations whose order is platform-dependent.
 FS_ORDER_CALLS = frozenset({
     "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
@@ -66,16 +61,14 @@ class DeterminismRule(Rule):
     name = "determinism"
     contract = (
         "Simulated results are pure functions of their config: code under "
-        "sim/, cluster/, and experiments/ must not read the host clock "
-        "(time.time & friends, datetime.now) or enumerate the filesystem "
-        "in platform order (os.listdir, glob) without sorting, and no "
-        "code anywhere may draw from the process-global random module — "
-        "randomness always flows through a seeded random.Random(seed) "
-        "instance owned by the component that replays it."
+        "sim/, cluster/, fleet/, and experiments/ must not read the host "
+        "clock (time.time & friends, datetime.now) or enumerate the "
+        "filesystem in platform order (os.listdir, glob) without sorting. "
+        "RNG provenance is enforced by the rng-provenance rule."
     )
     design_ref = "DESIGN.md §10.2"
     hint = (
-        "inject seeded random.Random(seed); pass timestamps in as config; "
+        "pass timestamps in as config; "
         "wrap filesystem listings in sorted(...)"
     )
 
@@ -88,19 +81,7 @@ class DeterminismRule(Rule):
             dotted = dotted_name(node.func)
             if not dotted:
                 continue
-            if dotted in GLOBAL_RANDOM_CALLS:
-                yield self.finding(
-                    src, node,
-                    f"call to process-global {dotted}() — use a seeded "
-                    "random.Random(seed) instance so runs replay",
-                )
-            elif dotted == "random.Random" and not node.args:
-                yield self.finding(
-                    src, node,
-                    "random.Random() without a seed falls back to OS "
-                    "entropy — pass an explicit seed",
-                )
-            elif scoped and dotted in WALL_CLOCK_CALLS:
+            if scoped and dotted in WALL_CLOCK_CALLS:
                 yield self.finding(
                     src, node,
                     f"wall-clock read {dotted}() in a deterministic scope "

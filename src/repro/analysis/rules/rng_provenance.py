@@ -1,0 +1,88 @@
+"""rng-provenance: every RNG traces to a config/scenario seed.
+
+Supersedes the per-file RNG heuristic that shipped inside the
+determinism rule: the syntactic checks (process-global ``random.*``
+calls, ``random.Random()`` with no argument, ``random.SystemRandom``)
+moved here unchanged, and the new interprocedural half
+(:mod:`repro.analysis.dataflow`) traces seed values across call
+boundaries — so ``make_rng(time.time_ns())`` is flagged at the call
+site even though the ``random.Random(seed)`` it feeds looks innocent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import Project
+from repro.analysis.dataflow import SeedAnalysis
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, dotted_name
+from repro.analysis.source import SourceFile
+
+#: module-level ``random`` functions driven by the process-global,
+#: implicitly-seeded RNG.
+GLOBAL_RANDOM_CALLS = frozenset(
+    f"random.{name}" for name in (
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "expovariate",
+        "betavariate", "triangular", "seed", "getrandbits", "vonmisesvariate",
+    )
+)
+
+
+class RngProvenanceRule(ProjectRule):
+    name = "rng-provenance"
+    contract = (
+        "Randomness always flows through a random.Random(seed) instance "
+        "whose seed traces — across call boundaries — to a config, "
+        "scenario, or incarnation seed owned by the component that "
+        "replays it.  No code may draw from the process-global random "
+        "module, construct random.Random() without a seed, or use OS "
+        "entropy (random.SystemRandom); and no call chain may feed an "
+        "RNG seed parameter a value that does not derive from a seed "
+        "source."
+    )
+    design_ref = "DESIGN.md §15.3"
+    hint = (
+        "thread an explicit seed from the config/scenario (salt derived "
+        "RNGs: random.Random(config.seed ^ SALT)); never draw from the "
+        "global random module or OS entropy"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for src in project.sources:
+            yield from self._syntactic(src)
+        analysis = SeedAnalysis(project)
+        analysis.run()
+        for event in analysis.events:
+            src = project.by_path[event.path]
+            yield self.finding(src, event.node, event.message)
+
+    def _syntactic(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if not dotted:
+                continue
+            if dotted in GLOBAL_RANDOM_CALLS:
+                yield self.finding(
+                    src, node,
+                    f"call to process-global {dotted}() — use a seeded "
+                    "random.Random(seed) instance so runs replay",
+                )
+            elif dotted == "random.Random" and not node.args and not any(
+                kw.arg in ("x", "seed") for kw in node.keywords
+            ):
+                yield self.finding(
+                    src, node,
+                    "random.Random() without a seed falls back to OS "
+                    "entropy — pass an explicit seed",
+                )
+            elif dotted in ("random.SystemRandom", "secrets.SystemRandom"):
+                yield self.finding(
+                    src, node,
+                    f"{dotted}() draws OS entropy and can never replay — "
+                    "use a seeded random.Random(seed)",
+                )

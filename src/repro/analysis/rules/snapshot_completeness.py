@@ -1,0 +1,179 @@
+"""snapshot-completeness: snapshot/restore pairs cover mutable state.
+
+Crash recovery (journal redo, the batched engine's RAPL rollback) is
+exact only if a class's snapshot captures *every* attribute its other
+methods mutate.  A field added to ``observe()`` but forgotten in
+``snapshot()`` replays silently wrong — the bug class PR 6's arbiter
+snapshots and PR 7's ``control_state`` rollback flirted with.
+
+The rule pairs methods structurally: ``restore`` partners ``snapshot``
+and ``restore_X`` partners ``X`` (so ``control_state`` /
+``restore_control_state`` is a pair).  Mutable attributes are
+``self.attr`` targets assigned or augmented outside ``__init__`` (and
+outside the pair methods themselves), plus attributes mutated in place
+anywhere outside ``__init__`` — subscript assignment or a known
+mutator method call.  An attribute is *covered* when either side of
+the pair mentions it: read by the snapshot method or (re)assigned by
+the restore method — restore-side recomputation
+(``self._cap_sum = sum(...)``) counts, by design.
+
+**Soundness limits**: attributes written via ``setattr`` or mutated
+through an alias (``d = self._caps; d[k] = v``) are invisible; a class
+whose state is intentionally partial (a rollback window narrower than
+the full object) suppresses the finding with a reason saying *why* the
+uncovered fields cannot change inside the window.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, dotted_name
+from repro.analysis.source import SourceFile
+
+#: in-place mutator methods on the builtin containers.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse",
+})
+
+#: methods whose writes are lifecycle, not runtime mutation.
+CONSTRUCTOR_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+class SnapshotCompletenessRule(Rule):
+    name = "snapshot-completeness"
+    contract = (
+        "Every class with a snapshot/restore pair (snapshot+restore, or "
+        "X+restore_X like control_state/restore_control_state) covers "
+        "all of its mutable attributes: any self.<attr> assigned or "
+        "mutated outside __init__ must be read by the snapshot method "
+        "or assigned by the restore method, or crash replay and "
+        "rollback diverge from the run they recover."
+    )
+    design_ref = "DESIGN.md §15.4"
+    hint = (
+        "add the attribute to the snapshot dict and restore it (or "
+        "recompute it in restore); suppress only with a reason proving "
+        "it cannot change inside the snapshot/restore window"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(src, node)
+
+    def _check_class(
+        self, src: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        pairs = _snapshot_pairs(methods)
+        if not pairs:
+            return
+        pair_members = {name for pair in pairs for name in pair}
+        mutable = self._mutable_attrs(methods, pair_members)
+        for snap_name, restore_name in pairs:
+            covered = _mentioned_attrs(methods[snap_name]) | _mentioned_attrs(
+                methods[restore_name]
+            )
+            missing = sorted(set(mutable) - covered)
+            for attr in missing:
+                yield self.finding(
+                    src, methods[snap_name],
+                    f"{cls.name}.{snap_name}()/{restore_name}() pair "
+                    f"does not cover mutable attribute 'self.{attr}' "
+                    f"(mutated in {mutable[attr]}()) — recovery through "
+                    "this snapshot diverges from the run it replays",
+                )
+
+    def _mutable_attrs(
+        self,
+        methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+        pair_members: set[str],
+    ) -> dict[str, str]:
+        """attr -> name of a method that mutates it at runtime."""
+        mutable: dict[str, str] = {}
+
+        def note(attr: str, method: str) -> None:
+            mutable.setdefault(attr, method)
+
+        for name, method in methods.items():
+            if name in CONSTRUCTOR_METHODS or name in pair_members:
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        for attr in _target_self_attrs(target):
+                            note(attr, name)
+                elif isinstance(node, ast.Call):
+                    dotted = dotted_name(node.func)
+                    parts = dotted.split(".") if dotted else []
+                    if (
+                        len(parts) == 3
+                        and parts[0] == "self"
+                        and parts[2] in MUTATOR_METHODS
+                    ):
+                        note(parts[1], name)
+        return mutable
+
+
+def _snapshot_pairs(
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+) -> list[tuple[str, str]]:
+    """(snapshot method, restore method) name pairs in this class."""
+    pairs: list[tuple[str, str]] = []
+    for name in sorted(methods):
+        if name == "restore" and "snapshot" in methods:
+            pairs.append(("snapshot", "restore"))
+        elif name.startswith("restore_"):
+            partner = name[len("restore_"):]
+            if partner in methods:
+                pairs.append((partner, name))
+    return pairs
+
+
+def _target_self_attrs(target: ast.expr) -> list[str]:
+    """Attributes of ``self`` this assignment target writes or mutates.
+
+    ``self.x = v`` and ``self.x[k] = v`` both yield ``x``; deeper
+    chains (``self.x.y = v``) mutate a sub-object the snapshot either
+    captures wholesale via ``self.x`` or not at all — yield ``x`` so
+    coverage is checked at the attribute the class owns.
+    """
+    cur = target
+    while isinstance(cur, ast.Subscript):
+        cur = cur.value
+    attrs: list[str] = []
+    if isinstance(cur, (ast.Tuple, ast.List)):
+        for element in cur.elts:
+            attrs.extend(_target_self_attrs(element))
+        return attrs
+    dotted = dotted_name(cur)
+    if dotted and dotted.startswith("self.") and dotted.count(".") >= 1:
+        attrs.append(dotted.split(".")[1])
+    return attrs
+
+
+def _mentioned_attrs(
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Every ``self.<attr>`` the method touches, in any context."""
+    out: set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            out.add(node.attr)
+    return out

@@ -1,0 +1,172 @@
+"""Runtime determinism sanitizer: canonical per-epoch state digests.
+
+The static rules prove the *absence of known bug patterns*; the
+sanitizer checks the property itself at runtime.  Under
+``REPRO_SANITIZE=1`` every stepper/engine combination records a
+canonical digest of its per-epoch state (node reports in the cluster
+loop, chip counters in the sim engine), and
+:func:`first_divergence` compares two recordings and names the first
+epoch, node, and field where they disagree — with both values, so the
+diff is readable instead of "hashes differ".
+
+Digest format (DESIGN.md §15.5): one *row* per ``(epoch, node)``,
+mapping field names to canonical strings — floats via ``repr`` (exact
+round-trip, so bit-level divergence is visible), containers recursively
+canonicalised with sorted keys.  :meth:`StateDigest.digest` folds all
+rows into one SHA-256 for cheap equality; the rows themselves are kept
+so a mismatch can be attributed.
+
+The module is dependency-free on purpose: the cluster runtime and the
+sim engine import it, never the reverse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Mapping
+
+#: environment switch: any value but ""/"0" enables the sanitizer.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for per-epoch digests."""
+    return os.environ.get(SANITIZE_ENV, "") not in ("", "0")
+
+
+def canonical(value: object) -> object:
+    """JSON-safe canonical form: exact floats, ordered containers."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr round-trips exactly, so 1.0 != 1.0000...1; float() first
+        # because numpy scalars subclass float but repr differently
+        return repr(float(value))
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (frozenset, set)):
+        return sorted(str(canonical(v)) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return canonical(dataclasses.asdict(value))
+    return repr(value)
+
+
+def digest_fields(obj: object) -> dict[str, object]:
+    """Canonical field map of a dataclass (or mapping) state object."""
+    if isinstance(obj, Mapping):
+        items = obj
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        items = {
+            f.name: getattr(obj, f.name)
+            for f in dataclasses.fields(obj)
+        }
+    else:
+        items = vars(obj)
+    return {name: canonical(value) for name, value in items.items()}
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point where two recordings disagree."""
+
+    epoch: int
+    node: str
+    field: str
+    left_label: str
+    right_label: str
+    left: object
+    right: object
+
+    def describe(self) -> str:
+        return (
+            f"determinism divergence at epoch {self.epoch}, node "
+            f"{self.node!r}, field {self.field!r}: "
+            f"{self.left_label} saw {self.left!r}, "
+            f"{self.right_label} saw {self.right!r}"
+        )
+
+
+class StateDigest:
+    """One run's canonical per-epoch state recording."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self._rows: dict[tuple[int, str], dict[str, object]] = {}
+
+    def record(
+        self, epoch: int, node: str, fields: Mapping[str, object]
+    ) -> None:
+        """Record one (epoch, node) state row (canonicalised here)."""
+        self._rows[(epoch, node)] = {
+            name: canonical(value) for name, value in fields.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> dict[tuple[int, str], dict[str, object]]:
+        return dict(self._rows)
+
+    def digest(self) -> str:
+        """SHA-256 over all rows in (epoch, node) order."""
+        hasher = hashlib.sha256()
+        for key in sorted(self._rows):
+            epoch, node = key
+            payload = json.dumps(
+                [epoch, node, self._rows[key]], sort_keys=True,
+            )
+            hasher.update(payload.encode("utf-8"))
+        return hasher.hexdigest()
+
+
+def first_divergence(
+    left: StateDigest, right: StateDigest
+) -> Divergence | None:
+    """The first (epoch, node, field) where two recordings disagree.
+
+    "First" is by epoch, then node name, then field name — stable and
+    independent of recording order.  A row present on one side only is
+    reported with the sentinel value ``"<missing>"``.
+    """
+    keys = sorted(set(left.rows) | set(right.rows))
+    for epoch, node in keys:
+        a = left.rows.get((epoch, node))
+        b = right.rows.get((epoch, node))
+        if a is None or b is None:
+            return Divergence(
+                epoch=epoch, node=node, field="<row>",
+                left_label=left.label, right_label=right.label,
+                left=a if a is not None else "<missing>",
+                right=b if b is not None else "<missing>",
+            )
+        for field in sorted(set(a) | set(b)):
+            va = a.get(field, "<missing>")
+            vb = b.get(field, "<missing>")
+            if va != vb:
+                return Divergence(
+                    epoch=epoch, node=node, field=field,
+                    left_label=left.label, right_label=right.label,
+                    left=va, right=vb,
+                )
+    return None
+
+
+def compare_all(digests: list[StateDigest]) -> Divergence | None:
+    """First divergence of any recording against the first one."""
+    if not digests:
+        return None
+    reference = digests[0]
+    for other in digests[1:]:
+        divergence = first_divergence(reference, other)
+        if divergence is not None:
+            return divergence
+    return None

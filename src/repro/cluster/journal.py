@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
 
 from repro.cluster.node import NodeEpochReport
 from repro.cluster.transport import Envelope
@@ -67,7 +69,7 @@ class JournalEntry:
     #: the arbitration epoch the event belongs to.
     epoch: int
     kind: str
-    data: dict
+    data: dict[str, Any]
 
     def __post_init__(self) -> None:
         if self.kind not in ENTRY_KINDS:
@@ -90,10 +92,10 @@ class RecoveredState:
     admitted: tuple[str, ...]
     down: tuple[str, ...]
     seqs: dict[str, int]
-    transport: dict | None
-    arbiter: dict | None
+    transport: dict[str, Any] | None
+    arbiter: dict[str, Any] | None
     guard: dict[str, int]
-    leases: dict[str, dict]
+    leases: dict[str, dict[str, Any]]
     #: per fenced epoch: (epoch, caps_w, safe, down, restarts, idle).
     steps: tuple[tuple[int, dict[str, float], tuple[str, ...],
                        tuple[str, ...], tuple[str, ...],
@@ -109,7 +111,9 @@ class Journal:
 
     # -- writing -----------------------------------------------------------------
 
-    def append(self, kind: str, epoch: int, data: dict) -> JournalEntry:
+    def append(
+        self, kind: str, epoch: int, data: dict[str, Any]
+    ) -> JournalEntry:
         entry = JournalEntry(
             seq=len(self._entries), epoch=epoch, kind=kind, data=data
         )
@@ -150,8 +154,11 @@ class Journal:
         """
         fence: JournalEntry | None = None
         arbitration: JournalEntry | None = None
-        leases: dict[str, dict] = {}
-        steps = []
+        leases: dict[str, dict[str, Any]] = {}
+        steps: list[
+            tuple[int, dict[str, float], tuple[str, ...], tuple[str, ...],
+                  tuple[str, ...], tuple[str, ...]]
+        ] = []
         for entry in self._entries:
             if entry.epoch > self._last_fenced:
                 break
@@ -195,7 +202,7 @@ class Journal:
         ]
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def dump(self, path) -> None:
+    def dump(self, path: str | Path) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_jsonl())
 
@@ -229,7 +236,7 @@ class Journal:
         return journal
 
     @classmethod
-    def load(cls, path) -> "Journal":
+    def load(cls, path: str | Path) -> "Journal":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_jsonl(handle.read())
 
@@ -243,17 +250,17 @@ class Journal:
 # recovers byte-identical state.
 
 
-def _report_to_jsonable(report: NodeEpochReport) -> dict:
+def _report_to_jsonable(report: NodeEpochReport) -> dict[str, Any]:
     return asdict(report)
 
 
-def _report_from_jsonable(data: dict) -> NodeEpochReport:
+def _report_from_jsonable(data: dict[str, Any]) -> NodeEpochReport:
     return NodeEpochReport(**data)
 
 
-def _envelope_to_jsonable(env: Envelope) -> dict:
+def _envelope_to_jsonable(env: Envelope) -> dict[str, Any]:
     if isinstance(env.payload, NodeEpochReport):
-        payload: dict = {"report": _report_to_jsonable(env.payload)}
+        payload: dict[str, Any] = {"report": _report_to_jsonable(env.payload)}
     else:
         payload = {"cap": env.payload}
     return {
@@ -266,7 +273,7 @@ def _envelope_to_jsonable(env: Envelope) -> dict:
     }
 
 
-def _envelope_from_jsonable(data: dict) -> Envelope:
+def _envelope_from_jsonable(data: dict[str, Any]) -> Envelope:
     payload = data["payload"]
     value: object
     if "report" in payload:
@@ -283,7 +290,7 @@ def _envelope_from_jsonable(data: dict) -> Envelope:
     )
 
 
-def _transport_to_jsonable(state: dict) -> dict:
+def _transport_to_jsonable(state: dict[str, Any]) -> dict[str, Any]:
     version, internal, gauss = state["rng"]
     return {
         "order": state["order"],
@@ -303,7 +310,7 @@ def _transport_to_jsonable(state: dict) -> dict:
     }
 
 
-def _transport_from_jsonable(data: dict) -> dict:
+def _transport_from_jsonable(data: dict[str, Any]) -> dict[str, Any]:
     rng = data["rng"]
     return {
         "order": data["order"],
@@ -319,7 +326,7 @@ def _transport_from_jsonable(data: dict) -> dict:
     }
 
 
-def _arbiter_to_jsonable(state: dict) -> dict:
+def _arbiter_to_jsonable(state: dict[str, Any]) -> dict[str, Any]:
     out = dict(state)
     out["last_report"] = {
         name: _report_to_jsonable(report)
@@ -328,7 +335,7 @@ def _arbiter_to_jsonable(state: dict) -> dict:
     return out
 
 
-def _arbiter_from_jsonable(data: dict) -> dict:
+def _arbiter_from_jsonable(data: dict[str, Any]) -> dict[str, Any]:
     out = dict(data)
     out["last_report"] = {
         name: _report_from_jsonable(report)
@@ -337,7 +344,7 @@ def _arbiter_from_jsonable(data: dict) -> dict:
     return out
 
 
-def _entry_to_jsonable(entry: JournalEntry) -> dict:
+def _entry_to_jsonable(entry: JournalEntry) -> dict[str, Any]:
     data = dict(entry.data)
     if entry.kind == "fence":
         data["transport"] = _transport_to_jsonable(data["transport"])
@@ -351,7 +358,7 @@ def _entry_to_jsonable(entry: JournalEntry) -> dict:
     }
 
 
-def _entry_from_jsonable(raw: dict) -> JournalEntry:
+def _entry_from_jsonable(raw: dict[str, Any]) -> JournalEntry:
     data = dict(raw["data"])
     if raw["kind"] == "fence":
         data["transport"] = _transport_from_jsonable(data["transport"])

@@ -60,6 +60,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.sanitizer import (
+    StateDigest,
+    digest_fields,
+    sanitize_enabled,
+)
 from repro.cluster.arbiter import Arbitration
 from repro.cluster.config import ClusterConfig
 from repro.cluster.journal import Journal
@@ -106,6 +111,9 @@ class ClusterRun:
     idle_sets: list[frozenset[str]] = field(default_factory=list)
     #: the write-ahead journal the run appended to.
     journal: Journal | None = None
+    #: per-epoch state recording when the determinism sanitizer ran
+    #: (``REPRO_SANITIZE=1`` or an explicit ``sanitize=True``).
+    sanitizer: StateDigest | None = None
 
     @property
     def n_epochs(self) -> int:
@@ -121,12 +129,30 @@ class ClusterRun:
 class ClusterSim:
     """Seeded, deterministic driver for one cluster configuration."""
 
-    def __init__(self, config: ClusterConfig, *, jobs: int | None = None):
+    def __init__(
+        self,
+        config: ClusterConfig,
+        *,
+        jobs: int | None = None,
+        sanitize: bool | None = None,
+    ):
         self.config = config
         self.arbiter = make_arbiter(config)
         self.trace = ClusterTrace()
         self.journal = Journal()
         self._jobs = jobs
+        #: determinism sanitizer (explicit flag beats REPRO_SANITIZE):
+        #: records a canonical digest of every node's epoch report so
+        #: serial, stacked, and fork stepping can be diffed field by
+        #: field instead of "bytes differ somewhere".
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        self.sanitizer: StateDigest | None = None
+        if sanitize:
+            workers = "auto" if jobs is None else str(jobs)
+            self.sanitizer = StateDigest(
+                f"cluster/{config.engine}/jobs={workers}"
+            )
         self._admitted: set[str] = set()
         scenario = self._scenario(config)
         #: the transport seed derives from the cluster seed so a run
@@ -408,6 +434,7 @@ class ClusterSim:
             trace=self.trace,
             transport_stats=self.transport.stats,
             journal=self.journal,
+            sanitizer=self.sanitizer,
         )
         stepper = self._ensure_stepper()
         try:
@@ -470,6 +497,11 @@ class ClusterSim:
                     restarts,
                     idle,
                 )
+                if self.sanitizer is not None:
+                    for name in sorted(reports):
+                        self.sanitizer.record(
+                            epoch, name, digest_fields(reports[name])
+                        )
                 self._send_reports(epoch, reports)
                 self.trace.record_epoch(
                     t1, reports, caps_w, self.config.budget_w
@@ -587,6 +619,7 @@ def run_cluster(
     duration_s: float,
     *,
     jobs: int | None = None,
+    sanitize: bool | None = None,
 ) -> ClusterRun:
     """Convenience one-shot: build a :class:`ClusterSim` and run it."""
-    return ClusterSim(config, jobs=jobs).run(duration_s)
+    return ClusterSim(config, jobs=jobs, sanitize=sanitize).run(duration_s)

@@ -173,6 +173,7 @@ class RaplLimiter:
             )
         self._limit_w = limit_w
 
+    # repro-lint: disable=snapshot-completeness — _limit_w is programmed between control iterations (set_limit), never inside a batched rollback window; the pair covers exactly the intra-window recurrence state
     def control_state(self) -> tuple[float, float, bool]:
         """Snapshot of the mutable control-loop state.
 

@@ -44,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence, Union
 
+from repro.analysis.sanitizer import StateDigest, sanitize_enabled
 from repro.errors import SimulationError
 from repro.sim import soa
 from repro.sim.chip import Chip
@@ -58,6 +59,25 @@ ENGINES = ("scalar", "array")
 #: deadline by that many seconds (at least one tick).
 GateResult = Union[str, float, None]
 TickGate = Callable[[float], GateResult]
+
+
+def _chip_digest(chip: Chip) -> dict[str, object]:
+    """Canonical per-window chip state for the determinism sanitizer.
+
+    Everything downstream software can observe: simulated time, package
+    energy, and the per-core frequency and counter vectors.  Floats are
+    left exact — the sanitizer's canonical form uses ``repr``, so a
+    single-ULP divergence between engines is visible.
+    """
+    n = chip.platform.n_cores
+    return {
+        "time_s": float(chip.time_s),
+        "pkg_energy_j": float(chip.energy.package_energy_joules),
+        "eff_mhz": [float(chip.effective_frequency(i)) for i in range(n)],
+        "aperf": [float(x) for x in chip._aperf_cycles],
+        "mperf": [float(x) for x in chip._mperf_cycles],
+        "instr": [float(x) for x in chip._instr_total],
+    }
 
 
 @dataclass
@@ -97,6 +117,12 @@ class SimEngine:
         self.batching = True
         #: number of batched chip advances taken (observability/tests).
         self.batched_segments = 0
+        #: determinism sanitizer (``REPRO_SANITIZE=1``): records a chip
+        #: digest after every ``run_ticks`` window, keyed by tick count,
+        #: so scalar/array/lockstep runs can be diffed field by field.
+        self.sanitizer: StateDigest | None = (
+            StateDigest(f"engine/{engine}") if sanitize_enabled() else None
+        )
 
     @property
     def time_s(self) -> float:
@@ -254,6 +280,10 @@ class SimEngine:
                 self.batched_segments += 1
             self._process_due_callbacks()
         self.chip.flush_counters()
+        if self.sanitizer is not None and n_ticks > 0:
+            self.sanitizer.record(
+                self._ticks_run, "chip", _chip_digest(self.chip)
+            )
 
     def run_until(
         self,
@@ -304,3 +334,7 @@ run_ticks` would.  Semantically equivalent to running each engine's
         remaining -= gap
     for engine in gang:
         engine.chip.flush_counters()
+        if engine.sanitizer is not None and n_ticks > 0:
+            engine.sanitizer.record(
+                engine._ticks_run, "chip", _chip_digest(engine.chip)
+            )

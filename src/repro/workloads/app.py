@@ -149,6 +149,7 @@ class AppModel:
         if cached is None:
             digest = hashlib.sha256(self.name.encode()).digest()
             cached = digest[0] / 255.0 * 2.0 * math.pi
+            # repro-lint: disable=shared-state-race — memo of a pure hash of the app name; identical in every process
             _PHASE_OFFSET_CACHE[self.name] = cached
         return cached
 

@@ -59,6 +59,91 @@ class TestSelfCheck:
         assert rc == 1
         assert "determinism" in out.getvalue()
 
+    def test_seeded_graph_rule_violations_fail_the_gate(self, tmp_path):
+        # one copied tree, three seeded whole-program violations: a
+        # fork-worker module mutation, an unseeded RNG one call hop
+        # from its construction site, and a snapshot pair missing a
+        # mutable attribute — all three must block --check
+        work = tmp_path / "repo"
+        work.mkdir(parents=True, exist_ok=True)
+        shutil.copytree(SRC, work / "src")
+        shutil.copy(
+            REPO_ROOT / DEFAULT_BASELINE_NAME, work / DEFAULT_BASELINE_NAME
+        )
+        seeded = work / "src" / "repro" / "cluster" / "_seeded.py"
+        seeded.write_text(
+            "import multiprocessing as mp\n"
+            "import random\n"
+            "import time\n"
+            "\n"
+            "_CACHE = {}\n"
+            "\n"
+            "\n"
+            "def _seeded_worker():\n"
+            "    _CACHE['k'] = 1\n"
+            "\n"
+            "\n"
+            "def _seeded_spawn():\n"
+            "    mp.Process(target=_seeded_worker).start()\n"
+            "\n"
+            "\n"
+            "def _make_rng(seed):\n"
+            "    return random.Random(seed)\n"
+            "\n"
+            "\n"
+            "def _entropy_rng():\n"
+            "    return _make_rng(time.time_ns())\n"
+            "\n"
+            "\n"
+            "class _Partial:\n"
+            "    def __init__(self):\n"
+            "        self._level = 0.0\n"
+            "        self._peak = 0.0\n"
+            "\n"
+            "    def observe(self, v):\n"
+            "        self._level = v\n"
+            "        self._peak = max(self._peak, v)\n"
+            "\n"
+            "    def snapshot(self):\n"
+            "        return {'level': self._level}\n"
+            "\n"
+            "    def restore(self, state):\n"
+            "        self._level = state['level']\n",
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        rc = run_lint(
+            [str(work / "src"), "--root", str(work), "--check"], stream=out
+        )
+        rendered = out.getvalue()
+        assert rc == 1
+        assert "shared-state-race" in rendered
+        assert "rng-provenance" in rendered
+        assert "snapshot-completeness" in rendered
+        assert "_seeded_worker" in rendered
+        assert "'self._peak'" in rendered
+
+    @pytest.mark.parametrize("rule, section", [
+        ("shared-state-race", "§15.2"),
+        ("rng-provenance", "§15.3"),
+        ("snapshot-completeness", "§15.4"),
+    ])
+    def test_explain_covers_graph_rules(self, rule, section):
+        out = io.StringIO()
+        assert run_lint(["--explain", rule], stream=out) == 0
+        text = out.getvalue()
+        assert f"DESIGN.md {section}" in text
+
+    def test_graph_summary_over_repo_resolves_worker_roots(self):
+        out = io.StringIO()
+        rc = run_lint(
+            [str(SRC), "--root", str(REPO_ROOT), "--graph"], stream=out
+        )
+        text = out.getvalue()
+        assert rc == 0
+        assert "repro.cluster.stepper._worker_main" in text
+        assert "repro.experiments.parallel._run_task" in text
+
     def test_json_report_shape_over_repo(self):
         out = io.StringIO()
         run_lint(

@@ -29,7 +29,7 @@ class TestSuppressions:
     def test_same_line_comment_suppresses(self):
         report = lint_text(
             "import random\n\n\ndef f():\n"
-            "    # repro-lint: disable=determinism — test sentinel\n"
+            "    # repro-lint: disable=rng-provenance — test sentinel\n"
             "    return random.random()\n"
         )
         assert report.ok
@@ -39,7 +39,7 @@ class TestSuppressions:
     def test_comment_above_suppresses_next_line_only(self):
         report = lint_text(
             "import random\n"
-            "# repro-lint: disable=determinism — covers line 2 only\n"
+            "# repro-lint: disable=rng-provenance — covers line 2 only\n"
             "a = random.random()\n"
             "b = random.random()\n"
         )
@@ -51,11 +51,11 @@ class TestSuppressions:
     def test_reasonless_disable_is_a_finding_and_does_not_suppress(self):
         report = lint_text(
             "import random\n\n\ndef f():\n"
-            "    return random.random()  # repro-lint: disable=determinism\n"
+            "    return random.random()  # repro-lint: disable=rng-provenance\n"
         )
         rules = {f.rule for f in report.blocking}
         assert META_MALFORMED in rules
-        assert "determinism" in rules  # the violation still blocks
+        assert "rng-provenance" in rules  # the violation still blocks
 
     def test_unknown_rule_disable_is_a_finding(self):
         report = lint_text(
@@ -66,10 +66,54 @@ class TestSuppressions:
 
     def test_stale_suppression_is_a_finding(self):
         report = lint_text(
-            "# repro-lint: disable=determinism — nothing to cover\n"
+            "# repro-lint: disable=rng-provenance — nothing to cover\n"
             "x = 1\n"
         )
         assert [f.rule for f in report.blocking] == [META_UNUSED]
+
+    def test_comma_list_suppresses_two_rules_on_one_line(self):
+        report = lint_text(
+            "import random\n\n\ndef f():\n"
+            "    # repro-lint: disable=rng-provenance,float-equality"
+            " — test sentinel\n"
+            "    return random.random() == 1.0\n"
+        )
+        assert report.ok
+        assert sorted(f.rule for f in report.suppressed) == [
+            "float-equality", "rng-provenance",
+        ]
+
+    def test_empty_reason_after_dash_is_malformed(self):
+        report = lint_text(
+            "import random\n\n\ndef f():\n"
+            "    # repro-lint: disable=rng-provenance —\n"
+            "    return random.random()\n"
+        )
+        rules = {f.rule for f in report.blocking}
+        assert META_MALFORMED in rules
+        assert "rng-provenance" in rules
+
+    def test_comment_above_covers_multiline_statement_head(self):
+        report = lint_text(
+            "import random\n\n\ndef f():\n"
+            "    # repro-lint: disable=rng-provenance — test sentinel\n"
+            "    return random.random(\n"
+            "    )\n"
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_trailing_comment_on_continuation_line_covers_nothing(self):
+        # the disable must sit on the statement's first physical line
+        # (or the line above); a closing-paren line covers nothing
+        report = lint_text(
+            "import random\n\n\ndef f():\n"
+            "    return random.random(\n"
+            "    )  # repro-lint: disable=rng-provenance — wrong line\n"
+        )
+        assert not report.ok
+        rules = sorted(f.rule for f in report.blocking)
+        assert rules == ["rng-provenance", META_UNUSED]
 
     def test_suppression_covers_only_named_rule(self):
         report = lint_text(
@@ -77,16 +121,16 @@ class TestSuppressions:
             "    # repro-lint: disable=float-equality — wrong rule\n"
             "    return random.random()\n"
         )
-        # the determinism finding still blocks; the disable is stale
+        # the rng-provenance finding still blocks; the disable is stale
         rules = sorted(f.rule for f in report.blocking)
-        assert rules == ["determinism", META_UNUSED]
+        assert rules == ["rng-provenance", META_UNUSED]
 
 
 class TestBaseline:
     def suppressed_report(self):
         return lint_text(
             "import random\n\n\ndef f():\n"
-            "    # repro-lint: disable=determinism — test sentinel\n"
+            "    # repro-lint: disable=rng-provenance — test sentinel\n"
             "    return random.random()\n"
         )
 
@@ -110,7 +154,7 @@ class TestBaseline:
     def test_check_mode_blocks_unledgered_suppression(self):
         report = lint_text(
             "import random\n\n\ndef f():\n"
-            "    # repro-lint: disable=determinism — not in ledger\n"
+            "    # repro-lint: disable=rng-provenance — not in ledger\n"
             "    return random.random()\n",
             baseline=Baseline(),
             check=True,
@@ -123,7 +167,7 @@ class TestBaseline:
         ledger = Baseline.from_findings(first.suppressed)
         report = lint_text(
             "import random\n\n\ndef f():\n"
-            "    # repro-lint: disable=determinism — test sentinel\n"
+            "    # repro-lint: disable=rng-provenance — test sentinel\n"
             "    return random.random()\n",
             baseline=ledger,
             check=True,
@@ -135,7 +179,7 @@ class TestBaseline:
         # same code pushed three lines down by new material above
         report = lint_text(
             "import random\n\nPADDING_A = 1\nPADDING_B = 2\n\n\ndef f():\n"
-            "    # repro-lint: disable=determinism — test sentinel\n"
+            "    # repro-lint: disable=rng-provenance — test sentinel\n"
             "    return random.random()\n",
             baseline=ledger,
             check=True,
@@ -146,10 +190,10 @@ class TestBaseline:
         ledger = Baseline.from_findings(self.suppressed_report().suppressed)
         report = lint_text(
             "import random\n\n\ndef f():\n"
-            "    # repro-lint: disable=determinism — test sentinel\n"
+            "    # repro-lint: disable=rng-provenance — test sentinel\n"
             "    return random.random()\n"
             "\n\ndef g():\n"
-            "    # repro-lint: disable=determinism — test sentinel\n"
+            "    # repro-lint: disable=rng-provenance — test sentinel\n"
             "    return random.random()\n",
             baseline=ledger,
             check=True,
@@ -159,7 +203,7 @@ class TestBaseline:
 
     def test_unsuppressed_finding_matched_by_ledger_is_baselined(self):
         ledger = Baseline((BaselineEntry(
-            rule="determinism",
+            rule="rng-provenance",
             path="src/repro/hw/snippet.py",
             context="return random.random()",
         ),))
@@ -205,8 +249,8 @@ class TestCli:
         assert rc == 1
         rendered = out.getvalue()
         assert "src/snippet.py:5" in rendered
-        assert "determinism" in rendered
-        assert "DESIGN.md §10" in rendered
+        assert "rng-provenance" in rendered
+        assert "DESIGN.md §15" in rendered
 
     def test_json_output(self, tmp_path):
         root = self.write_tree(tmp_path, VIOLATION)
@@ -215,13 +259,13 @@ class TestCli:
             [str(root / "src"), "--root", str(root), "--json"], stream=out
         )
         payload = json.loads(out.getvalue())
-        assert payload["blocking"][0]["rule"] == "determinism"
+        assert payload["blocking"][0]["rule"] == "rng-provenance"
 
     def test_write_baseline_then_check_passes(self, tmp_path):
         root = self.write_tree(
             tmp_path,
             "import random\n\n\ndef f():\n"
-            "    # repro-lint: disable=determinism — deliberate\n"
+            "    # repro-lint: disable=rng-provenance — deliberate\n"
             "    return random.random()\n",
         )
         args = [str(root / "src"), "--root", str(root)]
