@@ -24,6 +24,18 @@ epochs.  On failure the run's write-ahead journal and cluster trace are
 dumped under ``--artifact-dir`` (default ``chaos-artifacts/``) so CI
 can upload them.
 
+A brownout drill covers the untrusted-telemetry layer: an
+oversubscribed cluster runs the ``liar-storm`` scenario (a greedy
+inflator plus a stuck sensor plus background garbage) and both liars
+must be quarantined within two epochs of their first detected
+violation, honest nodes must keep at least 95 % of the mean cap they
+get in a corruption-free run, and the cap-sum invariant must hold at
+every epoch of the storm.  A second leg drives the facility brownout
+ladder: nodes joining while a partitioned node's lease reservation
+still holds its old cap push the committed load past the enter ratio,
+the ladder must reach BROWNOUT1 and step back down to NORMAL once the
+overload clears.
+
 A determinism-sanitizer drill rides along too: the same small cluster
 is run under the serial scalar engine, the stacked array engine, and
 fork workers with per-epoch state digests recording
@@ -357,6 +369,172 @@ def run_fleet_drill(seed: int) -> int:
     return 1 if failures else 0
 
 
+def run_brownout_drill(seed: int) -> int:
+    """Liars must starve, honest nodes must not, and sustained
+    infeasibility must walk the brownout ladder — and back.
+
+    Leg one runs the ``liar-storm`` telemetry scenario (node0 inflating
+    3x, node1's sensor stuck, 2 % background garbage) against the same
+    cluster with honest telemetry and checks the acceptance bounds:
+
+    * the cap-sum invariant holds at every epoch of the storm;
+    * each liar is quarantined within 2 epochs of its first detected
+      violation (trust decay 0.5 per violating epoch against the 0.3
+      threshold), and detection itself lands within ``ttl + 2`` epochs
+      of the fault's onset (a stuck payload only goes stale once it is
+      older than the lease TTL);
+    * every honest node keeps at least 95 % of the mean cap it earns
+      in the corruption-free run — a liar can redirect at most 5 % of
+      an honest node's budget, and only until trust decay catches it.
+
+    Leg two drives the facility ladder with a reservation storm: three
+    nodes join over two consecutive epochs while a partitioned node's
+    lease still reserves its old cap, so the committed load (floors
+    plus reservations) exceeds the budget two epochs running.  The
+    ladder must step up to BROWNOUT1, never skip levels, keep the
+    cap-sum invariant through the overload, and return to NORMAL after
+    the hysteresis run of calm epochs.
+    """
+    from repro.cluster import ClusterConfig, NodeSpec, run_cluster
+    from repro.experiments.cluster_exp import default_cluster_config
+
+    failures = []
+
+    # -- leg one: the liar storm vs the honest baseline ------------------------
+    storm_cfg = default_cluster_config(
+        n_nodes=4, telemetry="liar-storm", seed=seed
+    )
+    storm = run_cluster(storm_cfg, 140.0)
+    clean = run_cluster(
+        default_cluster_config(n_nodes=4, seed=seed), 140.0
+    )
+    for epoch, grant in enumerate(storm.grants):
+        total = grant.total_w + sum(
+            w for n, w in grant.reserved_w.items() if n not in grant.caps_w
+        )
+        if total > storm_cfg.budget_w + 1e-6:
+            failures.append(
+                f"cap-sum {total:.3f} W over the "
+                f"{storm_cfg.budget_w:.0f} W budget at storm epoch {epoch}"
+            )
+    scenario = storm_cfg.telemetry_scenario()
+    assert scenario is not None
+    ttl = storm_cfg.lease_ttl_epochs
+    liars = scenario.node_names()
+    for liar in liars:
+        onset = min(
+            f.start_epoch for f in scenario.faults if f.node == liar
+        )
+        first_violation = next(
+            (e for e, g in enumerate(storm.grants)
+             if liar in g.trust_violations), None
+        )
+        first_quarantine = next(
+            (e for e, g in enumerate(storm.grants)
+             if liar in g.quarantined), None
+        )
+        if first_violation is None:
+            failures.append(f"liar {liar} was never detected")
+        elif first_violation > onset + ttl + 2:
+            failures.append(
+                f"liar {liar} detected only at epoch {first_violation}, "
+                f"more than ttl+2 epochs after its onset at {onset}"
+            )
+        elif first_quarantine is None:
+            failures.append(f"liar {liar} was never quarantined")
+        elif first_quarantine > first_violation + 2:
+            failures.append(
+                f"liar {liar} quarantined at epoch {first_quarantine}, "
+                f"more than 2 epochs after detection at {first_violation}"
+            )
+    honest = [
+        spec.name for spec in storm_cfg.nodes if spec.name not in liars
+    ]
+    settle = 6  # both liars are quarantined by here (checked above)
+    for name in honest:
+        storm_caps = [
+            g.caps_w[name] for g in storm.grants[settle:]
+            if name in g.caps_w
+        ]
+        clean_caps = [
+            g.caps_w[name] for g in clean.grants[settle:]
+            if name in g.caps_w
+        ]
+        storm_mean = sum(storm_caps) / len(storm_caps)
+        clean_mean = sum(clean_caps) / len(clean_caps)
+        if storm_mean < 0.95 * clean_mean:
+            failures.append(
+                f"honest {name} kept only {storm_mean:.1f} W of its "
+                f"liar-free {clean_mean:.1f} W mean cap (> 5% stolen)"
+            )
+    quarantined_epochs = sum(len(g.quarantined) for g in storm.grants)
+    flagged = sum(len(g.trust_violations) for g in storm.grants)
+
+    # -- leg two: the reservation storm must walk the ladder -------------------
+    apps = (
+        AppSpec("leela", shares=50.0),
+        AppSpec("cactusBSSN", shares=50.0),
+        AppSpec("leela", shares=50.0),
+        AppSpec("cactusBSSN", shares=50.0),
+        AppSpec("leela", shares=50.0),
+        AppSpec("cactusBSSN", shares=50.0),
+    )
+    # node0 (partitioned epochs 4-8) holds a ~45 W reservation while
+    # node3/node4 join at epoch 4 and node5 at epoch 5: committed load
+    # tops the budget two epochs running, then drains as the shave and
+    # the lease expiry release the reservation.
+    joins = {"node3": 40.0, "node4": 40.0, "node5": 50.0}
+    ladder_cfg = ClusterConfig(
+        budget_w=90.0,
+        nodes=tuple(
+            NodeSpec(
+                name=f"node{i}",
+                apps=apps,
+                shares=2.0 if i == 0 else 1.0,
+                min_cap_w=14.0,
+                joins_at_s=joins.get(f"node{i}", 0.0),
+            )
+            for i in range(6)
+        ),
+        seed=seed,
+        transport="node0-partition",
+    )
+    ladder = run_cluster(ladder_cfg, 140.0)
+    levels = [g.brownout for g in ladder.grants]
+    for epoch, grant in enumerate(ladder.grants):
+        total = grant.total_w + sum(
+            w for n, w in grant.reserved_w.items() if n not in grant.caps_w
+        )
+        if total > ladder_cfg.budget_w + 1e-6:
+            failures.append(
+                f"cap-sum {total:.3f} W over the "
+                f"{ladder_cfg.budget_w:.0f} W budget at ladder epoch {epoch}"
+            )
+    if max(levels) < 1:
+        failures.append(
+            "the reservation storm never drove the brownout ladder "
+            f"above NORMAL (levels {levels})"
+        )
+    if any(b - a > 1 for a, b in zip(levels, levels[1:])):
+        failures.append(f"the ladder skipped a level (levels {levels})")
+    if levels[-1] != 0:
+        failures.append(
+            f"the ladder did not return to NORMAL by the final epoch "
+            f"(levels {levels})"
+        )
+
+    status = "FAIL" if failures else "ok"
+    print(f"[{status}] brownout drill: liars {','.join(liars)} "
+          f"({flagged} reports flagged, {quarantined_epochs} quarantined "
+          f"node-epochs), max storm cap sum "
+          f"{storm.max_cap_sum_w():.1f} W of "
+          f"{storm_cfg.budget_w:.0f} W; ladder peaked at level "
+          f"{max(levels)} and ended at {levels[-1]}")
+    for failure in failures[:10]:
+        print(f"  {failure}")
+    return 1 if failures else 0
+
+
 def run_sanitizer_drill(seed: int) -> int:
     """The determinism sanitizer must agree across every stepping mode.
 
@@ -427,6 +605,7 @@ def main(argv: list[str] | None = None) -> int:
     rc |= run_partition_check(args.seed)
     rc |= run_crash_drill(args.seed, args.artifact_dir)
     rc |= run_fleet_drill(args.seed)
+    rc |= run_brownout_drill(args.seed)
     rc |= run_sanitizer_drill(args.seed)
     if not args.skip_bench:
         # guard the simulator's throughput alongside its safety: fail

@@ -256,6 +256,7 @@ def _cmd_cluster(args) -> int:
         transport=args.transport_faults,
         lease_ttl_epochs=args.lease_ttl,
         crash_faults=args.crash_faults,
+        telemetry=args.telemetry_faults,
         **({} if args.engine is None else {"engine": args.engine}),
     )
     cache = ResultCache.from_env(enabled=not args.no_cache)
@@ -293,6 +294,13 @@ def _cmd_cluster(args) -> int:
             f"{result.crash_recoveries} arbiter recoveries (journal "
             f"redo), {result.node_restarts} node restarts, "
             f"{result.safe_node_epochs} safe node-epochs"
+        )
+    if args.telemetry_faults is not None:
+        print(
+            f"telemetry faults ({args.telemetry_faults}): "
+            f"{result.trust_violations} reports flagged, "
+            f"{result.quarantined_node_epochs} quarantined "
+            f"node-epochs, {result.brownout_epochs} brownout epochs"
         )
     if cache is not None:
         print(f"cache: {cache.stats.hits} hits, "
@@ -667,6 +675,12 @@ def build_parser() -> argparse.ArgumentParser:
              "node<->arbiter message layer (see 'repro-power faults')",
     )
     cluster.add_argument(
+        "--telemetry-faults", default=None, metavar="SCENARIO",
+        help="corrupt the node->arbiter report stream with a named "
+             "telemetry scenario — stuck sensors, drift, demand "
+             "inflation, NaN bursts (see 'repro-power faults')",
+    )
+    cluster.add_argument(
         "--lease-ttl", type=int, default=3, metavar="EPOCHS",
         help="cap-lease TTL in epochs before a silent node steps down "
              "to its floor and then to RAPL-backstop safe mode",
@@ -837,6 +851,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults import (
             CRASH_SCENARIOS,
             SCENARIOS,
+            TELEMETRY_SCENARIOS,
             TRANSPORT_SCENARIOS,
         )
 
@@ -857,6 +872,10 @@ def main(argv: list[str] | None = None) -> int:
                     name: dataclasses.asdict(s)
                     for name, s in CRASH_SCENARIOS.items()
                 },
+                "telemetry": {
+                    name: dataclasses.asdict(s)
+                    for name, s in TELEMETRY_SCENARIOS.items()
+                },
             }
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
@@ -866,6 +885,7 @@ def main(argv: list[str] | None = None) -> int:
                 list(SCENARIOS)
                 + list(TRANSPORT_SCENARIOS)
                 + list(CRASH_SCENARIOS)
+                + list(TELEMETRY_SCENARIOS)
             )
         )
         for name, scenario in sorted(SCENARIOS.items()):
@@ -902,6 +922,17 @@ def main(argv: list[str] | None = None) -> int:
         print("crash scenarios (cluster --crash-faults):")
         for name, cs in sorted(CRASH_SCENARIOS.items()):
             print(f"{name.ljust(width)}  {cs.description}")
+        print()
+        print("telemetry scenarios (cluster --telemetry-faults):")
+        for name, tel in sorted(TELEMETRY_SCENARIOS.items()):
+            active = [
+                f"{f.node}:{f.kind}@{f.start_epoch}-"
+                f"{'' if f.end_epoch is None else f.end_epoch}"
+                for f in tel.faults
+            ]
+            if tel.garbage_rate > 0:
+                active.append(f"garbage_rate={tel.garbage_rate}")
+            print(f"{name.ljust(width)}  {', '.join(active) or 'clean'}")
         return 0
     try:
         if args.command == "run":

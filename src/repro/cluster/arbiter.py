@@ -59,6 +59,12 @@ from dataclasses import dataclass, field
 
 from repro.cluster.config import ClusterConfig, NodeSpec
 from repro.cluster.node import NodeEpochReport
+from repro.cluster.trust import (
+    BrownoutController,
+    DemandValidator,
+    TrustBook,
+    brownout_claim_bounds,
+)
 from repro.core.minfund import Claim, refill_pool
 from repro.errors import ConfigError
 
@@ -97,6 +103,17 @@ class Arbitration:
     #: fleet arbitration counters (racks refilled vs reused, dirty
     #: nodes); empty on the flat path.
     fleet_stats: dict[str, int] = field(default_factory=dict)
+    #: members quarantined by trust decay this round: their demand
+    #: ceilings were pinned at their floors (repeat misreporters).
+    quarantined: tuple[str, ...] = ()
+    #: facility brownout level this grant was computed under (index
+    #: into :data:`repro.cluster.trust.BROWNOUT_LEVELS`; 0 = normal).
+    brownout: int = 0
+    #: model-validation violations this round: node -> reasons for
+    #: every fresh report the validator had to clamp.
+    trust_violations: dict[str, tuple[str, ...]] = field(
+        default_factory=dict
+    )
 
     @property
     def total_w(self) -> float:
@@ -129,6 +146,27 @@ class ClusterArbiter:
         self._last_fresh: dict[str, int] = {}
         #: first rebalance epoch each member took part in.
         self._admitted_at: dict[str, int] = {}
+        #: model-based report validation (clamps implausible demand).
+        #: ``None`` disables the telemetry-robustness layer wholesale
+        #: (reports taken at face value, no trust updates) — a
+        #: break-glass operational mode, and the honest "unvalidated
+        #: arbitration" baseline the trust-overhead bench compares
+        #: against.
+        self.validator: DemandValidator | None = DemandValidator(
+            config.lease_ttl_epochs
+        )
+        #: per-node trust scores fed by the validator's verdicts.
+        self.trust = TrustBook()
+        #: facility brownout ladder for sustained infeasibility.
+        self.brownout = BrownoutController()
+        #: static per-node platform envelopes, resolved once (the
+        #: validator consults them on every fresh report).
+        self._node_floor: dict[str, float] = {
+            spec.name: spec.min_cap_w for spec in config.nodes
+        }
+        self._node_max: dict[str, float] = {
+            spec.name: spec.resolved_max_cap_w() for spec in config.nodes
+        }
 
     # -- membership --------------------------------------------------------------
 
@@ -154,6 +192,9 @@ class ClusterArbiter:
             self._last_seen.pop(name, None)
             self._last_fresh.pop(name, None)
             self._admitted_at.pop(name, None)
+            if self.validator is not None:
+                self.validator.forget(name)
+            self.trust.forget(name)
 
     def _drop_cap(self, name: str) -> None:
         """Forget a member's cap, keeping the maintained sum honest."""
@@ -193,6 +234,12 @@ class ClusterArbiter:
             "last_seen": dict(self._last_seen),
             "last_fresh": dict(self._last_fresh),
             "admitted_at": dict(self._admitted_at),
+            "validator": (
+                self.validator.snapshot()
+                if self.validator is not None else {}
+            ),
+            "trust": self.trust.snapshot(),
+            "brownout": self.brownout.snapshot(),
         }
 
     def restore(self, state: dict) -> None:
@@ -203,6 +250,16 @@ class ClusterArbiter:
         self._last_seen = dict(state["last_seen"])
         self._last_fresh = dict(state["last_fresh"])
         self._admitted_at = dict(state["admitted_at"])
+        # pre-trust journals carry none of the three: fresh defaults
+        self.validator = DemandValidator(self.lease_ttl)
+        if "validator" in state:
+            self.validator.restore(state["validator"])
+        self.trust = TrustBook()
+        if "trust" in state:
+            self.trust.restore(state["trust"])
+        self.brownout = BrownoutController()
+        if "brownout" in state:
+            self.brownout.restore(state["brownout"])
 
     # -- the epoch redistribution ------------------------------------------------
 
@@ -230,12 +287,96 @@ class ClusterArbiter:
         """
         crashed = [r.name for r in reports.values() if r.crashed]
         self.retire(crashed)
-        for name, report in reports.items():
-            if name in self._members:
+        violations: dict[str, tuple[str, ...]] = {}
+        validator = self.validator
+        if validator is None:
+            # break-glass mode: reports taken at face value, no trust
+            # updates (nothing can detect a violation).  Also the
+            # bench's "unvalidated arbitration" baseline.
+            for name in sorted(reports):
+                report = reports[name]
+                if name not in self._members:
+                    continue
                 self._last_seen[name] = epoch
                 if report.samples > 0:
                     self._last_report[name] = report
                     self._last_fresh[name] = epoch
+        else:
+            # fresh demand goes through the model validator, and only
+            # the clamped report survives as history — a lie can never
+            # outlive the epoch it arrived in.  Trust is judged here
+            # and only here: silence is the lease ladder's
+            # jurisdiction, so a partitioned node is never
+            # double-penalized.  The validator's tier-0 settled check
+            # is fused into this loop (one dict probe per report —
+            # the steady majority repeats its last clean-accepted
+            # reading verbatim); only the residue pays for screening
+            # and per-report verdicts.
+            # clean-epoch credit only matters while some node carries
+            # a degraded score — with the book empty, observe_clean is
+            # a no-op, so skip accumulating the fresh-name list at all
+            # (scores created *this* epoch land in the residue set,
+            # which observe_clean would skip anyway).
+            healing = bool(self.trust.scores)
+            fresh_names: list[str] = []
+            suspect_names: list[str] = []
+            suspect_reports: list[NodeEpochReport] = []
+            clean_get = validator.clean_tuples.get
+            cut = validator.fresh_cut(epoch)
+            for name in sorted(reports):
+                report = reports[name]
+                if name not in self._members:
+                    continue
+                self._last_seen[name] = epoch
+                if report.samples <= 0:
+                    continue
+                if healing:
+                    fresh_names.append(name)
+                t = clean_get(name)
+                if (
+                    t is not None
+                    and report.epoch >= cut
+                    and t[0] == report.mean_power_w  # repro-lint: disable=float-equality — settled-memo bit-identity is intended
+                    and t[1] == report.throttle_pressure
+                    and t[2] == report.headroom_w  # repro-lint: disable=float-equality — settled-memo bit-identity is intended
+                    and t[3] == report.cap_w  # repro-lint: disable=float-equality — settled-memo bit-identity is intended
+                ):
+                    self._last_report[name] = report
+                    self._last_fresh[name] = epoch
+                    continue
+                suspect_names.append(name)
+                suspect_reports.append(report)
+            residue_names: set[str] = set()
+            if suspect_names:
+                residue = validator.screen(
+                    suspect_reports,
+                    suspect_names,
+                    epoch=epoch,
+                    floors=self._node_floor,
+                    maxes=self._node_max,
+                    granted=self._caps,
+                )
+                residue_names = {suspect_names[i] for i in residue}
+                for i in residue:
+                    name = suspect_names[i]
+                    checked, broken = validator.validate(
+                        suspect_reports[i],
+                        epoch=epoch,
+                        floor_w=self._node_floor[name],
+                        max_cap_w=self._node_max[name],
+                        granted_w=self._caps.get(name),
+                    )
+                    self.trust.observe(name, bool(broken))
+                    if broken:
+                        violations[name] = broken
+                    suspect_reports[i] = checked
+                for i, name in enumerate(suspect_names):
+                    self._last_report[name] = suspect_reports[i]
+                    self._last_fresh[name] = epoch
+            if fresh_names:
+                self.trust.observe_clean(
+                    fresh_names, skip=residue_names
+                )
         if not self._members:
             self._caps = {}
             self._cap_sum = 0.0
@@ -243,15 +384,23 @@ class ClusterArbiter:
         for name in self._members:
             self._admitted_at.setdefault(name, epoch)
 
-        live, reserved, degraded = self._classify(epoch)
+        live, reserved, degraded, pressure = self._classify(epoch)
         reserved_sum = sum(reserved[name] for name in sorted(reserved))
         budget = self.budget_w - reserved_sum
 
+        # the level applied to this epoch's claims is the level the
+        # ladder held *entering* the epoch (journaled state), so the
+        # grant stays a pure function of the snapshot
+        level = self.brownout.level
         caps = dict(reserved)
         group_pools, shed, stats, live_sum = self._arbitrate(
             epoch, live, budget, caps, degraded
         )
         total = self._trim(caps, reserved_sum + live_sum)
+        # committed load is measured before the reservation shave and
+        # before brownout shedding (the signal must not chase its own
+        # effect)
+        self.brownout.observe(pressure, self.budget_w)
         self._caps = caps
         self._cap_sum = total
         return Arbitration(
@@ -262,6 +411,9 @@ class ClusterArbiter:
             reserved_w=dict(reserved),
             shed=shed,
             fleet_stats=stats,
+            quarantined=self.trust.quarantined_names(),
+            brownout=level,
+            trust_violations=violations,
         )
 
     def _arbitrate(
@@ -285,10 +437,15 @@ class ClusterArbiter:
         overrides it with the hierarchical dirty-subtree scheme.
         """
         claims_by_group: dict[str, list[Claim]] = {}
+        top_shares = max(
+            (self.config.node(n).shares for n in live), default=0.0
+        )
         for name in live:
             spec = self.config.node(name)
             report = self._last_report.get(name)
-            claim = self._claim(spec, report, self._age(name, epoch))
+            claim = self._claim(
+                spec, report, self._age(name, epoch), top_shares
+            )
             if report is None and self._admitted_at[name] != epoch:
                 # demand-blind grant for an established member: a tick
                 # storm ate its first samples (satellite: no silent
@@ -309,13 +466,17 @@ class ClusterArbiter:
 
     def _classify(
         self, epoch: int
-    ) -> tuple[list[str], dict[str, float], list[str]]:
+    ) -> tuple[list[str], dict[str, float], list[str], float]:
         """Split members into live bidders and silent reservations.
 
-        Returns ``(live, reserved, degraded)``.  Reservations are
-        shaved toward their floors (largest first) if live members'
-        floors would not otherwise fit — the no-starvation rule
-        outranks a silent node's stale entitlement.
+        Returns ``(live, reserved, degraded, pressure_w)``.
+        Reservations are shaved toward their floors (largest first) if
+        live members' floors would not otherwise fit — the
+        no-starvation rule outranks a silent node's stale entitlement.
+        ``pressure_w`` is the committed load *before* that shave (live
+        floors plus unshaved reservations): the infeasibility signal
+        the brownout ladder observes, which the shave would otherwise
+        mask.
         """
         live: list[str] = []
         reserved: dict[str, float] = {}
@@ -344,7 +505,8 @@ class ClusterArbiter:
                     reserved[name] = floor
                 degraded.append(name)
         live_floors = sum(self.config.node(n).min_cap_w for n in live)
-        excess = sum(reserved.values()) + live_floors - self.budget_w
+        pressure = sum(reserved[n] for n in sorted(reserved)) + live_floors
+        excess = pressure - self.budget_w
         if excess > 0:
             for name in sorted(
                 reserved, key=lambda n: (-reserved[n], n)
@@ -356,7 +518,7 @@ class ClusterArbiter:
                     excess -= give
                 if excess <= 0:
                     break
-        return live, reserved, degraded
+        return live, reserved, degraded, pressure
 
     def _age(self, name: str, epoch: int) -> int:
         """Epochs since this member's demand was last fresh."""
@@ -366,8 +528,14 @@ class ClusterArbiter:
         return epoch - fresh
 
     def _claim(
-        self, spec: NodeSpec, report: NodeEpochReport | None, age: int
+        self,
+        spec: NodeSpec,
+        report: NodeEpochReport | None,
+        age: int,
+        top_shares: float,
     ) -> Claim:
+        """One live member's claim: trust-discounted demand ceiling,
+        bounds shed per the brownout level in effect."""
         lo = spec.min_cap_w
         hi_cap = spec.resolved_max_cap_w()
         if report is None:
@@ -388,7 +556,14 @@ class ClusterArbiter:
                 # cannot pin budget forever
                 fade = max(0.0, 1.0 - (age - 1) / self.lease_ttl)
                 hi = lo + (hi - lo) * fade
-        hi = max(hi, lo)
+        hi = self.trust.discount_hi(spec.name, lo, hi)
+        lo, hi = brownout_claim_bounds(
+            self.brownout.level,
+            floor_w=lo,
+            raw_hi_w=hi,
+            shares=spec.shares,
+            top_shares=top_shares,
+        )
         current = self._caps.get(spec.name, lo)
         return Claim(
             label=spec.name,

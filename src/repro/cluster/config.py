@@ -31,9 +31,12 @@ from repro.errors import ConfigError
 from repro.faults import (
     CrashScenario,
     LinkPartition,
+    TelemetryFault,
+    TelemetryScenario,
     TransportScenario,
     get_crash_scenario,
     get_scenario,
+    get_telemetry_scenario,
     get_transport_scenario,
 )
 from repro.fleet.schedule import DiurnalSchedule
@@ -176,6 +179,12 @@ class ClusterConfig:
     #: diurnal traffic curve driving per-epoch node activation; needs a
     #: topology (rows phase the curve).  ``None`` keeps every node busy.
     schedule: DiurnalSchedule | None = None
+    #: telemetry-corruption scenario: a name from ``repro.faults.
+    #: TELEMETRY_SCENARIOS`` or an inline :class:`TelemetryScenario`.
+    #: ``None`` keeps every report honest — byte-identical to the
+    #: pre-trust runtime.  Faults targeting nodes this config does not
+    #: declare are inert (a liar that never joins corrupts nothing).
+    telemetry: str | TelemetryScenario | None = None
 
     def __post_init__(self) -> None:
         if self.budget_w <= 0:
@@ -197,6 +206,8 @@ class ClusterConfig:
             )
         if isinstance(self.transport, str):
             get_transport_scenario(self.transport)  # validate early
+        if isinstance(self.telemetry, str):
+            get_telemetry_scenario(self.telemetry)  # validate early
         if self.crash_faults is not None:
             crash = get_crash_scenario(self.crash_faults)
             known_names = {node.name for node in self.nodes}
@@ -295,6 +306,12 @@ class ClusterConfig:
         """Resolve the configured crash scenario ("none" when unset)."""
         return get_crash_scenario(self.crash_faults or "none")
 
+    def telemetry_scenario(self) -> TelemetryScenario | None:
+        """Resolve the telemetry field (named or inline) to a scenario."""
+        if isinstance(self.telemetry, str):
+            return get_telemetry_scenario(self.telemetry)
+        return self.telemetry
+
     def group_of(self, node: NodeSpec) -> str:
         return node.group if self.groups else ROOT_GROUP
 
@@ -326,6 +343,9 @@ def cluster_config_to_jsonable(config: ClusterConfig) -> dict:
         raw.pop("topology", None)
     if raw.get("schedule") is None:
         raw.pop("schedule", None)
+    # likewise pre-trust configs keep their keys when telemetry is unset
+    if raw.get("telemetry") is None:
+        raw.pop("telemetry", None)
     for node in raw["nodes"]:
         for app in node["apps"]:
             app["priority"] = app["priority"].name
@@ -363,6 +383,16 @@ def cluster_config_from_jsonable(data: dict) -> ClusterConfig:
     schedule = data.get("schedule")
     if schedule is not None:
         extra["schedule"] = DiurnalSchedule(**schedule)
+    telemetry = data.get("telemetry")
+    if isinstance(telemetry, dict):
+        extra["telemetry"] = TelemetryScenario(
+            **{
+                **telemetry,
+                "faults": tuple(
+                    TelemetryFault(**f) for f in telemetry["faults"]
+                ),
+            }
+        )
     return ClusterConfig(
         **{**data, "nodes": tuple(nodes), "groups": groups, **extra}
     )

@@ -93,6 +93,9 @@ class RecoveredState:
     down: tuple[str, ...]
     seqs: dict[str, int]
     transport: dict[str, Any] | None
+    #: telemetry-corruptor checkpoint (None: no corruption configured
+    #: or a pre-trust journal).
+    telemetry: dict[str, Any] | None
     arbiter: dict[str, Any] | None
     guard: dict[str, int]
     leases: dict[str, dict[str, Any]]
@@ -186,6 +189,8 @@ class Journal:
             down=tuple(fence.data["down"]) if fence else (),
             seqs=dict(fence.data["seqs"]) if fence else {},
             transport=fence.data["transport"] if fence else None,
+            # pre-trust journals carry no telemetry checkpoint
+            telemetry=fence.data.get("telemetry") if fence else None,
             arbiter=arbitration.data["arbiter"] if arbitration else None,
             guard=dict(arbitration.data["guard"]) if arbitration else {},
             leases=leases,
@@ -326,6 +331,32 @@ def _transport_from_jsonable(data: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _telemetry_to_jsonable(state: dict[str, Any]) -> dict[str, Any]:
+    version, internal, gauss = state["rng"]
+    return {
+        "rng": {
+            "version": version,
+            "state": list(internal),
+            "gauss": gauss,
+        },
+        "stuck": {
+            name: _report_to_jsonable(report)
+            for name, report in state["stuck"].items()
+        },
+    }
+
+
+def _telemetry_from_jsonable(data: dict[str, Any]) -> dict[str, Any]:
+    rng = data["rng"]
+    return {
+        "rng": (rng["version"], tuple(rng["state"]), rng["gauss"]),
+        "stuck": {
+            name: _report_from_jsonable(report)
+            for name, report in data["stuck"].items()
+        },
+    }
+
+
 def _arbiter_to_jsonable(state: dict[str, Any]) -> dict[str, Any]:
     out = dict(state)
     out["last_report"] = {
@@ -348,6 +379,8 @@ def _entry_to_jsonable(entry: JournalEntry) -> dict[str, Any]:
     data = dict(entry.data)
     if entry.kind == "fence":
         data["transport"] = _transport_to_jsonable(data["transport"])
+        if data.get("telemetry") is not None:
+            data["telemetry"] = _telemetry_to_jsonable(data["telemetry"])
     elif entry.kind == "arbitration":
         data["arbiter"] = _arbiter_to_jsonable(data["arbiter"])
     return {
@@ -362,6 +395,8 @@ def _entry_from_jsonable(raw: dict[str, Any]) -> JournalEntry:
     data = dict(raw["data"])
     if raw["kind"] == "fence":
         data["transport"] = _transport_from_jsonable(data["transport"])
+        if data.get("telemetry") is not None:
+            data["telemetry"] = _telemetry_from_jsonable(data["telemetry"])
     elif raw["kind"] == "arbitration":
         data["arbiter"] = _arbiter_from_jsonable(data["arbiter"])
     return JournalEntry(

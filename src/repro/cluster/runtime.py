@@ -84,6 +84,7 @@ from repro.cluster.transport import (
 )
 from repro.errors import ConfigError, SimulationError
 from repro.faults.scenario import TransportScenario, get_transport_scenario
+from repro.faults.telemetry import TelemetryCorruptor
 from repro.fleet.arbiter import make_arbiter
 from repro.fleet.topology import leaf_racks, rack_row_indices
 
@@ -158,6 +159,14 @@ class ClusterSim:
         #: the transport seed derives from the cluster seed so a run
         #: replays byte-identically, salted away from node fault seeds.
         self.transport = UnreliableTransport(scenario, seed=config.seed)
+        #: telemetry corruption (liars, stuck sensors, NaN bursts):
+        #: applied in the parent between stepping and sending, so the
+        #: ground-truth reports stay intact for the trace and the
+        #: corrupted stream is identical across steppers.
+        telemetry = config.telemetry_scenario()
+        self._corruptor: TelemetryCorruptor | None = None
+        if telemetry is not None and not telemetry.quiet:
+            self._corruptor = TelemetryCorruptor(telemetry, seed=config.seed)
         self._arbiter_guard = SequenceGuard(self.transport.stats)
         self._leases: dict[str, NodeLease] = {}
         self._seqs: dict[str, int] = {}
@@ -285,6 +294,12 @@ class ClusterSim:
             reserved_w=dict(entry.data["reserved"]),
             shed=tuple(entry.data.get("shed", ())),
             fleet_stats=dict(entry.data.get("stats", {})),
+            quarantined=tuple(entry.data.get("quarantined", ())),
+            brownout=int(entry.data.get("brownout", 0)),
+            trust_violations={
+                name: tuple(kinds)
+                for name, kinds in entry.data.get("violations", {}).items()
+            },
         )
 
     # -- epoch phases ------------------------------------------------------------
@@ -344,6 +359,8 @@ class ClusterSim:
     def _send_reports(
         self, epoch: int, reports: dict[str, NodeEpochReport]
     ) -> None:
+        if self._corruptor is not None:
+            reports = self._corruptor.corrupt(epoch, reports)
         for name in sorted(reports):
             self.transport.send(
                 Envelope(
@@ -458,6 +475,12 @@ class ClusterSim:
                         "reserved": dict(grant.reserved_w),
                         "shed": list(grant.shed),
                         "stats": dict(grant.fleet_stats),
+                        "quarantined": list(grant.quarantined),
+                        "brownout": grant.brownout,
+                        "violations": {
+                            name: list(kinds)
+                            for name, kinds in grant.trust_violations.items()
+                        },
                         "arbiter": self.arbiter.snapshot(),
                         "guard": self._arbiter_guard.snapshot(),
                         "seq": self._seqs.get(ARBITER, 0),
@@ -519,7 +542,7 @@ class ClusterSim:
                     }
                 self.trace.record_control(
                     t1,
-                    transport_epoch=self.transport.stats.take_epoch(),
+                    transport_epoch=self.transport.stats.take_epoch(epoch),
                     lease_codes={
                         name: LEASE_CODES[self._leases[name].state]
                         for name in self._leases
@@ -531,6 +554,9 @@ class ClusterSim:
                         1 if epoch in self._arbiter_crashes else 0
                     ),
                     fleet=fleet_counters,
+                    brownout=grant.brownout,
+                    trust_violations=len(grant.trust_violations),
+                    quarantined=len(grant.quarantined),
                 )
                 run.grants.append(grant)
                 run.reports.append(reports)
@@ -541,6 +567,11 @@ class ClusterSim:
                     epoch,
                     {
                         "transport": self.transport.snapshot(),
+                        "telemetry": (
+                            self._corruptor.snapshot()
+                            if self._corruptor is not None
+                            else None
+                        ),
                         "seqs": dict(self._seqs),
                         "admitted": sorted(self._admitted),
                         "down": sorted(self._down),
@@ -581,6 +612,8 @@ def recover_cluster_sim(
     sim._seqs = dict(state.seqs)
     if state.transport is not None:
         sim.transport.restore(state.transport)
+    if state.telemetry is not None and sim._corruptor is not None:
+        sim._corruptor.restore(state.telemetry)
     if state.arbiter is not None:
         sim.arbiter.restore(state.arbiter)
     guard = SequenceGuard(sim.transport.stats)

@@ -13,10 +13,14 @@ box-plot-ready series for free:
   ``<name>.lease`` (0 granted · 1 holdover · 2 degraded · 3 safe),
   plus ``transport.sent|delivered|dropped|delayed|duplicated|stale``
   per-epoch counts, ``cluster.reserved_w`` (budget the arbiter holds
-  for leased-but-silent nodes), ``cluster.degraded_grants``, and the
+  for leased-but-silent nodes), ``cluster.degraded_grants``, the
   crash-fault counters ``cluster.restarts`` (node reboots executed at
   the epoch boundary) and ``cluster.crash_recoveries`` (arbiter
-  crashes redone from the journal).
+  crashes redone from the journal), and the trust counters
+  ``cluster.brownout`` (ladder level in effect), ``cluster.
+  trust_violations`` (nodes whose report failed validation this
+  epoch), and ``cluster.quarantined`` (nodes below the trust
+  threshold).
 
 Sampling is at epoch cadence: one point per series per arbitration
 round, timestamped with the epoch's end.  ``to_jsonable`` emits a
@@ -82,6 +86,9 @@ class ClusterTrace:
         restarts: int = 0,
         crash_recoveries: int = 0,
         fleet: dict[str, int] | None = None,
+        brownout: int = 0,
+        trust_violations: int = 0,
+        quarantined: int = 0,
     ) -> None:
         """Fold one epoch's control-plane health into the series.
 
@@ -105,6 +112,9 @@ class ClusterTrace:
         rec("cluster.degraded_grants", t_end_s, float(degraded_grants))
         rec("cluster.restarts", t_end_s, float(restarts))
         rec("cluster.crash_recoveries", t_end_s, float(crash_recoveries))
+        rec("cluster.brownout", t_end_s, float(brownout))
+        rec("cluster.trust_violations", t_end_s, float(trust_violations))
+        rec("cluster.quarantined", t_end_s, float(quarantined))
         if fleet is not None:
             for key in sorted(fleet):
                 rec(f"fleet.{key}", t_end_s, float(fleet[key]))

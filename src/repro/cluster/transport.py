@@ -91,17 +91,46 @@ class TransportStats:
             "delayed": 0, "duplicated": 0, "stale": 0,
         }
     )
+    #: closed per-epoch windows (epoch -> counts), archived by
+    #: :meth:`take_epoch` when it is given the epoch being sealed.
+    _epochs: dict[int, dict[str, int]] = field(default_factory=dict)
 
     def count(self, event: str, n: int = 1) -> None:
         setattr(self, event, getattr(self, event) + n)
         self._window[event] += n
 
-    def take_epoch(self) -> dict[str, int]:
-        """Counts since the last call (one arbitration epoch's worth)."""
+    def take_epoch(self, epoch: int | None = None) -> dict[str, int]:
+        """Counts since the last call (one arbitration epoch's worth).
+
+        With ``epoch`` given, the closed window is also archived so
+        whole-run dumps can report every epoch's transport health.
+        """
         window = dict(self._window)
         for key in self._window:
             self._window[key] = 0
+        if epoch is not None:
+            self._epochs[epoch] = window
         return window
+
+    def epoch_windows(self) -> tuple[tuple[int, dict[str, int]], ...]:
+        """The archived windows, sorted by epoch.
+
+        The archive dict fills in arbitration order, but recovery can
+        interleave re-fills, so dumps must not trust insertion order —
+        sorting here is what keeps a recovered run's dump byte-equal
+        to an uninterrupted one's.
+        """
+        return tuple(
+            (epoch, dict(self._epochs[epoch]))
+            for epoch in sorted(self._epochs)
+        )
+
+    def windows_jsonable(self) -> list[dict]:
+        """Byte-stable JSON form: one row per epoch, sorted keys."""
+        return [
+            {"epoch": epoch, **{k: window[k] for k in sorted(window)}}
+            for epoch, window in self.epoch_windows()
+        ]
 
     def snapshot(self) -> dict:
         """Checkpoint the totals and the open window (journal fence)."""
@@ -113,6 +142,10 @@ class TransportStats:
             "duplicated": self.duplicated,
             "stale": self.stale,
             "window": dict(self._window),
+            "epochs": [
+                [epoch, dict(window)]
+                for epoch, window in sorted(self._epochs.items())
+            ],
         }
 
     def restore(self, state: dict) -> None:
@@ -122,6 +155,11 @@ class TransportStats:
                       "duplicated", "stale"):
             setattr(self, event, state[event])
         self._window = dict(state["window"])
+        # pre-window-archive journals carry no "epochs" key
+        self._epochs = {
+            int(epoch): dict(window)
+            for epoch, window in state.get("epochs", [])
+        }
 
 
 class SequenceGuard:

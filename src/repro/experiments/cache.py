@@ -61,7 +61,13 @@ if TYPE_CHECKING:
 #: config field, restart/recovery result fields, new trace series) —
 #: v3 cluster entries predate the crash counters and must not satisfy
 #: v4 lookups.
-CACHE_VERSION = 4
+#:
+#: v5: cluster runs gained telemetry validation, trust scoring, and
+#: the brownout ladder (``telemetry`` config field, trust/quarantine/
+#: brownout result counters, validator clamping in the grant path) —
+#: v4 cluster entries predate validation and must not satisfy v5
+#: lookups.
+CACHE_VERSION = 5
 
 #: default cache root (overridden by ``REPRO_CACHE_DIR``).
 DEFAULT_CACHE_DIR = "~/.cache/repro-power"

@@ -99,6 +99,13 @@ class ClusterRunResult:
     #: fraction of post-warm-up *active* node-epochs meeting the
     #: throttle SLO (1.0 when there were none, or on flat runs).
     slo_attainment: float = 1.0
+    #: telemetry reports flagged by the demand validator across the run
+    #: (sum of per-epoch violation records).
+    trust_violations: int = 0
+    #: node-epochs spent quarantined by the trust book.
+    quarantined_node_epochs: int = 0
+    #: epochs the facility spent at any brownout level above NORMAL.
+    brownout_epochs: int = 0
 
     def node(self, name: str) -> NodeClusterResult:
         for result in self.nodes:
@@ -132,6 +139,7 @@ def default_cluster_config(
     transport: str | None = None,
     lease_ttl_epochs: int = 3,
     crash_faults: str | None = None,
+    telemetry: str | None = None,
 ) -> ClusterConfig:
     """The canonical evaluation cluster: 2:2:1:1-style shares, six
     compute-bound apps per node so the budget genuinely contends."""
@@ -158,6 +166,7 @@ def default_cluster_config(
         transport=transport,
         lease_ttl_epochs=lease_ttl_epochs,
         crash_faults=crash_faults,
+        telemetry=telemetry,
     )
 
 
@@ -254,6 +263,13 @@ def summarize_cluster_run(
             g.fleet_stats.get("reused", 0) for g in run.grants
         ),
         slo_attainment=slo_met / slo_total if slo_total else 1.0,
+        trust_violations=sum(
+            len(g.trust_violations) for g in run.grants
+        ),
+        quarantined_node_epochs=sum(
+            len(g.quarantined) for g in run.grants
+        ),
+        brownout_epochs=sum(1 for g in run.grants if g.brownout > 0),
     )
 
 
@@ -303,6 +319,9 @@ def cluster_result_to_jsonable(result: ClusterRunResult) -> dict:
         "fleet_refilled": result.fleet_refilled,
         "fleet_reused": result.fleet_reused,
         "slo_attainment": result.slo_attainment,
+        "trust_violations": result.trust_violations,
+        "quarantined_node_epochs": result.quarantined_node_epochs,
+        "brownout_epochs": result.brownout_epochs,
     }
 
 
@@ -327,4 +346,7 @@ def cluster_result_from_jsonable(data: dict) -> ClusterRunResult:
         fleet_refilled=data.get("fleet_refilled", 0),
         fleet_reused=data.get("fleet_reused", 0),
         slo_attainment=data.get("slo_attainment", 1.0),
+        trust_violations=data.get("trust_violations", 0),
+        quarantined_node_epochs=data.get("quarantined_node_epochs", 0),
+        brownout_epochs=data.get("brownout_epochs", 0),
     )

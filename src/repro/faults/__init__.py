@@ -7,6 +7,8 @@ limit under *any* injected fault schedule:
 
 * :mod:`repro.faults.scenario` — seeded, declarative fault schedules
   (node-local and control-plane transport alike),
+* :mod:`repro.faults.telemetry` — telemetry corruption (stuck sensors,
+  drift, demand inflation, flapping, NaN bursts) on the report stream,
 * :mod:`repro.faults.msr_proxy` — MSR read/write fault injection,
 * :mod:`repro.faults.ticks` — dropped/jittered daemon deadlines,
 * :mod:`repro.faults.harness` — stack wiring + health reporting.
@@ -28,6 +30,13 @@ from repro.faults.scenario import (
     get_scenario,
     get_transport_scenario,
 )
+from repro.faults.telemetry import (
+    TELEMETRY_SCENARIOS,
+    TelemetryCorruptor,
+    TelemetryFault,
+    TelemetryScenario,
+    get_telemetry_scenario,
+)
 from repro.faults.ticks import TickFaultGate, TickFaultStats
 
 __all__ = [
@@ -40,12 +49,17 @@ __all__ = [
     "LinkPartition",
     "NodeRestart",
     "SCENARIOS",
+    "TELEMETRY_SCENARIOS",
     "TRANSPORT_SCENARIOS",
+    "TelemetryCorruptor",
+    "TelemetryFault",
+    "TelemetryScenario",
     "TickFaultGate",
     "TickFaultStats",
     "TransportScenario",
     "get_crash_scenario",
     "get_scenario",
+    "get_telemetry_scenario",
     "get_transport_scenario",
     "health_summary",
     "schedule_app_crashes",

@@ -54,6 +54,7 @@ from repro.cluster.arbiter import (
 )
 from repro.cluster.config import ClusterConfig
 from repro.cluster.node import NodeEpochReport
+from repro.cluster.trust import brownout_claim_bounds
 from repro.core.minfund import Claim, refill_pool
 from repro.errors import ConfigError
 from repro.fleet.topology import iter_domains, leaf_racks
@@ -104,9 +105,10 @@ class FleetArbiter(ClusterArbiter):
             self._node_hi_cap[spec.name] = spec.resolved_max_cap_w()
             self._node_apps[spec.name] = len(spec.apps)
         # -- incremental caches ------------------------------------------
-        #: per node: (last_fresh, age_bucket) the cached claim was
-        #: computed under; a matching signature means the claim is exact.
-        self._node_sigs: dict[str, tuple[int, int]] = {}
+        #: per node: (last_fresh, age_bucket, trust score, brownout
+        #: level, top shares) the cached claim was computed under; a
+        #: matching signature means the claim is exact.
+        self._node_sigs: dict[str, tuple[float, ...]] = {}
         #: per node: (shares, lo, quantized hi).
         self._node_claims: dict[str, tuple[float, float, float]] = {}
         #: per rack: live membership of the last epoch (claim order).
@@ -166,9 +168,11 @@ class FleetArbiter(ClusterArbiter):
     def restore(self, state: dict) -> None:
         super().restore(state)
         fleet = state.get("fleet", {})
+        # pre-trust journals carry 2-tuple signatures: they restore
+        # verbatim and simply never match the 5-tuple the refresh
+        # computes, forcing a clean recompute instead of stale reuse
         self._node_sigs = {
-            n: (int(sig[0]), int(sig[1]))
-            for n, sig in fleet.get("sigs", {}).items()
+            n: tuple(sig) for n, sig in fleet.get("sigs", {}).items()
         }
         self._node_claims = {
             n: (claim[0], claim[1], claim[2])
@@ -203,6 +207,15 @@ class FleetArbiter(ClusterArbiter):
         live_set = set(live)
         dirty: set[str] = set()
         dirty_nodes = 0
+        level = self.brownout.level
+        top_shares = max(
+            (self._node_shares[n] for n in live), default=0.0
+        )
+        # hoisted per epoch: when no node holds a degraded score the
+        # per-node trust probes below collapse to one dict lookup and
+        # the claim path skips the discount call entirely
+        trust_scores = self.trust.scores
+        all_trusted = not trust_scores
         # 1. refresh claims + find dirty racks (cheap O(n) scan; the
         # per-node work is two dict lookups unless demand moved)
         for rack in self._racks:
@@ -216,10 +229,19 @@ class FleetArbiter(ClusterArbiter):
                     degraded.append(name)
                 age = self._age(name, epoch)
                 bucket = 0 if age <= 1 else min(age, self.lease_ttl + 1)
-                sig = (self._last_fresh.get(name, -1), bucket)
+                sig = (
+                    float(self._last_fresh.get(name, -1)),
+                    float(bucket),
+                    trust_scores.get(name, 1.0),
+                    float(level),
+                    top_shares,
+                )
                 if sig != self._node_sigs.get(name):
                     self._node_sigs[name] = sig
-                    claim = self._fleet_claim(name, report, age)
+                    claim = self._fleet_claim(
+                        name, report, age, level, top_shares,
+                        all_trusted,
+                    )
                     if claim != self._node_claims.get(name):
                         self._node_claims[name] = claim
                         dirty.add(rack.name)
@@ -336,35 +358,53 @@ class FleetArbiter(ClusterArbiter):
         return pools, tuple(shed), stats, live_sum
 
     def _fleet_claim(
-        self, name: str, report: NodeEpochReport | None, age: int
+        self,
+        name: str,
+        report: NodeEpochReport | None,
+        age: int,
+        level: int,
+        top_shares: float,
+        all_trusted: bool,
     ) -> tuple[float, float, float]:
         """The flat arbiter's claim, quantized and ``current``-free.
 
         Mirrors :meth:`ClusterArbiter._claim` (demand slack, quarantine
-        scaling, stale-demand fade) but snaps the ceiling to the demand
-        quantum so watt-level jitter cannot dirty a rack, and drops the
-        ``current`` field the water-fill never reads.
+        scaling, stale-demand fade, trust discount, brownout shedding)
+        but snaps the ceiling to the demand quantum so watt-level
+        jitter cannot dirty a rack, and drops the ``current`` field the
+        water-fill never reads.
         """
         lo = self._node_lo[name]
         hi_cap = self._node_hi_cap[name]
         if report is None:
-            hi = hi_cap
+            raw = hi_cap
         else:
             wants = report.mean_power_w + report.throttle_pressure * max(
                 hi_cap - report.mean_power_w, 0.0
             )
             n_apps = self._node_apps[name]
             healthy = max(n_apps - report.quarantined_cores, 0) / n_apps
-            hi = min(wants * DEMAND_SLACK * healthy, hi_cap)
+            raw = min(wants * DEMAND_SLACK * healthy, hi_cap)
             if age > 1:
                 fade = max(0.0, 1.0 - (age - 1) / self.lease_ttl)
-                hi = lo + (max(hi, lo) - lo) * fade
-            hi = max(hi, lo)
+                raw = lo + (max(raw, lo) - lo) * fade
+            raw = max(raw, lo)
+        if not all_trusted:
+            raw = self.trust.discount_hi(name, lo, raw)
+        lo_eff, hi = brownout_claim_bounds(
+            level,
+            floor_w=lo,
+            raw_hi_w=raw,
+            shares=self._node_shares[name],
+            top_shares=top_shares,
+        )
+        if report is not None and hi > lo_eff:
             hi = min(
-                lo + round((hi - lo) / DEMAND_QUANTUM_W) * DEMAND_QUANTUM_W,
+                lo_eff
+                + round((hi - lo_eff) / DEMAND_QUANTUM_W) * DEMAND_QUANTUM_W,
                 hi_cap,
             )
-        return (self._node_shares[name], lo, max(hi, lo))
+        return (self._node_shares[name], lo_eff, max(hi, lo_eff))
 
 
 def make_arbiter(config: ClusterConfig) -> ClusterArbiter:

@@ -270,8 +270,14 @@ class TestFleetCli:
     def test_faults_json_is_machine_readable(self, capsys):
         assert main(["faults", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"daemon", "transport", "crash"}
+        assert set(payload) == {
+            "daemon", "transport", "crash", "telemetry"
+        }
         partition = payload["transport"]["node0-partition"]
         assert partition["partitions"][0]["node"] == "node0"
         assert "arbiter-crash" in payload["crash"]
         assert all("name" in s for s in payload["daemon"].values())
+        assert "liar-storm" in payload["telemetry"]
+        assert all(
+            "faults" in s for s in payload["telemetry"].values()
+        )

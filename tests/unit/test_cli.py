@@ -77,7 +77,9 @@ class TestCommands:
         assert "transport scenarios (cluster --transport-faults):" in out
         crash_section = out.split(
             "crash scenarios (cluster --crash-faults):"
-        )[1]
+        )[1].split(
+            "telemetry scenarios (cluster --telemetry-faults):"
+        )[0]
         names = [
             line.split()[0]
             for line in crash_section.strip().splitlines()

@@ -47,6 +47,42 @@ class TestTransportStats:
         assert stats.take_epoch()["sent"] == 0
         assert stats.sent == 3 and stats.dropped == 1
 
+    def test_archived_windows_sorted_by_epoch(self):
+        stats = TransportStats()
+        stats.count("sent", 2)
+        stats.take_epoch(4)
+        stats.count("dropped")
+        stats.take_epoch(1)  # archived out of order on purpose
+        stats.count("sent")
+        stats.take_epoch(7)
+        epochs = [epoch for epoch, _ in stats.epoch_windows()]
+        assert epochs == [1, 4, 7]
+        assert dict(stats.epoch_windows())[4]["sent"] == 2
+
+    def test_windows_jsonable_is_byte_stable(self):
+        import json
+
+        def build():
+            stats = TransportStats()
+            stats.count("sent", 2)
+            stats.count("delayed")
+            stats.take_epoch(2)
+            stats.count("dropped")
+            stats.take_epoch(0)
+            return stats
+
+        a = json.dumps(build().windows_jsonable(), sort_keys=True)
+        b = json.dumps(build().windows_jsonable(), sort_keys=True)
+        assert a == b
+        rows = build().windows_jsonable()
+        assert [row["epoch"] for row in rows] == [0, 2]
+        # every row carries the full sorted key set, so consumers can
+        # diff windows positionally
+        assert all(
+            list(row) == sorted(row, key=lambda k: (k != "epoch", k))
+            for row in rows
+        )
+
 
 class TestSequenceGuard:
     def test_accepts_monotone_epochs(self):
